@@ -1,0 +1,116 @@
+//! Criterion micro-benchmarks for the performance-critical paths:
+//! the Q-update (the paper's "at maximum two multiplications, three
+//! additions and |A|+1 array lookups" claim), agent decisions, the
+//! DES kernel, the medium, and the Markov analysis.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use qma_core::qtable::UpdateParams;
+use qma_core::{ActionOutcome, Fixed16, QTable, QmaAction, QmaAgent, QmaConfig};
+use qma_des::{Scheduler, SimTime};
+use qma_markov::HandshakeChain;
+
+fn bench_q_update(c: &mut Criterion) {
+    let params = UpdateParams::default();
+    let mut group = c.benchmark_group("q_update");
+    group.bench_function("f32", |b| {
+        let mut t: QTable<f32> = QTable::new(54, -10.0);
+        let mut m = 0u16;
+        b.iter(|| {
+            t.update(black_box(m), QmaAction::Send, 4.0, m + 1, &params);
+            m = (m + 1) % 54;
+        });
+    });
+    group.bench_function("fixed16", |b| {
+        let mut t: QTable<Fixed16> = QTable::new(54, -10.0);
+        let mut m = 0u16;
+        b.iter(|| {
+            t.update(black_box(m), QmaAction::Send, 4.0, m + 1, &params);
+            m = (m + 1) % 54;
+        });
+    });
+    group.finish();
+}
+
+fn bench_agent_decision(c: &mut Criterion) {
+    c.bench_function("agent_decide_complete", |b| {
+        let cfg = QmaConfig {
+            startup_subslots: 0,
+            ..QmaConfig::default()
+        };
+        let mut agent: QmaAgent = QmaAgent::new(cfg);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut m = 0u16;
+        b.iter(|| {
+            let d = agent.decide(black_box(m), 4, &mut rng);
+            let outcome = match d.action {
+                QmaAction::Backoff => ActionOutcome::Backoff { overheard: false },
+                QmaAction::Cca => ActionOutcome::CcaTx { acked: true },
+                QmaAction::Send => ActionOutcome::SendTx { acked: true },
+            };
+            agent.complete(outcome, (m + 1) % 54);
+            m = (m + 1) % 54;
+        });
+    });
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    c.bench_function("des_schedule_pop", |b| {
+        let mut s: Scheduler<u32> = Scheduler::new();
+        let mut t = 0u64;
+        b.iter(|| {
+            for k in 0..16 {
+                s.schedule_at(SimTime::from_micros(t + k * 7), black_box(k as u32));
+            }
+            for _ in 0..16 {
+                black_box(s.pop());
+            }
+            t += 200;
+        });
+    });
+}
+
+fn bench_medium(c: &mut Criterion) {
+    use qma_phy::{Connectivity, Medium, PhyNodeId};
+    c.bench_function("medium_tx_roundtrip_91_nodes", |b| {
+        let topo = qma_topo::concentric_rings(4, 20.0);
+        let mut medium = Medium::new(topo.connectivity.clone());
+        b.iter(|| {
+            let t = medium.start_tx(black_box(PhyNodeId(45)));
+            black_box(medium.end_tx(t));
+        });
+    });
+}
+
+fn bench_markov(c: &mut Criterion) {
+    c.bench_function("handshake_fundamental_matrix", |b| {
+        b.iter(|| {
+            let chain = HandshakeChain::paper(black_box(0.5));
+            black_box(chain.expected_messages().unwrap());
+        });
+    });
+}
+
+fn bench_slot_game(c: &mut Criterion) {
+    use qma_core::game::{GameConfig, SlotGame};
+    c.bench_function("slot_game_frame_3x8", |b| {
+        let mut game: SlotGame = SlotGame::new(GameConfig::default());
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| {
+            black_box(game.step_frame(&mut rng));
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_q_update,
+    bench_agent_decision,
+    bench_scheduler,
+    bench_medium,
+    bench_markov,
+    bench_slot_game
+);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Ablation battery: each of QMA's design choices (penalty ξ,
+//! parameter-based exploration, cautious startup, reward balance)
+//! switched off in turn, measured in the hidden-node scenario.
+
+use qma_bench::{header, quick, seed};
+use qma_scenarios::ablation;
+
+fn main() {
+    header("ablations", "QMA design-choice ablations (DESIGN.md section 9)");
+    let packets = if quick() { 250 } else { 1000 };
+    for delta in [10.0, 50.0] {
+        println!("## delta = {delta} pkt/s");
+        let results = ablation::run_all(delta, packets, seed());
+        print!("{}", ablation::format_table(&results));
+    }
+}

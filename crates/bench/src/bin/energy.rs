@@ -1,0 +1,21 @@
+//! §6.2.1 — energy parity: per-node radio energy and transmission
+//! attempts of QMA vs unslotted CSMA/CA in the testbed scenarios.
+
+use qma_bench::{header, quick, seed};
+use qma_scenarios::testbed::{sweep, Testbed};
+use qma_scenarios::MacKind;
+
+fn main() {
+    header("energy", "radio energy and attempts (paper section 6.2.1)");
+    println!("| testbed | scheme | mean energy [mJ] | tx attempts | CCAs |");
+    println!("|---|---|---|---|---|");
+    for tb in [Testbed::Tree, Testbed::Star] {
+        for mac in [MacKind::Qma, MacKind::UnslottedCsma] {
+            let r = sweep(tb, mac, quick(), seed());
+            println!(
+                "| {:?} | {} | {:.1} | {} | {} |",
+                tb, mac, r.energy.mean_mj, r.energy.tx_attempts, r.energy.ccas
+            );
+        }
+    }
+}

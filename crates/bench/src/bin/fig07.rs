@@ -1,0 +1,11 @@
+//! Fig. 7 — packet delivery ratio of nodes A and C in the hidden-node
+//! scenario, for varying packet generation rates δ.
+
+use qma_bench::{header, quick, seed};
+use qma_scenarios::hidden_node;
+
+fn main() {
+    header("fig07", "hidden-node PDR vs delta (paper Fig. 7)");
+    let cells = hidden_node::sweep(quick(), seed());
+    print!("{}", hidden_node::format_table(&cells, "pdr"));
+}

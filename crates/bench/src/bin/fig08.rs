@@ -1,0 +1,10 @@
+//! Fig. 8 — average queue level of nodes A and C for varying δ.
+
+use qma_bench::{header, quick, seed};
+use qma_scenarios::hidden_node;
+
+fn main() {
+    header("fig08", "hidden-node average queue level vs delta (paper Fig. 8)");
+    let cells = hidden_node::sweep(quick(), seed());
+    print!("{}", hidden_node::format_table(&cells, "queue"));
+}

@@ -1,0 +1,10 @@
+//! Fig. 9 — average end-to-end delay of nodes A and C for varying δ.
+
+use qma_bench::{header, quick, seed};
+use qma_scenarios::hidden_node;
+
+fn main() {
+    header("fig09", "hidden-node end-to-end delay vs delta (paper Fig. 9)");
+    let cells = hidden_node::sweep(quick(), seed());
+    print!("{}", hidden_node::format_table(&cells, "delay"));
+}

@@ -1,0 +1,15 @@
+//! Fig. 10 — cumulative Q-values per frame over time for
+//! δ ∈ {1, 10, 100} pkt/s.
+
+use qma_bench::{header, quick, seed};
+use qma_scenarios::convergence;
+
+fn main() {
+    header("fig10", "cumulative Q-values per frame (paper Fig. 10)");
+    let duration = if quick() { 200 } else { 450 };
+    for delta in convergence::PAPER_DELTAS {
+        let r = convergence::run(delta, duration, seed());
+        println!("## delta = {delta} pkt/s (settles at {:?} s)", r.settle_time);
+        print!("{}", convergence::format_series(&r.q_sum, 40));
+    }
+}

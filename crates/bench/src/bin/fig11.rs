@@ -1,0 +1,15 @@
+//! Fig. 11 — exploration probability ρ over time (rolling 10-frame
+//! average) for δ ∈ {1, 10, 100} pkt/s.
+
+use qma_bench::{header, quick, seed};
+use qma_scenarios::convergence;
+
+fn main() {
+    header("fig11", "exploration probability rho over time (paper Fig. 11)");
+    let duration = if quick() { 200 } else { 450 };
+    for delta in convergence::PAPER_DELTAS {
+        let r = convergence::run(delta, duration, seed());
+        println!("## delta = {delta} pkt/s");
+        print!("{}", convergence::format_series(&r.rho, 40));
+    }
+}

@@ -1,0 +1,17 @@
+//! Fig. 12 — cumulative Q-values of nodes A and C under fluctuating
+//! traffic (A alternates 10↔100 pkt/s per 100 s; C joins at 100 s
+//! with 25 pkt/s).
+
+use qma_bench::{header, quick, seed};
+use qma_scenarios::{convergence, fluctuating};
+
+fn main() {
+    header("fig12", "adaptability under fluctuating traffic (paper Fig. 12)");
+    let duration = if quick() { 600 } else { 1_400 };
+    let r = fluctuating::run(duration, seed());
+    println!("## node A");
+    print!("{}", convergence::format_series(&r.q_sum_a, 60));
+    println!("## node C");
+    print!("{}", convergence::format_series(&r.q_sum_c, 60));
+    println!("## overall PDR: {:.3}", r.pdr);
+}

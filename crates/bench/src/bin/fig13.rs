@@ -1,0 +1,25 @@
+//! Fig. 13 — subslot utilization of nodes A and C for δ = 1.0 pkt/s:
+//! the executed-action map shortly after the first exploration phase
+//! and the final learned policy.
+
+use qma_bench::{header, quick, seed};
+use qma_scenarios::slots;
+
+fn main() {
+    header("fig13", "subslot utilization at delta = 1.0 (paper Fig. 13)");
+    let total = if quick() { 420 } else { 600 };
+    let u = slots::run(1.0, total, seed());
+    println!("(legend: . = QBackoff/unused, C = QCCA, T = QSend)");
+    println!("after first exploration (t = {} s):", slots::paper_checkpoint(1.0));
+    println!("  A: {}", slots::format_strip(&u.early_a));
+    println!("  C: {}", slots::format_strip(&u.early_c));
+    println!("final policy:");
+    println!("  A: {}", slots::format_strip(&u.final_a));
+    println!("  C: {}", slots::format_strip(&u.final_c));
+    println!(
+        "tx subslots: A = {}, C = {}, overlaps = {}",
+        slots::tx_slots(&u.final_a),
+        slots::tx_slots(&u.final_c),
+        slots::policies_collide(&u.final_a, &u.final_c),
+    );
+}

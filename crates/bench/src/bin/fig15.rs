@@ -1,0 +1,25 @@
+//! Fig. 15 — subslot utilization of nodes A and C for δ = 100.0 pkt/s:
+//! the executed-action map shortly after the first exploration phase
+//! and the final learned policy.
+
+use qma_bench::{header, quick, seed};
+use qma_scenarios::slots;
+
+fn main() {
+    header("fig15", "subslot utilization at delta = 100.0 (paper Fig. 15)");
+    let total = if quick() { 420 } else { 600 };
+    let u = slots::run(100.0, total, seed());
+    println!("(legend: . = QBackoff/unused, C = QCCA, T = QSend)");
+    println!("after first exploration (t = {} s):", slots::paper_checkpoint(100.0));
+    println!("  A: {}", slots::format_strip(&u.early_a));
+    println!("  C: {}", slots::format_strip(&u.early_c));
+    println!("final policy:");
+    println!("  A: {}", slots::format_strip(&u.final_a));
+    println!("  C: {}", slots::format_strip(&u.final_c));
+    println!(
+        "tx subslots: A = {}, C = {}, overlaps = {}",
+        slots::tx_slots(&u.final_a),
+        slots::tx_slots(&u.final_c),
+        slots::policies_collide(&u.final_a, &u.final_c),
+    );
+}

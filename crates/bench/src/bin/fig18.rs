@@ -1,0 +1,17 @@
+//! Fig. 18 — per-node PDR in the FIT IoT-LAB tree topology (δ = 10).
+
+use qma_bench::{header, quick, seed};
+use qma_scenarios::testbed::{format_table, sweep, Testbed};
+use qma_scenarios::MacKind;
+
+fn main() {
+    header("fig18", "per-node PDR, IoT-LAB tree (paper Fig. 18)");
+    let results = vec![
+        sweep(Testbed::Tree, MacKind::Qma, quick(), seed()),
+        sweep(Testbed::Tree, MacKind::UnslottedCsma, quick(), seed()),
+    ];
+    print!("{}", format_table(&results));
+    for r in &results {
+        println!("total {}: {}", r.mac, r.total_pdr);
+    }
+}

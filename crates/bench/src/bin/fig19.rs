@@ -1,0 +1,17 @@
+//! Fig. 19 — per-node PDR in the FIT IoT-LAB star topology (δ = 10).
+
+use qma_bench::{header, quick, seed};
+use qma_scenarios::testbed::{format_table, sweep, Testbed};
+use qma_scenarios::MacKind;
+
+fn main() {
+    header("fig19", "per-node PDR, IoT-LAB star (paper Fig. 19)");
+    let results = vec![
+        sweep(Testbed::Star, MacKind::Qma, quick(), seed()),
+        sweep(Testbed::Star, MacKind::UnslottedCsma, quick(), seed()),
+    ];
+    print!("{}", format_table(&results));
+    for r in &results {
+        println!("total {}: {}", r.mac, r.total_pdr);
+    }
+}

@@ -1,0 +1,15 @@
+//! Fig. 21 — PDR of secondary traffic during the CAP of IEEE 802.15.4
+//! DSME for growing networks (7/19/43/91 nodes).
+
+use qma_bench::{header, quick, seed};
+use qma_scenarios::dsme_scale;
+
+fn main() {
+    header("fig21", "DSME secondary-traffic PDR vs network size (paper Fig. 21)");
+    let cells = dsme_scale::sweep(quick(), seed());
+    print!("{}", dsme_scale::format_table(&cells, "secondary_pdr"));
+    println!("\nGTS (de)allocations per second:");
+    print!("{}", dsme_scale::format_table(&cells, "gts_rate"));
+    println!("\nprimary-traffic PDR over GTS:");
+    print!("{}", dsme_scale::format_table(&cells, "primary_pdr"));
+}

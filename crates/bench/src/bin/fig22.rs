@@ -1,0 +1,11 @@
+//! Fig. 22 — percentage of successfully transmitted GTS-requests for
+//! growing DSME networks.
+
+use qma_bench::{header, quick, seed};
+use qma_scenarios::dsme_scale;
+
+fn main() {
+    header("fig22", "successful GTS-requests vs network size (paper Fig. 22)");
+    let cells = dsme_scale::sweep(quick(), seed());
+    print!("{}", dsme_scale::format_table(&cells, "gts_request_success"));
+}

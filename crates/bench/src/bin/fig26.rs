@@ -1,0 +1,22 @@
+//! Fig. 26 — expected number of sent messages per completed GTS 3-way
+//! handshake vs the per-transmission success probability p, via the
+//! fundamental matrix of the Fig. 25 absorbing chain, a closed form,
+//! and Monte-Carlo simulation.
+
+use qma_bench::{header, quick, seed};
+use qma_scenarios::markov;
+
+fn main() {
+    header("fig26", "expected GTS handshake messages (paper Fig. 26)");
+    let runs = if quick() { 100_000 } else { 1_000_000 };
+    let rows = markov::rows(runs, seed());
+    print!("{}", markov::format_table(&rows));
+    println!();
+    println!(
+        "note: for p >= 0.7 all methods match the paper; below that the"
+    );
+    println!(
+        "paper's Fig. 26 annotations are inconsistent with its own Eq. 10"
+    );
+    println!("matrix (see EXPERIMENTS.md)." );
+}

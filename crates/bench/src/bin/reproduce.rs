@@ -1,0 +1,93 @@
+//! Runs the complete experiment suite (every table and figure of the
+//! paper's evaluation) and prints one consolidated report — the data
+//! behind EXPERIMENTS.md.
+//!
+//! ```text
+//! cargo run --release -p qma-bench --bin reproduce            # quick
+//! QMA_FULL=1 cargo run --release -p qma-bench --bin reproduce # paper scale
+//! ```
+
+use qma_bench::{header, quick, seed};
+use qma_scenarios::{
+    convergence, dsme_scale, fluctuating, hidden_node, markov, slots, tables, testbed, MacKind,
+};
+
+fn main() {
+    header("reproduce", "all tables and figures of the QMA evaluation");
+    let q = quick();
+    let s = seed();
+
+    println!("\n================ Tables 1–4 ================");
+    print!("{}", tables::format_table4(&tables::table4()));
+
+    println!("\n================ Fig. 7/8/9 — hidden node ================");
+    let cells = hidden_node::sweep(q, s);
+    println!("-- PDR (Fig. 7)");
+    print!("{}", hidden_node::format_table(&cells, "pdr"));
+    println!("-- avg queue level (Fig. 8)");
+    print!("{}", hidden_node::format_table(&cells, "queue"));
+    println!("-- avg end-to-end delay [s] (Fig. 9)");
+    print!("{}", hidden_node::format_table(&cells, "delay"));
+
+    println!("\n================ Fig. 10/11 — convergence ================");
+    let duration = if q { 200 } else { 450 };
+    for delta in convergence::PAPER_DELTAS {
+        let r = convergence::run(delta, duration, s);
+        let last_q = r.q_sum.values().last().copied().unwrap_or(f64::NAN);
+        let max_rho = r.rho.values().iter().cloned().fold(0.0, f64::max);
+        println!(
+            "delta {:>5}: final cumulative Q = {:8.1}, settle at {:?} s, max rho = {:.4}",
+            delta, last_q, r.settle_time, max_rho
+        );
+    }
+
+    println!("\n================ Fig. 12 — fluctuating traffic ================");
+    let r = fluctuating::run(if q { 600 } else { 1_400 }, s);
+    println!("PDR over the run: {:.3}", r.pdr);
+    for (label, ser) in [("A", &r.q_sum_a), ("C", &r.q_sum_c)] {
+        let last = ser.values().last().copied().unwrap_or(f64::NAN);
+        println!("node {label}: final cumulative Q = {last:.1}");
+    }
+
+    println!("\n================ Fig. 13–15 — subslot utilization ================");
+    for delta in [1.0, 10.0, 100.0] {
+        let u = slots::run(delta, if q { 420 } else { 600 }, s);
+        println!("delta {delta}: final policies (.=QBackoff C=QCCA T=QSend)");
+        println!("  A: {}", slots::format_strip(&u.final_a));
+        println!("  C: {}", slots::format_strip(&u.final_c));
+        println!(
+            "  tx subslots A/C = {}/{}, overlaps = {}",
+            slots::tx_slots(&u.final_a),
+            slots::tx_slots(&u.final_c),
+            slots::policies_collide(&u.final_a, &u.final_c)
+        );
+    }
+
+    println!("\n================ Fig. 18/19 + §6.2.1 — testbed ================");
+    for tb in [testbed::Testbed::Tree, testbed::Testbed::Star] {
+        let qma = testbed::sweep(tb, MacKind::Qma, q, s);
+        let csma = testbed::sweep(tb, MacKind::UnslottedCsma, q, s);
+        println!("-- {tb:?}");
+        print!("{}", testbed::format_table(&[qma.clone(), csma.clone()]));
+        println!("total: QMA {} vs CSMA {}", qma.total_pdr, csma.total_pdr);
+        println!(
+            "energy: QMA {:.1} mJ / {} attempts vs CSMA {:.1} mJ / {} attempts",
+            qma.energy.mean_mj, qma.energy.tx_attempts, csma.energy.mean_mj, csma.energy.tx_attempts
+        );
+    }
+
+    println!("\n================ Fig. 21/22 — DSME scalability ================");
+    let cells = dsme_scale::sweep(q, s);
+    println!("-- secondary-traffic PDR (Fig. 21)");
+    print!("{}", dsme_scale::format_table(&cells, "secondary_pdr"));
+    println!("-- successful GTS-requests (Fig. 22)");
+    print!("{}", dsme_scale::format_table(&cells, "gts_request_success"));
+    println!("-- GTS (de)allocations per second");
+    print!("{}", dsme_scale::format_table(&cells, "gts_rate"));
+
+    println!("\n================ Fig. 26 — handshake Markov chain ================");
+    print!(
+        "{}",
+        markov::format_table(&markov::rows(if q { 100_000 } else { 1_000_000 }, s))
+    );
+}

@@ -1,0 +1,28 @@
+//! Tables 1–4 — the cooperative Q-learning examples and the
+//! local/global reward table.
+
+use qma_bench::header;
+use qma_core::lauer::MatrixGame;
+use qma_scenarios::tables;
+
+fn main() {
+    header("tables", "Tables 1-4 (paper sections 3-4)");
+    for (name, game) in [
+        ("Table 1", MatrixGame::table1()),
+        ("Table 2", MatrixGame::table2()),
+        ("Table 3", MatrixGame::table3()),
+    ] {
+        let local = tables::play_game(&game, 0.0, 500, 1);
+        println!("## {name} — learned local Q-tables");
+        for (i, t) in local.iter().enumerate() {
+            println!(
+                "agent {i}: Q(a') = {}, Q(a'') = {}, policy = a{}",
+                t.q_a1,
+                t.q_a2,
+                if t.policy == 0 { "'" } else { "''" }
+            );
+        }
+    }
+    println!("## Table 4 — local rewards and conceptual global reward");
+    print!("{}", tables::format_table4(&tables::table4()));
+}

@@ -1,0 +1,49 @@
+//! Benchmark harness utilities shared by the per-figure binaries.
+//!
+//! Every figure of the paper's evaluation has a binary
+//! (`fig07` … `fig26`, plus `table04`, `energy` and the `reproduce`
+//! driver) that regenerates the corresponding rows/series. Binaries
+//! honour two environment variables:
+//!
+//! * `QMA_QUICK=1` — shrink replication counts/durations (same shape,
+//!   minutes instead of hours); this is the default,
+//! * `QMA_FULL=1` — run the paper-scale configuration,
+//! * `QMA_SEED=n` — master seed (default 2021, the paper's year).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Master seed for experiment binaries.
+pub fn seed() -> u64 {
+    std::env::var("QMA_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2021)
+}
+
+/// `true` unless `QMA_FULL=1` requests paper-scale runs.
+pub fn quick() -> bool {
+    std::env::var("QMA_FULL").map(|v| v != "1").unwrap_or(true)
+}
+
+/// Standard experiment header line.
+pub fn header(id: &str, what: &str) {
+    println!("# {id} — {what}");
+    println!(
+        "# mode: {}, seed: {}",
+        if quick() { "quick (set QMA_FULL=1 for paper scale)" } else { "full" },
+        seed()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn defaults() {
+        // Can't touch the process environment safely in tests; just
+        // exercise the call paths.
+        let _ = super::seed();
+        let _ = super::quick();
+        super::header("figXX", "smoke");
+    }
+}

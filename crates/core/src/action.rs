@@ -1,0 +1,120 @@
+//! The QMA action set (§4 of the paper).
+//!
+//! > "The action space of QMA is given by the set
+//! > Aₜ = {QBackoff, QCCA, QSend}."
+
+use std::fmt;
+
+/// One of QMA's three actions.
+///
+/// * [`QmaAction::Backoff`] — wait for the next subslot, observing the
+///   channel (a reward is earned for overhearing traffic, Eq. 6).
+/// * [`QmaAction::Cca`] — perform a clear-channel assessment; transmit
+///   on an idle channel, otherwise back off (Eq. 7).
+/// * [`QmaAction::Send`] — transmit immediately without channel
+///   assessment — the high-risk/high-reward action that also enables
+///   priority transmission (Eq. 8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum QmaAction {
+    /// QBackoff: defer to the next subslot and observe.
+    Backoff,
+    /// QCCA: assess the channel, then transmit or defer.
+    Cca,
+    /// QSend: transmit immediately.
+    Send,
+}
+
+impl QmaAction {
+    /// All actions, in table order (Backoff, Cca, Send).
+    pub const ALL: [QmaAction; 3] = [QmaAction::Backoff, QmaAction::Cca, QmaAction::Send];
+
+    /// Number of actions.
+    pub const COUNT: usize = 3;
+
+    /// A stable dense index for table storage.
+    pub const fn index(self) -> usize {
+        match self {
+            QmaAction::Backoff => 0,
+            QmaAction::Cca => 1,
+            QmaAction::Send => 2,
+        }
+    }
+
+    /// Inverse of [`QmaAction::index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= 3`.
+    pub fn from_index(idx: usize) -> QmaAction {
+        Self::ALL[idx]
+    }
+
+    /// Returns `true` for the actions that may put a frame on the air.
+    pub const fn may_transmit(self) -> bool {
+        matches!(self, QmaAction::Cca | QmaAction::Send)
+    }
+
+    /// Single-letter code used in the paper's figures (B/C/S).
+    pub const fn code(self) -> char {
+        match self {
+            QmaAction::Backoff => 'B',
+            QmaAction::Cca => 'C',
+            QmaAction::Send => 'S',
+        }
+    }
+}
+
+impl fmt::Display for QmaAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QmaAction::Backoff => write!(f, "QBackoff"),
+            QmaAction::Cca => write!(f, "QCCA"),
+            QmaAction::Send => write!(f, "QSend"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip() {
+        for a in QmaAction::ALL {
+            assert_eq!(QmaAction::from_index(a.index()), a);
+        }
+    }
+
+    #[test]
+    fn indices_are_dense() {
+        let mut idx: Vec<usize> = QmaAction::ALL.iter().map(|a| a.index()).collect();
+        idx.sort_unstable();
+        assert_eq!(idx, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn transmit_classification() {
+        assert!(!QmaAction::Backoff.may_transmit());
+        assert!(QmaAction::Cca.may_transmit());
+        assert!(QmaAction::Send.may_transmit());
+    }
+
+    #[test]
+    fn codes_match_paper_notation() {
+        let codes: String = QmaAction::ALL.iter().map(|a| a.code()).collect();
+        assert_eq!(codes, "BCS");
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(QmaAction::Backoff.to_string(), "QBackoff");
+        assert_eq!(QmaAction::Cca.to_string(), "QCCA");
+        assert_eq!(QmaAction::Send.to_string(), "QSend");
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_index_out_of_range_panics() {
+        let _ = QmaAction::from_index(3);
+    }
+}

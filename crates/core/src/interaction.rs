@@ -1,0 +1,232 @@
+//! The conceptual multi-agent interaction of one subslot
+//! (paper §4.1, Table 4).
+//!
+//! Table 4 enumerates, for three co-located agents, every combination
+//! of actions together with the local rewards each agent observes and
+//! the resulting "conceptual global reward". This module implements
+//! the underlying channel semantics for *any* number of co-located
+//! agents:
+//!
+//! * QSend transmits from the very start of the subslot;
+//! * all QCCA agents assess the channel simultaneously at the subslot
+//!   start: the CCA reports **busy** iff some agent chose QSend
+//!   (concurrent CCAs cannot see each other — carrier sensing takes a
+//!   turnaround time before energy appears);
+//! * every QCCA agent whose CCA passed transmits;
+//! * a transmission succeeds iff it is the only one in the subslot;
+//! * QBackoff agents overhear a DATA/ACK exchange iff exactly one
+//!   agent transmitted.
+//!
+//! These semantics reproduce every row of Table 4 (see the tests) and
+//! also drive the abstract [`crate::game`] used for fast
+//! convergence experiments.
+
+use crate::action::QmaAction;
+use crate::reward::{ActionOutcome, RewardTable};
+
+/// The outcome of one subslot for a set of co-located agents.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlotInteraction {
+    /// Per-agent outcome, aligned with the input action slice.
+    pub outcomes: Vec<ActionOutcome>,
+    /// Index of the agent that transmitted successfully, if any.
+    pub winner: Option<usize>,
+    /// Number of agents that actually put a frame on the air.
+    pub transmitters: usize,
+}
+
+impl SlotInteraction {
+    /// `true` if two or more transmissions collided.
+    pub fn collided(&self) -> bool {
+        self.transmitters >= 2
+    }
+}
+
+/// Resolves one subslot among co-located agents that all have a
+/// packet to send.
+///
+/// Agents that do not participate in the subslot (empty queue) should
+/// simply not be included — or be included as [`QmaAction::Backoff`],
+/// which is equivalent for everyone else.
+///
+/// # Examples
+///
+/// ```
+/// use qma_core::QmaAction::{Backoff as B, Cca as C, Send as S};
+/// use qma_core::interaction::resolve;
+///
+/// // Row "B S B" of Table 4: the sender wins, observers overhear.
+/// let i = resolve(&[B, S, B]);
+/// assert_eq!(i.winner, Some(1));
+/// ```
+pub fn resolve(actions: &[QmaAction]) -> SlotInteraction {
+    let any_send = actions.iter().any(|&a| a == QmaAction::Send);
+
+    // Who transmits? Every QSend; every QCCA if no QSend occupies the
+    // channel from the subslot start.
+    let transmitters: Vec<usize> = actions
+        .iter()
+        .enumerate()
+        .filter(|(_, &a)| match a {
+            QmaAction::Send => true,
+            QmaAction::Cca => !any_send,
+            QmaAction::Backoff => false,
+        })
+        .map(|(i, _)| i)
+        .collect();
+
+    let success = transmitters.len() == 1;
+    let winner = if success { Some(transmitters[0]) } else { None };
+
+    let outcomes = actions
+        .iter()
+        .map(|&a| match a {
+            QmaAction::Backoff => ActionOutcome::Backoff { overheard: success },
+            QmaAction::Send => ActionOutcome::SendTx { acked: success },
+            QmaAction::Cca => {
+                if any_send {
+                    ActionOutcome::CcaBusy
+                } else {
+                    ActionOutcome::CcaTx { acked: success }
+                }
+            }
+        })
+        .collect();
+
+    SlotInteraction {
+        outcomes,
+        winner,
+        transmitters: transmitters.len(),
+    }
+}
+
+/// Local rewards for each agent in a resolved subslot.
+pub fn local_rewards(actions: &[QmaAction], table: &RewardTable) -> Vec<f32> {
+    resolve(actions)
+        .outcomes
+        .iter()
+        .map(|&o| table.reward(o))
+        .collect()
+}
+
+/// The conceptual global reward: the sum of all local rewards
+/// (Table 4, right column).
+pub fn global_reward(actions: &[QmaAction], table: &RewardTable) -> f32 {
+    local_rewards(actions, table).iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::QmaAction::{Backoff as B, Cca as C, Send as S};
+
+    fn rewards(actions: &[QmaAction]) -> (Vec<f32>, f32) {
+        let t = RewardTable::paper();
+        let local = local_rewards(actions, &t);
+        let global = global_reward(actions, &t);
+        (local, global)
+    }
+
+    // ---- Every row of Table 4 ----
+
+    #[test]
+    fn table4_successful_transmissions() {
+        // B S B → 2 / 4 / 2, global 8.
+        assert_eq!(rewards(&[B, S, B]), (vec![2.0, 4.0, 2.0], 8.0));
+        // B C B → 2 / 3 / 2, global 7.
+        assert_eq!(rewards(&[B, C, B]), (vec![2.0, 3.0, 2.0], 7.0));
+        // C S C → 1 / 4 / 1, global 6.
+        assert_eq!(rewards(&[C, S, C]), (vec![1.0, 4.0, 1.0], 6.0));
+    }
+
+    #[test]
+    fn table4_no_transmission() {
+        // B B B → 0 / 0 / 0, global 0.
+        assert_eq!(rewards(&[B, B, B]), (vec![0.0, 0.0, 0.0], 0.0));
+    }
+
+    #[test]
+    fn table4_failed_transmissions() {
+        // C B C → −2 / 0 / −2, global −4 (both CCAs pass, collide).
+        assert_eq!(rewards(&[C, B, C]), (vec![-2.0, 0.0, -2.0], -4.0));
+        // S B S → −3 / 0 / −3, global −6 (two sends collide).
+        assert_eq!(rewards(&[S, B, S]), (vec![-3.0, 0.0, -3.0], -6.0));
+        // C C C → −2 / −2 / −2, global −6.
+        assert_eq!(rewards(&[C, C, C]), (vec![-2.0, -2.0, -2.0], -6.0));
+        // S C S → −3 / 1 / −3, global −5 (CCA detects the sends).
+        assert_eq!(rewards(&[S, C, S]), (vec![-3.0, 1.0, -3.0], -5.0));
+        // S S S → −3 / −3 / −3, global −9.
+        assert_eq!(rewards(&[S, S, S]), (vec![-3.0, -3.0, -3.0], -9.0));
+    }
+
+    // ---- Semantics beyond the table ----
+
+    #[test]
+    fn lone_sender_wins() {
+        let i = resolve(&[B, S, B]);
+        assert_eq!(i.winner, Some(1));
+        assert_eq!(i.transmitters, 1);
+        assert!(!i.collided());
+    }
+
+    #[test]
+    fn cca_defers_to_send() {
+        // A QCCA agent never transmits into a QSend.
+        let i = resolve(&[S, C]);
+        assert_eq!(i.outcomes[1], ActionOutcome::CcaBusy);
+        assert_eq!(i.winner, Some(0));
+    }
+
+    #[test]
+    fn concurrent_ccas_collide() {
+        let i = resolve(&[C, C]);
+        assert!(i.collided());
+        assert_eq!(i.winner, None);
+        assert_eq!(i.transmitters, 2);
+    }
+
+    #[test]
+    fn observers_overhear_only_on_success() {
+        let ok = resolve(&[B, S]);
+        assert_eq!(ok.outcomes[0], ActionOutcome::Backoff { overheard: true });
+        let fail = resolve(&[B, S, S]);
+        assert_eq!(fail.outcomes[0], ActionOutcome::Backoff { overheard: false });
+        let idle = resolve(&[B, B]);
+        assert_eq!(idle.outcomes[0], ActionOutcome::Backoff { overheard: false });
+    }
+
+    #[test]
+    fn empty_slot_is_quiet() {
+        let i = resolve(&[]);
+        assert_eq!(i.transmitters, 0);
+        assert_eq!(i.winner, None);
+    }
+
+    #[test]
+    fn collision_count_scales() {
+        // "there is no difference in a collision of 2 or n packets".
+        for n in 2..6 {
+            let actions = vec![S; n];
+            let i = resolve(&actions);
+            assert!(i.collided());
+            assert!(i.outcomes.iter().all(|&o| o == ActionOutcome::SendTx { acked: false }));
+        }
+    }
+
+    #[test]
+    fn single_cca_alone_succeeds() {
+        let i = resolve(&[C]);
+        assert_eq!(i.outcomes[0], ActionOutcome::CcaTx { acked: true });
+        assert_eq!(i.winner, Some(0));
+    }
+
+    #[test]
+    fn global_reward_is_sum_of_locals() {
+        let t = RewardTable::paper();
+        for combo in [[B, C, S], [S, S, C], [C, B, B]] {
+            let local = local_rewards(&combo, &t);
+            let g = global_reward(&combo, &t);
+            assert_eq!(g, local.iter().sum::<f32>());
+        }
+    }
+}

@@ -1,0 +1,404 @@
+//! Distributed Q-learning for cooperative multi-agent systems
+//! (paper §3.1, after Lauer & Riedmiller 2000), including QMA's
+//! stochastic-environment extension (§3.1.1, Eq. 4/5).
+//!
+//! Each agent keeps only a *local* Q-table over its own actions and
+//! updates optimistically — it stores the best reward combination it
+//! has ever experienced, implicitly assuming all other agents act to
+//! maximise the shared global reward (Eq. 2):
+//!
+//! ```text
+//! Q(s,a) ← max{ Q(s,a), R + γ·maxₐ Q(s',a) }
+//! ```
+//!
+//! Two refinements from the paper:
+//!
+//! * a **policy table** updated only on strict improvement, so agents
+//!   don't flap between duplicate optima (Eq. 3, Table 2's problem);
+//! * a **penalty ξ** subtracted when the update would lower the value
+//!   (Eq. 4), so that in stochastic games an action that *sometimes*
+//!   won big but keeps colliding decays and is abandoned — Lauer &
+//!   Riedmiller "mention this problem but do not propose a solution"
+//!   (Table 3's problem).
+//!
+//! This module reproduces the single-state (stateless) setting used
+//! by the paper's Tables 1–3. The full multi-state machinery lives in
+//! [`crate::qtable`]; here the focus is on the multi-agent dynamics,
+//! with a [`MatrixGame`] harness for repeated cooperative games.
+
+use rand::Rng;
+
+/// A stateless cooperative learner over `n_actions` actions
+/// implementing Eq. 2/3/4.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CooperativeAgent {
+    q: Vec<f64>,
+    policy: usize,
+    xi: f64,
+    gamma: f64,
+}
+
+impl CooperativeAgent {
+    /// Creates an agent with all Q-values at `q_init` and the policy
+    /// at action 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_actions` is zero or ξ is negative.
+    pub fn new(n_actions: usize, q_init: f64, xi: f64) -> Self {
+        assert!(n_actions > 0, "need at least one action");
+        assert!(xi >= 0.0, "penalty must be non-negative");
+        CooperativeAgent {
+            q: vec![q_init; n_actions],
+            policy: 0,
+            xi,
+            gamma: 0.0, // stateless: no future term
+        }
+    }
+
+    /// Number of actions.
+    pub fn n_actions(&self) -> usize {
+        self.q.len()
+    }
+
+    /// The local Q-value of an action.
+    pub fn q(&self, action: usize) -> f64 {
+        self.q[action]
+    }
+
+    /// The current policy action.
+    pub fn policy(&self) -> usize {
+        self.policy
+    }
+
+    /// ε-free greedy selection with explicit exploration probability.
+    pub fn select<R: Rng + ?Sized>(&self, explore_prob: f64, rng: &mut R) -> usize {
+        if explore_prob > 0.0 && rng.gen::<f64>() < explore_prob {
+            rng.gen_range(0..self.q.len())
+        } else {
+            self.policy
+        }
+    }
+
+    /// Applies the optimistic update of Eq. 2 (ξ = 0) or Eq. 4
+    /// (ξ > 0) for a received global reward, then the strict-
+    /// improvement policy rule of Eq. 3.
+    pub fn update(&mut self, action: usize, reward: f64) {
+        // Stateless: target is just the reward (γ·maxQ(s') has no
+        // successor state; the paper's Tables 1–3 use this setting).
+        let target = reward + self.gamma;
+        let old = self.q[action];
+        self.q[action] = if self.xi > 0.0 {
+            (old - self.xi).max(target)
+        } else {
+            old.max(target)
+        };
+        self.refresh_policy();
+    }
+
+    fn refresh_policy(&mut self) {
+        let current_q = self.q[self.policy];
+        let mut best = self.policy;
+        let mut best_q = current_q;
+        for (a, &q) in self.q.iter().enumerate() {
+            if q > best_q {
+                best = a;
+                best_q = q;
+            }
+        }
+        self.policy = best;
+    }
+}
+
+/// A repeated cooperative matrix game: `n` agents, a shared reward
+/// that depends on the joint action.
+///
+/// # Examples
+///
+/// Table 1's game: both agents must pick action 1 (reward 10);
+/// mixed choices are punished.
+///
+/// ```
+/// use qma_core::lauer::{CooperativeAgent, MatrixGame};
+/// use rand::SeedableRng;
+///
+/// let game = MatrixGame::table1();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut agents = vec![
+///     CooperativeAgent::new(2, -100.0, 0.0),
+///     CooperativeAgent::new(2, -100.0, 0.0),
+/// ];
+/// for _ in 0..200 {
+///     game.play_round(&mut agents, 0.5, &mut rng);
+/// }
+/// assert_eq!(agents[0].policy(), 1);
+/// assert_eq!(agents[1].policy(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MatrixGame {
+    n_agents: usize,
+    n_actions: usize,
+    /// Global reward indexed by joint action
+    /// (`a0·n_actionsⁿ⁻¹ + … + aₙ₋₁`).
+    rewards: Vec<f64>,
+}
+
+impl MatrixGame {
+    /// Builds a game from a dense joint-reward table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rewards.len() != n_actions.pow(n_agents)`.
+    pub fn new(n_agents: usize, n_actions: usize, rewards: Vec<f64>) -> Self {
+        assert_eq!(
+            rewards.len(),
+            n_actions.pow(n_agents as u32),
+            "reward table size mismatch"
+        );
+        MatrixGame {
+            n_agents,
+            n_actions,
+            rewards,
+        }
+    }
+
+    /// The paper's Table 1: global Q-table
+    /// `[(a',a')=1, (a',a'')=−1, (a'',a')=−1, (a'',a'')=10]`.
+    pub fn table1() -> Self {
+        MatrixGame::new(2, 2, vec![1.0, -1.0, -1.0, 10.0])
+    }
+
+    /// The paper's Table 2: duplicate optima —
+    /// `[(a',a')=10, (a',a'')=−1, (a'',a')=−1, (a'',a'')=10]`.
+    pub fn table2() -> Self {
+        MatrixGame::new(2, 2, vec![10.0, -1.0, -1.0, 10.0])
+    }
+
+    /// The paper's Table 3: shared-resource acquisition —
+    /// `[(a',a')=−1, (a',a'')=1, (a'',a')=1, (a'',a'')=0]` where
+    /// action 0 (a') acquires the resource and action 1 (a'') waits.
+    pub fn table3() -> Self {
+        MatrixGame::new(2, 2, vec![-1.0, 1.0, 1.0, 0.0])
+    }
+
+    /// Number of agents.
+    pub fn n_agents(&self) -> usize {
+        self.n_agents
+    }
+
+    /// The global reward for a joint action.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the joint action has the wrong arity or any action
+    /// index is out of range.
+    pub fn reward(&self, joint: &[usize]) -> f64 {
+        assert_eq!(joint.len(), self.n_agents, "joint action arity");
+        let mut idx = 0usize;
+        for &a in joint {
+            assert!(a < self.n_actions, "action {a} out of range");
+            idx = idx * self.n_actions + a;
+        }
+        self.rewards[idx]
+    }
+
+    /// Plays one round: each agent selects (with exploration), the
+    /// global reward is computed and every agent updates with it.
+    /// Returns the joint action and the reward.
+    pub fn play_round<R: Rng + ?Sized>(
+        &self,
+        agents: &mut [CooperativeAgent],
+        explore_prob: f64,
+        rng: &mut R,
+    ) -> (Vec<usize>, f64) {
+        assert_eq!(agents.len(), self.n_agents, "agent count mismatch");
+        let joint: Vec<usize> = agents
+            .iter()
+            .map(|ag| ag.select(explore_prob, rng))
+            .collect();
+        let r = self.reward(&joint);
+        for (ag, &a) in agents.iter_mut().zip(&joint) {
+            ag.update(a, r);
+        }
+        (joint, r)
+    }
+
+    /// Plays a stochastic variant of [`MatrixGame::table3`]: with
+    /// probability `no_need`, an agent that chose "acquire" (action 0)
+    /// does not actually use the resource this round — the situation
+    /// of §3.1.1 in which pure optimistic updates get stuck.
+    pub fn play_round_stochastic_acquisition<R: Rng + ?Sized>(
+        agents: &mut [CooperativeAgent],
+        no_need: f64,
+        explore_prob: f64,
+        rng: &mut R,
+    ) -> (Vec<usize>, f64) {
+        assert_eq!(agents.len(), 2);
+        let chosen: Vec<usize> = agents
+            .iter()
+            .map(|ag| ag.select(explore_prob, rng))
+            .collect();
+        // An agent that chose to acquire may turn out not to need the
+        // resource; its *effective* action becomes "wait".
+        let effective: Vec<usize> = chosen
+            .iter()
+            .map(|&a| {
+                if a == 0 && rng.gen::<f64>() < no_need {
+                    1
+                } else {
+                    a
+                }
+            })
+            .collect();
+        let r = MatrixGame::table3().reward(&effective);
+        // Each agent updates the action it *chose* with the reward it
+        // *experienced* — exactly the mismatch that breaks Eq. 2.
+        for (ag, &a) in agents.iter_mut().zip(&chosen) {
+            ag.update(a, r);
+        }
+        (chosen, r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn run_game(game: &MatrixGame, xi: f64, rounds: usize, seed: u64) -> Vec<CooperativeAgent> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut agents: Vec<CooperativeAgent> = (0..game.n_agents())
+            .map(|_| CooperativeAgent::new(2, -100.0, xi))
+            .collect();
+        for _ in 0..rounds {
+            game.play_round(&mut agents, 0.3, &mut rng);
+        }
+        agents
+    }
+
+    #[test]
+    fn table1_local_tables_store_max_rewards() {
+        // The paper's Table 1: local tables become [1, 10] for both
+        // agents after full exploration.
+        let agents = run_game(&MatrixGame::table1(), 0.0, 500, 1);
+        for ag in &agents {
+            assert_eq!(ag.q(0), 1.0, "a' must store its best joint reward");
+            assert_eq!(ag.q(1), 10.0, "a'' must store the optimum");
+            assert_eq!(ag.policy(), 1);
+        }
+    }
+
+    #[test]
+    fn table2_duplicate_optima_are_coordinated() {
+        // Both (a',a') and (a'',a'') yield 10; without the policy rule
+        // agents could mix and score −1. With Eq. 3 they settle on one
+        // optimum together.
+        for seed in 0..10 {
+            let game = MatrixGame::table2();
+            let agents = run_game(&game, 0.0, 500, seed);
+            let joint = [agents[0].policy(), agents[1].policy()];
+            assert_eq!(
+                game.reward(&joint),
+                10.0,
+                "seed {seed}: agents failed to coordinate: {joint:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn table3_without_penalty_gets_stuck_optimistic() {
+        // §3.1.1: with stochastic resource need and ξ=0, both agents
+        // pin Q(a')=1 (each once experienced acquiring alone) and
+        // collide forever.
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut agents = vec![
+            CooperativeAgent::new(2, -100.0, 0.0),
+            CooperativeAgent::new(2, -100.0, 0.0),
+        ];
+        for _ in 0..2000 {
+            MatrixGame::play_round_stochastic_acquisition(&mut agents, 0.2, 0.2, &mut rng);
+        }
+        // Both stuck preferring acquisition.
+        assert_eq!(agents[0].policy(), 0);
+        assert_eq!(agents[1].policy(), 0);
+        assert_eq!(agents[0].q(0), 1.0);
+        assert_eq!(agents[1].q(0), 1.0);
+    }
+
+    #[test]
+    fn table3_with_penalty_resolves_contention() {
+        // With ξ > 0 the colliding action decays; at least one agent
+        // backs off so the final joint policy is collision-free.
+        let mut successes = 0;
+        for seed in 0..10 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut agents = vec![
+                CooperativeAgent::new(2, -100.0, 0.5),
+                CooperativeAgent::new(2, -100.0, 0.5),
+            ];
+            for _ in 0..3000 {
+                MatrixGame::play_round_stochastic_acquisition(&mut agents, 0.2, 0.05, &mut rng);
+            }
+            let joint = [agents[0].policy(), agents[1].policy()];
+            if joint != [0, 0] {
+                successes += 1;
+            }
+        }
+        assert!(
+            successes >= 8,
+            "penalty failed to break the deadlock in {}/10 runs",
+            10 - successes
+        );
+    }
+
+    #[test]
+    fn policy_only_changes_on_strict_improvement() {
+        let mut ag = CooperativeAgent::new(3, -10.0, 0.0);
+        ag.update(1, 5.0);
+        assert_eq!(ag.policy(), 1);
+        ag.update(2, 5.0); // tie → keep 1
+        assert_eq!(ag.policy(), 1);
+        ag.update(2, 5.1); // strict → switch
+        assert_eq!(ag.policy(), 2);
+    }
+
+    #[test]
+    fn optimistic_update_never_decreases_without_penalty() {
+        let mut ag = CooperativeAgent::new(2, -10.0, 0.0);
+        ag.update(0, 3.0);
+        ag.update(0, -100.0);
+        assert_eq!(ag.q(0), 3.0);
+    }
+
+    #[test]
+    fn penalty_decreases_on_bad_rounds() {
+        let mut ag = CooperativeAgent::new(2, -10.0, 1.0);
+        ag.update(0, 3.0);
+        ag.update(0, -100.0);
+        assert_eq!(ag.q(0), 2.0); // 3 − ξ
+        ag.update(0, 3.0); // restored by a good round
+        assert_eq!(ag.q(0), 3.0);
+    }
+
+    #[test]
+    fn reward_indexing() {
+        let g = MatrixGame::table1();
+        assert_eq!(g.reward(&[0, 0]), 1.0);
+        assert_eq!(g.reward(&[0, 1]), -1.0);
+        assert_eq!(g.reward(&[1, 0]), -1.0);
+        assert_eq!(g.reward(&[1, 1]), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "reward table size mismatch")]
+    fn bad_table_size_panics() {
+        let _ = MatrixGame::new(2, 2, vec![0.0; 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "joint action arity")]
+    fn bad_arity_panics() {
+        let _ = MatrixGame::table1().reward(&[0]);
+    }
+}

@@ -1,0 +1,347 @@
+//! The Q-table and policy table (paper §3.1, §4, Eq. 3 and Eq. 5).
+//!
+//! QMA's state space is just the subslot id, so the table is a dense
+//! `M × |A|` array. The update implements the paper's Eq. 5:
+//!
+//! ```text
+//! Q(mₜ,aₜ) ← max{ Q(mₜ,aₜ) − ξ,  (1−α)·Q(mₜ,aₜ) + α·(Rₜ + γ·maxₐ Q(mₜ₊ᵢ,a)) }
+//! ```
+//!
+//! and the policy rule of Eq. 3 in its stated form: *"an agent only
+//! selects a new action for Sₜ if the associated Q-value is strictly
+//! greater than the Q-value of current policy π(Sₜ)"* — which both
+//! prevents policy flapping between duplicate optima (§3.1) and lets
+//! the penalty ξ eventually displace an action whose value decays
+//! below an alternative (§3.1.1).
+
+use crate::action::QmaAction;
+use crate::value::QValue;
+
+/// Learning hyper-parameters for a Q-table update.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UpdateParams {
+    /// Learning rate α (paper evaluation: 0.5).
+    pub alpha: f32,
+    /// Discount factor γ (paper evaluation: 0.9).
+    pub gamma: f32,
+    /// Stochastic-environment penalty ξ (Eq. 4/5; Fig. 5 uses 2).
+    pub xi: f32,
+}
+
+impl Default for UpdateParams {
+    fn default() -> Self {
+        UpdateParams {
+            alpha: 0.5,
+            gamma: 0.9,
+            xi: 1.0,
+        }
+    }
+}
+
+/// A dense per-subslot Q-table with its policy.
+///
+/// # Examples
+///
+/// ```
+/// use qma_core::{QTable, QmaAction};
+/// use qma_core::qtable::UpdateParams;
+///
+/// let mut t: QTable<f32> = QTable::new(4, -10.0);
+/// assert_eq!(t.policy(0), QmaAction::Backoff);
+/// // A successful QSend in subslot 0 (α=1, γ=1 → target = 4 + (−10)).
+/// let p = UpdateParams { alpha: 1.0, gamma: 1.0, xi: 2.0 };
+/// t.update(0, QmaAction::Send, 4.0, 1, &p);
+/// assert_eq!(t.q(0, QmaAction::Send), -6.0);
+/// assert_eq!(t.policy(0), QmaAction::Send);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct QTable<Q: QValue> {
+    subslots: u16,
+    values: Vec<Q>, // subslots × 3, row-major
+    policy: Vec<QmaAction>,
+}
+
+impl<Q: QValue> QTable<Q> {
+    /// Creates a table with every Q-value at `init` (the paper uses
+    /// −10: "a number smaller than the largest punishment") and the
+    /// policy initialised to QBackoff for every subslot (Algorithm 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `subslots` is zero.
+    pub fn new(subslots: u16, init: f32) -> Self {
+        assert!(subslots > 0, "need at least one subslot");
+        QTable {
+            subslots,
+            values: vec![Q::from_f32(init); subslots as usize * QmaAction::COUNT],
+            policy: vec![QmaAction::Backoff; subslots as usize],
+        }
+    }
+
+    /// Number of subslots (states).
+    pub fn subslots(&self) -> u16 {
+        self.subslots
+    }
+
+    /// The Q-value of `(subslot, action)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `subslot` is out of range.
+    pub fn q(&self, subslot: u16, action: QmaAction) -> Q {
+        self.values[self.cell(subslot, action)]
+    }
+
+    /// The greedy policy action for a subslot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `subslot` is out of range.
+    pub fn policy(&self, subslot: u16) -> QmaAction {
+        self.policy[subslot as usize]
+    }
+
+    /// `maxₐ Q(subslot, a)` — the bootstrap value of a state.
+    pub fn qmax(&self, subslot: u16) -> Q {
+        QmaAction::ALL
+            .iter()
+            .map(|&a| self.q(subslot, a))
+            .fold(None::<Q>, |acc, v| {
+                Some(match acc {
+                    None => v,
+                    Some(m) => m.take_max(v),
+                })
+            })
+            .expect("at least one action")
+    }
+
+    /// Applies the paper's Eq. 5 update for the action taken in
+    /// `subslot`, bootstrapping from `next_subslot` (the state `i`
+    /// subslots later, where the outcome became known), then refreshes
+    /// the policy per Eq. 3.
+    ///
+    /// Returns the new Q-value of the updated cell.
+    pub fn update(
+        &mut self,
+        subslot: u16,
+        action: QmaAction,
+        reward: f32,
+        next_subslot: u16,
+        params: &UpdateParams,
+    ) -> Q {
+        let q_old = self.q(subslot, action);
+        let qmax_next = self.qmax(next_subslot % self.subslots);
+        let target = q_old.bellman_target(reward, qmax_next, params.alpha, params.gamma);
+        let new_q = q_old.penalized(params.xi).take_max(target);
+        let cell = self.cell(subslot, action);
+        self.values[cell] = new_q;
+        self.refresh_policy(subslot);
+        new_q
+    }
+
+    /// Writes a raw Q-value (used by cautious startup's punishments
+    /// and by tests), refreshing the policy.
+    pub fn set_q(&mut self, subslot: u16, action: QmaAction, value: Q) {
+        let cell = self.cell(subslot, action);
+        self.values[cell] = value;
+        self.refresh_policy(subslot);
+    }
+
+    /// Σₘ Q(m, π(m)) — the "cumulative Q-value per frame" metric of
+    /// Fig. 10/12: the sum of Q-values of all subslots following the
+    /// current policy.
+    pub fn policy_value_sum(&self) -> f64 {
+        (0..self.subslots)
+            .map(|m| self.q(m, self.policy(m)).to_f32() as f64)
+            .sum()
+    }
+
+    /// Iterates over `(subslot, policy action, Q-value)` triples.
+    pub fn policy_iter(&self) -> impl Iterator<Item = (u16, QmaAction, f32)> + '_ {
+        (0..self.subslots).map(move |m| {
+            let a = self.policy(m);
+            (m, a, self.q(m, a).to_f32())
+        })
+    }
+
+    fn cell(&self, subslot: u16, action: QmaAction) -> usize {
+        assert!(subslot < self.subslots, "subslot {subslot} out of range");
+        subslot as usize * QmaAction::COUNT + action.index()
+    }
+
+    /// Eq. 3: switch to the argmax action only if its Q-value is
+    /// strictly greater than the current policy's Q-value.
+    fn refresh_policy(&mut self, subslot: u16) {
+        let current = self.policy(subslot);
+        let current_q = self.q(subslot, current);
+        let mut best = current;
+        let mut best_q = current_q;
+        for &a in &QmaAction::ALL {
+            let q = self.q(subslot, a);
+            if q > best_q {
+                best = a;
+                best_q = q;
+            }
+        }
+        self.policy[subslot as usize] = best;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig5_params() -> UpdateParams {
+        // The worked example of Fig. 5 uses α=1, γ=1, ξ=2.
+        UpdateParams {
+            alpha: 1.0,
+            gamma: 1.0,
+            xi: 2.0,
+        }
+    }
+
+    #[test]
+    fn init_state_matches_algorithm1() {
+        let t: QTable<f32> = QTable::new(4, -10.0);
+        for m in 0..4 {
+            assert_eq!(t.policy(m), QmaAction::Backoff);
+            for a in QmaAction::ALL {
+                assert_eq!(t.q(m, a), -10.0);
+            }
+        }
+        assert_eq!(t.policy_value_sum(), -40.0);
+    }
+
+    #[test]
+    fn successful_send_updates_cell_and_policy() {
+        // Fig. 5, n1, frame 1, subslot 1: QSend succeeds (R=4),
+        // next-state max is −10 → Q = 4 − 10 = −6.
+        let mut t: QTable<f32> = QTable::new(4, -10.0);
+        let q = t.update(0, QmaAction::Send, 4.0, 1, &fig5_params());
+        assert_eq!(q, -6.0);
+        assert_eq!(t.policy(0), QmaAction::Send);
+    }
+
+    #[test]
+    fn collision_applies_penalty_not_target() {
+        // Fig. 5, subslot 3 of frame 1: QSend collides (R=−3): the
+        // target −13 is *smaller* than Q−ξ = −12, so the cell becomes
+        // −12 and the policy stays QBackoff.
+        let mut t: QTable<f32> = QTable::new(4, -10.0);
+        let q = t.update(2, QmaAction::Send, -3.0, 3, &fig5_params());
+        assert_eq!(q, -12.0);
+        assert_eq!(t.policy(2), QmaAction::Backoff);
+    }
+
+    #[test]
+    fn backoff_chains_through_next_state() {
+        // Fig. 5, n1, frame 1, subslot 4: QBackoff with an overheard
+        // packet (R=2) bootstraps from subslot 1 (wrap-around), whose
+        // max is −6 after the earlier QSend update → Q = 2 − 6 = −4.
+        let mut t: QTable<f32> = QTable::new(4, -10.0);
+        t.update(0, QmaAction::Send, 4.0, 1, &fig5_params());
+        let q = t.update(3, QmaAction::Backoff, 2.0, 4 /* wraps to 0 */, &fig5_params());
+        assert_eq!(q, -4.0);
+    }
+
+    #[test]
+    fn policy_does_not_switch_on_tie() {
+        let mut t: QTable<f32> = QTable::new(1, -10.0);
+        // Bring Backoff up to −5.
+        t.set_q(0, QmaAction::Backoff, -5.0);
+        assert_eq!(t.policy(0), QmaAction::Backoff);
+        // Send reaches exactly −5 too: no strict improvement → keep B.
+        t.set_q(0, QmaAction::Send, -5.0);
+        assert_eq!(t.policy(0), QmaAction::Backoff);
+        // Send exceeds −5 → switch.
+        t.set_q(0, QmaAction::Send, -4.5);
+        assert_eq!(t.policy(0), QmaAction::Send);
+    }
+
+    #[test]
+    fn penalty_displaces_decaying_policy_action() {
+        // §3.1.1: a fluctuating (collision-prone) action must decay
+        // below a stable alternative and lose the policy.
+        let params = UpdateParams {
+            alpha: 1.0,
+            gamma: 0.0,
+            xi: 2.0,
+        };
+        let mut t: QTable<f32> = QTable::new(1, -10.0);
+        t.update(0, QmaAction::Send, 4.0, 0, &params); // Send → 4, policy Send
+        t.update(0, QmaAction::Backoff, 2.0, 0, &params); // Backoff → 2
+        assert_eq!(t.policy(0), QmaAction::Send);
+        // Repeated collisions: Send decays by ξ each time (target −3
+        // is below Q−ξ until Q−ξ < −3).
+        t.update(0, QmaAction::Send, -3.0, 0, &params); // 4→2 (tie with B, keep S)
+        assert_eq!(t.policy(0), QmaAction::Send);
+        t.update(0, QmaAction::Send, -3.0, 0, &params); // 2→0 < 2 → switch to B
+        assert_eq!(t.policy(0), QmaAction::Backoff);
+    }
+
+    #[test]
+    fn stable_optimum_is_restored_after_penalty() {
+        // §3.1.1: "stable and optimal Q-values are reupdated to their
+        // original value once they have been decremented".
+        let params = UpdateParams {
+            alpha: 1.0,
+            gamma: 0.0,
+            xi: 2.0,
+        };
+        let mut t: QTable<f32> = QTable::new(1, -10.0);
+        t.update(0, QmaAction::Send, 4.0, 0, &params);
+        t.update(0, QmaAction::Send, -3.0, 0, &params); // one collision: 4→2
+        assert_eq!(t.q(0, QmaAction::Send), 2.0);
+        t.update(0, QmaAction::Send, 4.0, 0, &params); // success: back to 4
+        assert_eq!(t.q(0, QmaAction::Send), 4.0);
+    }
+
+    #[test]
+    fn qmax_over_actions() {
+        let mut t: QTable<f32> = QTable::new(2, -10.0);
+        t.set_q(1, QmaAction::Cca, -3.0);
+        t.set_q(1, QmaAction::Send, -7.0);
+        assert_eq!(t.qmax(1), -3.0);
+        assert_eq!(t.qmax(0), -10.0);
+    }
+
+    #[test]
+    fn next_subslot_wraps() {
+        let params = fig5_params();
+        let mut t: QTable<f32> = QTable::new(4, -10.0);
+        t.set_q(0, QmaAction::Cca, -1.0);
+        // Updating subslot 3 with next=4 must bootstrap from subslot 0.
+        let q = t.update(3, QmaAction::Backoff, 0.0, 4, &params);
+        assert_eq!(q, -1.0); // 0 + 1·(−1)
+    }
+
+    #[test]
+    fn policy_value_sum_follows_policy() {
+        let mut t: QTable<f32> = QTable::new(2, -10.0);
+        t.set_q(0, QmaAction::Send, 3.0);
+        t.set_q(1, QmaAction::Cca, 1.0);
+        assert_eq!(t.policy_value_sum(), 4.0);
+        let items: Vec<_> = t.policy_iter().collect();
+        assert_eq!(items[0], (0, QmaAction::Send, 3.0));
+        assert_eq!(items[1], (1, QmaAction::Cca, 1.0));
+    }
+
+    #[test]
+    fn works_with_fixed_point_backend() {
+        use crate::value::Fixed16;
+        let mut t: QTable<Fixed16> = QTable::new(4, -10.0);
+        let p = fig5_params();
+        let q = t.update(0, QmaAction::Send, 4.0, 1, &p);
+        assert_eq!(q.to_f32(), -6.0);
+        assert_eq!(t.policy(0), QmaAction::Send);
+        let q = t.update(2, QmaAction::Send, -3.0, 3, &p);
+        assert_eq!(q.to_f32(), -12.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_subslot_panics() {
+        let t: QTable<f32> = QTable::new(2, -10.0);
+        let _ = t.q(2, QmaAction::Backoff);
+    }
+}

@@ -1,0 +1,217 @@
+//! The local reward function (paper §4.1, Eq. 6–8, Table 4).
+//!
+//! Rewards are observed *locally*: each node rewards its own action
+//! based on what it saw on the channel (ACK received, CCA busy,
+//! packet overheard). The paper stresses that the concrete values are
+//! "a careful balance between all actions": e.g. raising the QSend
+//! success reward to 8 makes every node send in every subslot.
+
+use crate::action::QmaAction;
+
+/// The observable outcome of one executed action, from the acting
+/// node's perspective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ActionOutcome {
+    /// QBackoff completed; `overheard` is `true` if a DATA or ACK
+    /// frame was decoded during the subslot (Eq. 6).
+    Backoff {
+        /// Whether a DATA or ACK packet was overheard.
+        overheard: bool,
+    },
+    /// QCCA found the channel busy and backed off (Eq. 7, third case).
+    CcaBusy,
+    /// QCCA found the channel idle and transmitted; `acked` tells
+    /// whether the transmission succeeded (Eq. 7, first two cases).
+    CcaTx {
+        /// Whether an acknowledgement was received (or the broadcast
+        /// is counted successful).
+        acked: bool,
+    },
+    /// QSend transmitted immediately; `acked` as above (Eq. 8).
+    SendTx {
+        /// Whether an acknowledgement was received.
+        acked: bool,
+    },
+}
+
+impl ActionOutcome {
+    /// The action this outcome belongs to.
+    pub fn action(self) -> QmaAction {
+        match self {
+            ActionOutcome::Backoff { .. } => QmaAction::Backoff,
+            ActionOutcome::CcaBusy | ActionOutcome::CcaTx { .. } => QmaAction::Cca,
+            ActionOutcome::SendTx { .. } => QmaAction::Send,
+        }
+    }
+
+    /// Did this outcome actually put a frame on the air?
+    pub fn transmitted(self) -> bool {
+        matches!(
+            self,
+            ActionOutcome::CcaTx { .. } | ActionOutcome::SendTx { .. }
+        )
+    }
+}
+
+/// The reward table of Eq. 6–8, configurable for ablation studies.
+///
+/// # Examples
+///
+/// ```
+/// use qma_core::{ActionOutcome, RewardTable};
+///
+/// let r = RewardTable::paper();
+/// assert_eq!(r.reward(ActionOutcome::SendTx { acked: true }), 4.0);
+/// assert_eq!(r.reward(ActionOutcome::SendTx { acked: false }), -3.0);
+/// assert_eq!(r.reward(ActionOutcome::CcaBusy), 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RewardTable {
+    /// QBackoff while a DATA/ACK packet was overheard (Eq. 6: 2).
+    pub backoff_overheard: f32,
+    /// QBackoff with nothing overheard (Eq. 6: 0).
+    pub backoff_idle: f32,
+    /// QCCA success + transmission success (Eq. 7: 3).
+    pub cca_tx_success: f32,
+    /// QCCA success + transmission failure (Eq. 7: −2).
+    pub cca_tx_fail: f32,
+    /// QCCA failed — channel busy (Eq. 7: 1).
+    pub cca_busy: f32,
+    /// QSend transmission success (Eq. 8: 4).
+    pub send_success: f32,
+    /// QSend transmission failure (Eq. 8: −3).
+    pub send_fail: f32,
+    /// Cautious-startup punishment written into the QCCA cell of a
+    /// subslot in which foreign traffic was overheard (§4.3: −2).
+    pub startup_punish_cca: f32,
+    /// Cautious-startup punishment for the QSend cell (§4.3: −3).
+    pub startup_punish_send: f32,
+}
+
+impl RewardTable {
+    /// The values used throughout the paper.
+    pub const fn paper() -> Self {
+        RewardTable {
+            backoff_overheard: 2.0,
+            backoff_idle: 0.0,
+            cca_tx_success: 3.0,
+            cca_tx_fail: -2.0,
+            cca_busy: 1.0,
+            send_success: 4.0,
+            send_fail: -3.0,
+            startup_punish_cca: -2.0,
+            startup_punish_send: -3.0,
+        }
+    }
+
+    /// The paper's counter-example (§4.1): rewarding QSend success
+    /// with 8 collapses cooperation — "every node executes QSend in
+    /// every subslot". Used by the ablation benchmarks.
+    pub const fn greedy_send() -> Self {
+        let mut t = Self::paper();
+        t.send_success = 8.0;
+        t
+    }
+
+    /// The local reward for an observed outcome.
+    pub fn reward(&self, outcome: ActionOutcome) -> f32 {
+        match outcome {
+            ActionOutcome::Backoff { overheard: true } => self.backoff_overheard,
+            ActionOutcome::Backoff { overheard: false } => self.backoff_idle,
+            ActionOutcome::CcaBusy => self.cca_busy,
+            ActionOutcome::CcaTx { acked: true } => self.cca_tx_success,
+            ActionOutcome::CcaTx { acked: false } => self.cca_tx_fail,
+            ActionOutcome::SendTx { acked: true } => self.send_success,
+            ActionOutcome::SendTx { acked: false } => self.send_fail,
+        }
+    }
+
+    /// The most negative reward in the table; the paper initialises
+    /// Q-values to "a number smaller than the largest punishment"
+    /// (they use −10).
+    pub fn largest_punishment(&self) -> f32 {
+        [
+            self.backoff_overheard,
+            self.backoff_idle,
+            self.cca_tx_success,
+            self.cca_tx_fail,
+            self.cca_busy,
+            self.send_success,
+            self.send_fail,
+        ]
+        .into_iter()
+        .fold(f32::INFINITY, f32::min)
+    }
+}
+
+impl Default for RewardTable {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_values_eq6_to_eq8() {
+        let r = RewardTable::paper();
+        // Eq. 6.
+        assert_eq!(r.reward(ActionOutcome::Backoff { overheard: true }), 2.0);
+        assert_eq!(r.reward(ActionOutcome::Backoff { overheard: false }), 0.0);
+        // Eq. 7.
+        assert_eq!(r.reward(ActionOutcome::CcaTx { acked: true }), 3.0);
+        assert_eq!(r.reward(ActionOutcome::CcaTx { acked: false }), -2.0);
+        assert_eq!(r.reward(ActionOutcome::CcaBusy), 1.0);
+        // Eq. 8.
+        assert_eq!(r.reward(ActionOutcome::SendTx { acked: true }), 4.0);
+        assert_eq!(r.reward(ActionOutcome::SendTx { acked: false }), -3.0);
+    }
+
+    #[test]
+    fn outcome_action_mapping() {
+        assert_eq!(
+            ActionOutcome::Backoff { overheard: true }.action(),
+            QmaAction::Backoff
+        );
+        assert_eq!(ActionOutcome::CcaBusy.action(), QmaAction::Cca);
+        assert_eq!(ActionOutcome::CcaTx { acked: false }.action(), QmaAction::Cca);
+        assert_eq!(ActionOutcome::SendTx { acked: true }.action(), QmaAction::Send);
+    }
+
+    #[test]
+    fn transmitted_flag() {
+        assert!(!ActionOutcome::Backoff { overheard: false }.transmitted());
+        assert!(!ActionOutcome::CcaBusy.transmitted());
+        assert!(ActionOutcome::CcaTx { acked: false }.transmitted());
+        assert!(ActionOutcome::SendTx { acked: true }.transmitted());
+    }
+
+    #[test]
+    fn largest_punishment_is_send_fail() {
+        assert_eq!(RewardTable::paper().largest_punishment(), -3.0);
+    }
+
+    #[test]
+    fn risk_reward_ordering() {
+        // The paper's design rationale: QSend success > QCCA success >
+        // QBackoff overhear > CCA busy > idle; QSend failure is the
+        // harshest punishment.
+        let r = RewardTable::paper();
+        assert!(r.send_success > r.cca_tx_success);
+        assert!(r.cca_tx_success > r.backoff_overheard);
+        assert!(r.backoff_overheard > r.cca_busy);
+        assert!(r.cca_busy > r.backoff_idle);
+        assert!(r.send_fail < r.cca_tx_fail);
+    }
+
+    #[test]
+    fn greedy_variant_only_changes_send_success() {
+        let g = RewardTable::greedy_send();
+        let p = RewardTable::paper();
+        assert_eq!(g.send_success, 8.0);
+        assert_eq!(g.send_fail, p.send_fail);
+        assert_eq!(g.cca_tx_success, p.cca_tx_success);
+    }
+}

@@ -1,0 +1,228 @@
+//! Q-value arithmetic backends.
+//!
+//! §3.2 of the paper argues for plain table storage with at most "two
+//! multiplications, three additions and |Aₜ|+1 array lookups" per
+//! training step, and notes that choosing α = 0.5 with integer rewards
+//! lets the learning-rate multiplication become a right shift —
+//! enabling execution "on resource-restricted and embedded devices
+//! without a floating-point unit". The future-work section proposes
+//! shrinking entries to a few bits.
+//!
+//! We therefore make the value representation pluggable:
+//!
+//! * [`f32`] — the reference backend,
+//! * [`Fixed16`] — Q8.8 signed fixed point in an `i16`, exercising
+//!   the embedded-friendly path (α = 0.5 via arithmetic shift).
+
+/// Arithmetic required of a Q-value representation.
+///
+/// The single non-trivial operation is [`QValue::bellman_target`],
+/// computing `(1−α)·q + α·(r + γ·qmax)` — the inner part of the
+/// paper's Eq. 5.
+pub trait QValue: Copy + PartialOrd + std::fmt::Debug {
+    /// Converts from `f32` (used for initialisation and rewards).
+    fn from_f32(v: f32) -> Self;
+
+    /// Converts to `f32` (used for reporting and plotting).
+    fn to_f32(self) -> f32;
+
+    /// Computes `(1−α)·self + α·(reward + γ·qmax_next)`.
+    fn bellman_target(self, reward: f32, qmax_next: Self, alpha: f32, gamma: f32) -> Self;
+
+    /// Subtracts the stochastic-environment penalty ξ (Eq. 4/5).
+    fn penalized(self, xi: f32) -> Self;
+
+    /// The larger of two values (`max` in Eq. 5).
+    fn take_max(self, other: Self) -> Self {
+        if other > self {
+            other
+        } else {
+            self
+        }
+    }
+}
+
+impl QValue for f32 {
+    fn from_f32(v: f32) -> Self {
+        v
+    }
+
+    fn to_f32(self) -> f32 {
+        self
+    }
+
+    fn bellman_target(self, reward: f32, qmax_next: Self, alpha: f32, gamma: f32) -> Self {
+        (1.0 - alpha) * self + alpha * (reward + gamma * qmax_next)
+    }
+
+    fn penalized(self, xi: f32) -> Self {
+        self - xi
+    }
+}
+
+/// Signed Q8.8 fixed-point Q-value (±127.996, resolution 1/256).
+///
+/// All arithmetic is integer-only; with α = 0.5 the Bellman update
+/// compiles to shifts and adds, matching the embedded implementation
+/// path described in the paper.
+///
+/// # Examples
+///
+/// ```
+/// use qma_core::{Fixed16, QValue};
+///
+/// let q = Fixed16::from_f32(-10.0);
+/// let t = q.bellman_target(4.0, Fixed16::from_f32(-10.0), 0.5, 0.9);
+/// // (1−α)(−10) + α(4 + 0.9·(−10)) = −5 + 0.5·(−5) = −7.5
+/// assert!((t.to_f32() - (-7.5)).abs() < 0.01);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Fixed16(i16);
+
+const FRAC_BITS: u32 = 8;
+const ONE: i32 = 1 << FRAC_BITS;
+
+impl Fixed16 {
+    /// The raw underlying integer.
+    pub const fn raw(self) -> i16 {
+        self.0
+    }
+
+    /// Builds from a raw Q8.8 integer.
+    pub const fn from_raw(raw: i16) -> Self {
+        Fixed16(raw)
+    }
+
+    /// Smallest representable value (≈ −128).
+    pub const MIN: Fixed16 = Fixed16(i16::MIN);
+
+    /// Largest representable value (≈ +128).
+    pub const MAX: Fixed16 = Fixed16(i16::MAX);
+
+    fn saturate(v: i32) -> Fixed16 {
+        Fixed16(v.clamp(i16::MIN as i32, i16::MAX as i32) as i16)
+    }
+}
+
+impl QValue for Fixed16 {
+    fn from_f32(v: f32) -> Self {
+        let scaled = (v * ONE as f32).round();
+        Self::saturate(scaled as i32)
+    }
+
+    fn to_f32(self) -> f32 {
+        self.0 as f32 / ONE as f32
+    }
+
+    fn bellman_target(self, reward: f32, qmax_next: Self, alpha: f32, gamma: f32) -> Self {
+        // Parameters are quantised to Q8.8 once; on a device they
+        // would be compile-time constants.
+        let alpha_q = (alpha * ONE as f32).round() as i32;
+        let gamma_q = (gamma * ONE as f32).round() as i32;
+        let reward_q = (reward * ONE as f32).round() as i32;
+        let q = self.0 as i32;
+        let qn = qmax_next.0 as i32;
+        // (γ·qmax) in Q8.8: product is Q16.16 → shift back.
+        let discounted = (gamma_q * qn) >> FRAC_BITS;
+        let target = reward_q + discounted;
+        // (1−α)q + α·target, all Q8.8.
+        let blended = (((ONE - alpha_q) * q) >> FRAC_BITS) + ((alpha_q * target) >> FRAC_BITS);
+        Self::saturate(blended)
+    }
+
+    fn penalized(self, xi: f32) -> Self {
+        let xi_q = (xi * ONE as f32).round() as i32;
+        Self::saturate(self.0 as i32 - xi_q)
+    }
+}
+
+impl std::fmt::Display for Fixed16 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.3}", self.to_f32())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f32_bellman_matches_formula() {
+        let q = -10.0f32;
+        let t = q.bellman_target(4.0, -10.0, 0.5, 0.9);
+        assert!((t - (-7.5)).abs() < 1e-6);
+        // α=1, γ=1 (the worked example of Fig. 5): target = r + qmax.
+        let t = q.bellman_target(4.0, -10.0, 1.0, 1.0);
+        assert_eq!(t, -6.0);
+    }
+
+    #[test]
+    fn fixed_roundtrip() {
+        for v in [-10.0f32, -3.0, 0.0, 2.0, 4.0, 100.0, -100.0] {
+            let f = Fixed16::from_f32(v);
+            assert!((f.to_f32() - v).abs() < 1.0 / 256.0 + 1e-6, "{v}");
+        }
+    }
+
+    #[test]
+    fn fixed_saturates() {
+        assert_eq!(Fixed16::from_f32(1e6), Fixed16::MAX);
+        assert_eq!(Fixed16::from_f32(-1e6), Fixed16::MIN);
+        let near_min = Fixed16::from_f32(-127.0);
+        assert_eq!(near_min.penalized(10.0), Fixed16::MIN);
+    }
+
+    #[test]
+    fn fixed_tracks_float_updates() {
+        // Run a long random-ish update sequence through both backends
+        // and require agreement within quantisation tolerance.
+        let mut qf = -10.0f32;
+        let mut qx = Fixed16::from_f32(-10.0);
+        let rewards = [4.0, -3.0, 2.0, 1.0, 0.0, -2.0, 3.0, 4.0, -3.0, 2.0];
+        let mut next = -10.0f32;
+        for (i, &r) in rewards.iter().cycle().take(200).enumerate() {
+            let t_f = qf.bellman_target(r, next, 0.5, 0.9);
+            let t_x = qx.bellman_target(r, Fixed16::from_f32(next), 0.5, 0.9);
+            qf = qf.penalized(1.0).take_max(t_f);
+            qx = qx.penalized(1.0).take_max(t_x);
+            next = (i % 7) as f32 - 3.0;
+            assert!(
+                (qf - qx.to_f32()).abs() < 0.25,
+                "diverged at step {i}: {qf} vs {}",
+                qx.to_f32()
+            );
+        }
+    }
+
+    #[test]
+    fn penalize_then_max_implements_eq5() {
+        // Eq. 5: Q ← max(Q − ξ, target).
+        let q = 5.0f32;
+        let target = 4.5f32;
+        assert_eq!(q.penalized(1.0).take_max(target), 4.5); // target wins
+        let target = 3.0f32;
+        assert_eq!(q.penalized(1.0).take_max(target), 4.0); // penalty wins
+    }
+
+    #[test]
+    fn take_max_prefers_self_on_equality() {
+        // Equality must not be treated as an improvement anywhere.
+        let a = Fixed16::from_f32(1.0);
+        let b = Fixed16::from_f32(1.0);
+        assert_eq!(a.take_max(b), a);
+    }
+
+    #[test]
+    fn alpha_half_is_exact_in_fixed_point() {
+        // With α=0.5 and integer rewards the fixed-point result is
+        // exact: (q + r + γ·qmax)/2 where γ=1.
+        let q = Fixed16::from_f32(-10.0);
+        let t = q.bellman_target(2.0, Fixed16::from_f32(-4.0), 0.5, 1.0);
+        assert_eq!(t.to_f32(), -6.0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Fixed16::from_f32(1.5).to_string(), "1.500");
+    }
+}

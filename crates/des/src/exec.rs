@@ -1,0 +1,175 @@
+//! The simulation run loop.
+
+use crate::sched::Scheduler;
+use crate::time::SimTime;
+
+/// A consumer of simulation events.
+///
+/// The handler receives each event together with the scheduler so it
+/// can schedule follow-up events. This is the only coupling between
+/// the kernel and the models built on top of it.
+pub trait Handler<E> {
+    /// Processes one event occurring at `now`.
+    fn handle(&mut self, now: SimTime, event: E, sched: &mut Scheduler<E>);
+}
+
+/// Why [`Executor::run_until`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The event queue drained completely.
+    QueueEmpty,
+    /// The time horizon was reached before the queue drained.
+    HorizonReached,
+    /// The event budget was exhausted (runaway-model guard).
+    EventBudgetExhausted,
+}
+
+/// Drives a [`Scheduler`] to completion or to a time horizon.
+#[derive(Debug, Clone, Copy)]
+pub struct Executor {
+    max_events: u64,
+}
+
+impl Default for Executor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Executor {
+    /// Creates an executor with a very large default event budget
+    /// (2⁴⁸ events) acting purely as a runaway guard.
+    pub fn new() -> Self {
+        Executor {
+            max_events: 1 << 48,
+        }
+    }
+
+    /// Limits the total number of events processed per `run*` call.
+    pub fn with_event_budget(mut self, max_events: u64) -> Self {
+        self.max_events = max_events;
+        self
+    }
+
+    /// Runs until the queue is empty. Returns the final simulated time.
+    pub fn run<E, H: Handler<E>>(&self, handler: &mut H, sched: &mut Scheduler<E>) -> SimTime {
+        self.run_until(handler, sched, SimTime::MAX).1
+    }
+
+    /// Runs until the queue is empty or simulated time would exceed
+    /// `horizon` (events at exactly `horizon` are still delivered).
+    ///
+    /// Returns the stop reason and the final simulated time (clamped
+    /// to `horizon` when the horizon was hit).
+    pub fn run_until<E, H: Handler<E>>(
+        &self,
+        handler: &mut H,
+        sched: &mut Scheduler<E>,
+        horizon: SimTime,
+    ) -> (StopReason, SimTime) {
+        let mut processed = 0u64;
+        loop {
+            if processed >= self.max_events {
+                return (StopReason::EventBudgetExhausted, sched.now());
+            }
+            match sched.peek_time() {
+                None => return (StopReason::QueueEmpty, sched.now()),
+                Some(t) if t > horizon => return (StopReason::HorizonReached, horizon),
+                Some(_) => {}
+            }
+            let entry = sched.pop().expect("peeked event must pop");
+            handler.handle(entry.time, entry.event, sched);
+            processed += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    struct Recorder {
+        seen: Vec<(SimTime, u32)>,
+        respawn: bool,
+    }
+
+    impl Handler<u32> for Recorder {
+        fn handle(&mut self, now: SimTime, event: u32, sched: &mut Scheduler<u32>) {
+            self.seen.push((now, event));
+            if self.respawn && event < 5 {
+                sched.schedule_in(SimDuration::from_secs(1), event + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn runs_to_completion() {
+        let mut sched = Scheduler::new();
+        sched.schedule_at(SimTime::from_secs(1), 0);
+        let mut h = Recorder {
+            seen: vec![],
+            respawn: true,
+        };
+        let end = Executor::new().run(&mut h, &mut sched);
+        assert_eq!(h.seen.len(), 6);
+        assert_eq!(end, SimTime::from_secs(6));
+    }
+
+    #[test]
+    fn horizon_stops_early_and_clamps() {
+        let mut sched = Scheduler::new();
+        sched.schedule_at(SimTime::from_secs(1), 0);
+        let mut h = Recorder {
+            seen: vec![],
+            respawn: true,
+        };
+        let (reason, end) =
+            Executor::new().run_until(&mut h, &mut sched, SimTime::from_millis(2_500));
+        assert_eq!(reason, StopReason::HorizonReached);
+        assert_eq!(end, SimTime::from_millis(2_500));
+        assert_eq!(h.seen.len(), 2); // t=1s, t=2s delivered; t=3s not
+        assert_eq!(sched.len(), 1); // the t=3s event is still queued
+    }
+
+    #[test]
+    fn event_at_exact_horizon_is_delivered() {
+        let mut sched = Scheduler::new();
+        sched.schedule_at(SimTime::from_secs(2), 9);
+        let mut h = Recorder {
+            seen: vec![],
+            respawn: false,
+        };
+        let (reason, _) = Executor::new().run_until(&mut h, &mut sched, SimTime::from_secs(2));
+        assert_eq!(h.seen, vec![(SimTime::from_secs(2), 9)]);
+        assert_eq!(reason, StopReason::QueueEmpty);
+    }
+
+    #[test]
+    fn event_budget_guard() {
+        let mut sched = Scheduler::new();
+        sched.schedule_at(SimTime::ZERO, 0);
+        struct Forever;
+        impl Handler<u32> for Forever {
+            fn handle(&mut self, _: SimTime, e: u32, s: &mut Scheduler<u32>) {
+                s.schedule_in(SimDuration::from_micros(1), e);
+            }
+        }
+        let (reason, _) = Executor::new()
+            .with_event_budget(1000)
+            .run_until(&mut Forever, &mut sched, SimTime::MAX);
+        assert_eq!(reason, StopReason::EventBudgetExhausted);
+    }
+
+    #[test]
+    fn empty_queue_returns_immediately() {
+        let mut sched: Scheduler<u32> = Scheduler::new();
+        let mut h = Recorder {
+            seen: vec![],
+            respawn: false,
+        };
+        let (reason, end) = Executor::new().run_until(&mut h, &mut sched, SimTime::from_secs(1));
+        assert_eq!(reason, StopReason::QueueEmpty);
+        assert_eq!(end, SimTime::ZERO);
+    }
+}

@@ -1,0 +1,279 @@
+//! The event scheduler: a timestamped priority queue with
+//! deterministic tie-breaking and logical cancellation.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// Opaque handle identifying a scheduled event, usable for
+/// cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventKey(u64);
+
+/// An event popped from the scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventEntry<E> {
+    /// When the event fires.
+    pub time: SimTime,
+    /// The handle it was scheduled under.
+    pub key: EventKey,
+    /// The payload.
+    pub event: E,
+}
+
+#[derive(Debug)]
+struct HeapItem<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for HeapItem<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for HeapItem<E> {}
+
+impl<E> Ord for HeapItem<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest first,
+        // FIFO among equal timestamps.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<E> PartialOrd for HeapItem<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic future-event list.
+///
+/// Events with equal timestamps are delivered in insertion order.
+/// Cancellation is *logical*: [`Scheduler::cancel`] marks the key and
+/// the entry is dropped when it reaches the head of the heap, so
+/// cancelling is O(1) and never disturbs heap order.
+///
+/// # Examples
+///
+/// ```
+/// use qma_des::{Scheduler, SimTime};
+///
+/// let mut s = Scheduler::new();
+/// s.schedule_at(SimTime::from_secs(2), "b");
+/// let key = s.schedule_at(SimTime::from_secs(1), "a");
+/// s.cancel(key);
+/// let next = s.pop().unwrap();
+/// assert_eq!(next.event, "b");
+/// ```
+#[derive(Debug)]
+pub struct Scheduler<E> {
+    heap: BinaryHeap<HeapItem<E>>,
+    cancelled: std::collections::HashSet<u64>,
+    now: SimTime,
+    next_seq: u64,
+    scheduled_total: u64,
+}
+
+impl<E> Default for Scheduler<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Scheduler<E> {
+    /// Creates an empty scheduler at time zero.
+    pub fn new() -> Self {
+        Scheduler {
+            heap: BinaryHeap::new(),
+            cancelled: std::collections::HashSet::new(),
+            now: SimTime::ZERO,
+            next_seq: 0,
+            scheduled_total: 0,
+        }
+    }
+
+    /// The current simulated time (the timestamp of the most recently
+    /// popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` at the absolute instant `time`.
+    ///
+    /// Scheduling in the past is a logic error; the event is clamped
+    /// to `now` (and a debug assertion fires) so release builds remain
+    /// monotone rather than travelling back in time.
+    pub fn schedule_at(&mut self, time: SimTime, event: E) -> EventKey {
+        debug_assert!(time >= self.now, "scheduling into the past: {time} < {}", self.now);
+        let time = time.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.scheduled_total += 1;
+        self.heap.push(HeapItem { time, seq, event });
+        EventKey(seq)
+    }
+
+    /// Schedules `event` after the relative delay `delay`.
+    pub fn schedule_in(&mut self, delay: crate::time::SimDuration, event: E) -> EventKey {
+        self.schedule_at(self.now + delay, event)
+    }
+
+    /// Cancels a previously scheduled event. Cancelling an already
+    /// fired or already cancelled key is a no-op.
+    pub fn cancel(&mut self, key: EventKey) {
+        self.cancelled.insert(key.0);
+    }
+
+    /// Removes and returns the earliest pending event, advancing
+    /// `now`. Skips cancelled entries. Returns `None` when empty.
+    pub fn pop(&mut self) -> Option<EventEntry<E>> {
+        while let Some(item) = self.heap.pop() {
+            if self.cancelled.remove(&item.seq) {
+                continue;
+            }
+            debug_assert!(item.time >= self.now);
+            self.now = item.time;
+            return Some(EventEntry {
+                time: item.time,
+                key: EventKey(item.seq),
+                event: item.event,
+            });
+        }
+        None
+    }
+
+    /// Timestamp of the next non-cancelled event, without popping it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        loop {
+            let seq = self.heap.peek()?.seq;
+            if self.cancelled.contains(&seq) {
+                self.cancelled.remove(&seq);
+                self.heap.pop();
+            } else {
+                return Some(self.heap.peek().map(|i| i.time)?);
+            }
+        }
+    }
+
+    /// Number of pending entries (including not-yet-skipped cancelled
+    /// ones).
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.len() <= self.cancelled.len() && {
+            // Cheap path first; exact check requires scanning, so fall
+            // back to comparing against live cancellations present in
+            // the heap.
+            self.heap
+                .iter()
+                .all(|item| self.cancelled.contains(&item.seq))
+        }
+    }
+
+    /// Total number of events ever scheduled (for throughput metrics).
+    pub fn scheduled_total(&self) -> u64 {
+        self.scheduled_total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut s = Scheduler::new();
+        s.schedule_at(SimTime::from_secs(3), 3);
+        s.schedule_at(SimTime::from_secs(1), 1);
+        s.schedule_at(SimTime::from_secs(2), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| s.pop().map(|e| e.event)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn equal_times_are_fifo() {
+        let mut s = Scheduler::new();
+        for i in 0..100 {
+            s.schedule_at(SimTime::from_secs(5), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| s.pop().map(|e| e.event)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancel_drops_event() {
+        let mut s = Scheduler::new();
+        let a = s.schedule_at(SimTime::from_secs(1), "a");
+        s.schedule_at(SimTime::from_secs(2), "b");
+        s.cancel(a);
+        assert_eq!(s.pop().unwrap().event, "b");
+        assert!(s.pop().is_none());
+    }
+
+    #[test]
+    fn cancel_after_fire_is_noop() {
+        let mut s = Scheduler::new();
+        let a = s.schedule_at(SimTime::from_secs(1), "a");
+        assert_eq!(s.pop().unwrap().event, "a");
+        s.cancel(a); // must not poison a later event with same seq logic
+        s.schedule_at(SimTime::from_secs(2), "b");
+        assert_eq!(s.pop().unwrap().event, "b");
+    }
+
+    #[test]
+    fn now_advances_with_pops() {
+        let mut s = Scheduler::new();
+        s.schedule_in(SimDuration::from_millis(5), ());
+        assert_eq!(s.now(), SimTime::ZERO);
+        s.pop();
+        assert_eq!(s.now(), SimTime::from_millis(5));
+        s.schedule_in(SimDuration::from_millis(5), ());
+        s.pop();
+        assert_eq!(s.now(), SimTime::from_millis(10));
+    }
+
+    #[test]
+    fn peek_skips_cancelled() {
+        let mut s = Scheduler::new();
+        let a = s.schedule_at(SimTime::from_secs(1), 1);
+        s.schedule_at(SimTime::from_secs(2), 2);
+        s.cancel(a);
+        assert_eq!(s.peek_time(), Some(SimTime::from_secs(2)));
+        assert_eq!(s.pop().unwrap().event, 2);
+    }
+
+    #[test]
+    fn is_empty_accounts_for_cancellations() {
+        let mut s: Scheduler<()> = Scheduler::new();
+        assert!(s.is_empty());
+        let k = s.schedule_at(SimTime::from_secs(1), ());
+        assert!(!s.is_empty());
+        s.cancel(k);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn past_scheduling_is_clamped_in_release() {
+        // In debug builds this would assert, so only exercise the
+        // clamping branch when debug assertions are off.
+        if cfg!(debug_assertions) {
+            return;
+        }
+        let mut s = Scheduler::new();
+        s.schedule_at(SimTime::from_secs(10), "late");
+        s.pop();
+        s.schedule_at(SimTime::from_secs(1), "past");
+        let e = s.pop().unwrap();
+        assert_eq!(e.time, SimTime::from_secs(10));
+    }
+}

@@ -1,0 +1,278 @@
+//! Integer simulated time.
+//!
+//! Simulated time is counted in whole microseconds. One IEEE 802.15.4
+//! O-QPSK symbol at 2.4 GHz lasts 16 µs, so every PHY and MAC duration
+//! in this workspace is an exact multiple of the tick and no rounding
+//! drift can accumulate over long runs.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Rem, Sub, SubAssign};
+
+/// An absolute instant of simulated time, in microseconds since the
+/// start of the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+/// A non-negative span of simulated time, in microseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The origin of simulated time.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable instant (used as "never").
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates an instant from whole microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us)
+    }
+
+    /// Creates an instant from whole milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000)
+    }
+
+    /// Creates an instant from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000)
+    }
+
+    /// Creates an instant from fractional seconds (rounded to the
+    /// nearest microsecond).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is negative or not finite.
+    pub fn from_secs_f64(s: f64) -> Self {
+        assert!(s.is_finite() && s >= 0.0, "invalid time {s}");
+        SimTime((s * 1e6).round() as u64)
+    }
+
+    /// This instant as whole microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// This instant as fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Duration since an earlier instant.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `earlier` is later than `self`;
+    /// saturates to zero in release builds.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        debug_assert!(earlier <= self, "since() with later instant");
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Saturating addition of a duration.
+    pub fn saturating_add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(d.0))
+    }
+}
+
+impl SimDuration {
+    /// The empty duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Creates a duration from whole microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us)
+    }
+
+    /// Creates a duration from whole milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000)
+    }
+
+    /// Creates a duration from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000)
+    }
+
+    /// Creates a duration from fractional seconds (rounded to the
+    /// nearest microsecond).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is negative or not finite.
+    pub fn from_secs_f64(s: f64) -> Self {
+        assert!(s.is_finite() && s >= 0.0, "invalid duration {s}");
+        SimDuration((s * 1e6).round() as u64)
+    }
+
+    /// Creates a duration lasting `n` O-QPSK symbols (16 µs each).
+    pub const fn from_symbols(n: u64) -> Self {
+        SimDuration(n * 16)
+    }
+
+    /// This duration as whole microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// This duration as fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Returns `true` for the zero duration.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Checked integer division into another duration (how many `rhs`
+    /// fit into `self`). Returns `None` if `rhs` is zero.
+    pub const fn checked_div_duration(self, rhs: SimDuration) -> Option<u64> {
+        if rhs.0 == 0 {
+            None
+        } else {
+            Some(self.0 / rhs.0)
+        }
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl Rem<SimDuration> for SimTime {
+    type Output = SimDuration;
+    fn rem(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 % rhs.0)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_conversion() {
+        assert_eq!(SimTime::from_secs(2).as_micros(), 2_000_000);
+        assert_eq!(SimTime::from_millis(3).as_micros(), 3_000);
+        assert_eq!(SimTime::from_secs_f64(0.5).as_micros(), 500_000);
+        assert_eq!(SimDuration::from_symbols(60).as_micros(), 960);
+        assert_eq!(SimTime::from_secs(1).as_secs_f64(), 1.0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_secs(1) + SimDuration::from_millis(500);
+        assert_eq!(t.as_micros(), 1_500_000);
+        assert_eq!(t.since(SimTime::from_secs(1)), SimDuration::from_millis(500));
+        assert_eq!(SimDuration::from_secs(1) * 3, SimDuration::from_secs(3));
+        assert_eq!(SimDuration::from_secs(3) / 2, SimDuration::from_micros(1_500_000));
+        assert_eq!(
+            SimTime::from_micros(12) % SimDuration::from_micros(5),
+            SimDuration::from_micros(2)
+        );
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(SimTime::ZERO < SimTime::from_micros(1));
+        assert!(SimTime::from_micros(1) < SimTime::MAX);
+        assert!(SimDuration::ZERO.is_zero());
+    }
+
+    #[test]
+    fn checked_div() {
+        let frame = SimDuration::from_micros(61_440);
+        let subslot = SimDuration::from_micros(1_137);
+        assert_eq!(frame.checked_div_duration(subslot), Some(54));
+        assert_eq!(frame.checked_div_duration(SimDuration::ZERO), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid time")]
+    fn negative_seconds_rejected() {
+        let _ = SimTime::from_secs_f64(-1.0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(SimTime::from_millis(1500).to_string(), "1.500000s");
+    }
+
+    #[test]
+    fn saturating_ops() {
+        assert_eq!(
+            SimTime::MAX.saturating_add(SimDuration::from_secs(1)),
+            SimTime::MAX
+        );
+    }
+}

@@ -1,0 +1,175 @@
+//! A node's table of allocated GTS.
+
+use qma_netsim::NodeId;
+
+use crate::msf::GtsSlot;
+
+/// Whether we transmit or receive in a GTS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GtsDirection {
+    /// We transmit to the peer.
+    Tx,
+    /// We receive from the peer.
+    Rx,
+}
+
+/// One allocated GTS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GtsEntry {
+    /// The slot/channel coordinate.
+    pub gts: GtsSlot,
+    /// Our direction.
+    pub dir: GtsDirection,
+    /// The other side of the link.
+    pub peer: NodeId,
+    /// Consecutive occurrences in which the GTS carried no data —
+    /// feeds the deallocation policy ("fluctuating primary traffic
+    /// … causes many (de)allocation messages").
+    pub idle_streak: u32,
+}
+
+/// The per-node GTS table.
+#[derive(Debug, Clone, Default)]
+pub struct GtsTable {
+    entries: Vec<GtsEntry>,
+}
+
+impl GtsTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        GtsTable::default()
+    }
+
+    /// Adds an allocation; returns `false` (table unchanged) when the
+    /// coordinate is already present.
+    pub fn add(&mut self, gts: GtsSlot, dir: GtsDirection, peer: NodeId) -> bool {
+        if self.entries.iter().any(|e| e.gts == gts) {
+            return false;
+        }
+        self.entries.push(GtsEntry {
+            gts,
+            dir,
+            peer,
+            idle_streak: 0,
+        });
+        true
+    }
+
+    /// Removes an allocation; returns the removed entry.
+    pub fn remove(&mut self, gts: GtsSlot) -> Option<GtsEntry> {
+        let idx = self.entries.iter().position(|e| e.gts == gts)?;
+        Some(self.entries.swap_remove(idx))
+    }
+
+    /// The entry at a coordinate.
+    pub fn get(&self, gts: GtsSlot) -> Option<&GtsEntry> {
+        self.entries.iter().find(|e| e.gts == gts)
+    }
+
+    /// Number of allocations.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Is the table empty?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// All entries.
+    pub fn iter(&self) -> impl Iterator<Item = &GtsEntry> {
+        self.entries.iter()
+    }
+
+    /// Number of TX slots toward `peer`.
+    pub fn tx_count_to(&self, peer: NodeId) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| e.dir == GtsDirection::Tx && e.peer == peer)
+            .count()
+    }
+
+    /// Records that a GTS occurrence carried data (resets its idle
+    /// streak).
+    pub fn mark_used(&mut self, gts: GtsSlot) {
+        if let Some(e) = self.entries.iter_mut().find(|e| e.gts == gts) {
+            e.idle_streak = 0;
+        }
+    }
+
+    /// Records an idle occurrence; returns the new streak.
+    pub fn mark_idle(&mut self, gts: GtsSlot) -> u32 {
+        match self.entries.iter_mut().find(|e| e.gts == gts) {
+            Some(e) => {
+                e.idle_streak += 1;
+                e.idle_streak
+            }
+            None => 0,
+        }
+    }
+
+    /// A TX entry toward `peer` whose idle streak reaches
+    /// `min_streak`, if any — the deallocation candidate.
+    pub fn idle_tx_candidate(&self, peer: NodeId, min_streak: u32) -> Option<GtsEntry> {
+        self.entries
+            .iter()
+            .filter(|e| e.dir == GtsDirection::Tx && e.peer == peer)
+            .find(|e| e.idle_streak >= min_streak)
+            .copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn slot(i: u16, c: u8) -> GtsSlot {
+        GtsSlot { index: i, channel: c }
+    }
+
+    #[test]
+    fn add_remove_roundtrip() {
+        let mut t = GtsTable::new();
+        assert!(t.add(slot(1, 0), GtsDirection::Tx, NodeId(5)));
+        assert!(!t.add(slot(1, 0), GtsDirection::Rx, NodeId(6)), "duplicate");
+        assert_eq!(t.len(), 1);
+        let e = t.remove(slot(1, 0)).unwrap();
+        assert_eq!(e.peer, NodeId(5));
+        assert!(t.is_empty());
+        assert!(t.remove(slot(1, 0)).is_none());
+    }
+
+    #[test]
+    fn tx_count_filters_direction_and_peer() {
+        let mut t = GtsTable::new();
+        t.add(slot(0, 0), GtsDirection::Tx, NodeId(1));
+        t.add(slot(1, 0), GtsDirection::Tx, NodeId(1));
+        t.add(slot(2, 0), GtsDirection::Rx, NodeId(1));
+        t.add(slot(3, 0), GtsDirection::Tx, NodeId(2));
+        assert_eq!(t.tx_count_to(NodeId(1)), 2);
+        assert_eq!(t.tx_count_to(NodeId(2)), 1);
+        assert_eq!(t.tx_count_to(NodeId(9)), 0);
+    }
+
+    #[test]
+    fn idle_tracking_drives_deallocation() {
+        let mut t = GtsTable::new();
+        t.add(slot(4, 1), GtsDirection::Tx, NodeId(1));
+        assert_eq!(t.mark_idle(slot(4, 1)), 1);
+        assert_eq!(t.mark_idle(slot(4, 1)), 2);
+        assert!(t.idle_tx_candidate(NodeId(1), 3).is_none());
+        assert_eq!(t.mark_idle(slot(4, 1)), 3);
+        let c = t.idle_tx_candidate(NodeId(1), 3).unwrap();
+        assert_eq!(c.gts, slot(4, 1));
+        // Fresh use resets the streak.
+        t.mark_used(slot(4, 1));
+        assert!(t.idle_tx_candidate(NodeId(1), 3).is_none());
+        assert_eq!(t.get(slot(4, 1)).unwrap().idle_streak, 0);
+    }
+
+    #[test]
+    fn idle_on_unknown_slot_is_zero() {
+        let mut t = GtsTable::new();
+        assert_eq!(t.mark_idle(slot(9, 0)), 0);
+    }
+}

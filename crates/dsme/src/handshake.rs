@@ -1,0 +1,684 @@
+//! The 3-way GTS (de)allocation handshake (Fig. 24, Appendix A).
+//!
+//! Implemented as a pure state machine: the DSME node feeds
+//! [`HandshakeEvent`]s in and executes the returned
+//! [`HandshakeAction`]s (send a message, arm a timeout, commit or
+//! release a GTS). This keeps the protocol unit-testable without a
+//! simulator and mirrors how openDSME separates its GTS manager from
+//! the platform.
+//!
+//! Commit points follow DSME: the **responder** commits when it sends
+//! the GTS-response; the **initiator** commits when it receives the
+//! response (and then broadcasts the notify purely to inform its own
+//! neighbourhood). A lost message aborts the attempt via timeout —
+//! the initiator can retry with a fresh handshake, and conflicting
+//! (duplicate) allocations are later resolved by a deallocation
+//! handshake.
+//!
+//! One handshake is in flight per node at a time (openDSME queues
+//! them; the paper's traffic triggers them one by one anyway).
+
+use qma_netsim::NodeId;
+
+use crate::msf::GtsSlot;
+use crate::msg::{GtsMessage, GtsMessageKind, GtsOp};
+use crate::sab::SlotBitmap;
+
+/// Inputs to the handshake engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HandshakeEvent {
+    /// Begin allocating one GTS with `peer` (we become initiator /
+    /// the TX side).
+    StartAllocate {
+        /// The responder (the RX side of the GTS).
+        peer: NodeId,
+    },
+    /// Begin deallocating `gts` shared with `peer`.
+    StartDeallocate {
+        /// The peer of the existing GTS.
+        peer: NodeId,
+        /// The GTS to release.
+        gts: GtsSlot,
+    },
+    /// Our unicast GTS-request was acknowledged.
+    RequestDelivered,
+    /// The MAC gave up on our GTS-request (retry limit / channel
+    /// access failure).
+    RequestFailed,
+    /// A handshake message addressed to (or overheard by) us.
+    Message {
+        /// The decoded message.
+        msg: GtsMessage,
+        /// Its transmitter.
+        src: NodeId,
+    },
+    /// The timeout armed by [`HandshakeAction::StartTimer`] fired
+    /// (initiator side: the response never came).
+    Timeout {
+        /// Handshake id the timer was armed for.
+        id: u32,
+    },
+    /// The timeout armed by [`HandshakeAction::StartNotifyTimer`]
+    /// fired (responder side: the notify never came — roll the
+    /// optimistically committed GTS back, Fig. 24's "if any of the 3
+    /// messages is lost, the GTS allocation is rolled back").
+    NotifyTimeout {
+        /// Handshake id the timer was armed for.
+        id: u32,
+    },
+}
+
+/// Outputs of the handshake engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HandshakeAction {
+    /// Encode and enqueue this message on the contention MAC.
+    Send(GtsMessage),
+    /// Arm the handshake timeout for `id`.
+    StartTimer {
+        /// Handshake id to echo in [`HandshakeEvent::Timeout`].
+        id: u32,
+    },
+    /// Arm the responder's notify timeout for `id`.
+    StartNotifyTimer {
+        /// Handshake id to echo in [`HandshakeEvent::NotifyTimeout`].
+        id: u32,
+    },
+    /// Commit a GTS: we transmit in it (`tx = true`, initiator) or
+    /// receive (`tx = false`, responder).
+    Allocated {
+        /// The committed GTS.
+        gts: GtsSlot,
+        /// The other side.
+        peer: NodeId,
+        /// Our direction.
+        tx: bool,
+    },
+    /// Release a GTS (deallocation handshake completed or local
+    /// cleanup after a failed deallocation exchange).
+    Deallocated {
+        /// The released GTS.
+        gts: GtsSlot,
+        /// The other side.
+        peer: NodeId,
+    },
+    /// The handshake failed (request lost, response timeout, or the
+    /// responder found no common free slot).
+    Failed {
+        /// Handshake id.
+        id: u32,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum InitiatorState {
+    AwaitRequestAck { peer: NodeId, op: GtsOp, gts: Option<GtsSlot> },
+    AwaitResponse { peer: NodeId, op: GtsOp, gts: Option<GtsSlot> },
+}
+
+/// The per-node handshake engine.
+#[derive(Debug, Clone)]
+pub struct HandshakeEngine {
+    me: NodeId,
+    next_id: u32,
+    current: Option<(u32, InitiatorState)>,
+    /// GTS committed at response time, awaiting the notify
+    /// (responder side; several may be outstanding — a coordinator
+    /// answers many children).
+    awaiting_notify: Vec<(u32, NodeId, GtsSlot)>,
+    completed_allocations: u64,
+    completed_deallocations: u64,
+    failures: u64,
+}
+
+impl HandshakeEngine {
+    /// Creates the engine for node `me`.
+    pub fn new(me: NodeId) -> Self {
+        HandshakeEngine {
+            me,
+            next_id: 1,
+            current: None,
+            awaiting_notify: Vec::new(),
+            completed_allocations: 0,
+            completed_deallocations: 0,
+            failures: 0,
+        }
+    }
+
+    /// Is a handshake currently in flight (as initiator)?
+    pub fn busy(&self) -> bool {
+        self.current.is_some()
+    }
+
+    /// Responder-side handshakes awaiting their notify.
+    pub fn awaiting_notify(&self) -> usize {
+        self.awaiting_notify.len()
+    }
+
+    /// Confirms a responder-side commitment out of band: data arriving
+    /// in the GTS proves the initiator committed even if the notify
+    /// broadcast itself was lost, so the pending rollback is
+    /// cancelled.
+    pub fn confirm_gts(&mut self, gts: GtsSlot) {
+        self.awaiting_notify.retain(|(_, _, g)| *g != gts);
+    }
+
+    /// The GTS a pending responder-side handshake committed, if `id`
+    /// is still awaiting its notify (lets the node veto a rollback
+    /// when the slot demonstrably carries data).
+    pub fn notify_pending_gts(&self, id: u32) -> Option<GtsSlot> {
+        self.awaiting_notify
+            .iter()
+            .find(|(i, _, _)| *i == id)
+            .map(|&(_, _, g)| g)
+    }
+
+    /// Completed allocation handshakes (as either side).
+    pub fn completed_allocations(&self) -> u64 {
+        self.completed_allocations
+    }
+
+    /// Completed deallocation handshakes (as either side).
+    pub fn completed_deallocations(&self) -> u64 {
+        self.completed_deallocations
+    }
+
+    /// Failed handshakes initiated by this node.
+    pub fn failures(&self) -> u64 {
+        self.failures
+    }
+
+    /// Feeds one event; returns the actions to execute. `sab` is this
+    /// node's occupancy view (used to build request SABs and to pick
+    /// slots when responding).
+    pub fn handle(&mut self, event: HandshakeEvent, sab: &SlotBitmap) -> Vec<HandshakeAction> {
+        match event {
+            HandshakeEvent::StartAllocate { peer } => self.start(peer, GtsOp::Allocate, None, sab),
+            HandshakeEvent::StartDeallocate { peer, gts } => {
+                self.start(peer, GtsOp::Deallocate, Some(gts), sab)
+            }
+            HandshakeEvent::RequestDelivered => {
+                if let Some((id, InitiatorState::AwaitRequestAck { peer, op, gts })) = self.current
+                {
+                    self.current = Some((id, InitiatorState::AwaitResponse { peer, op, gts }));
+                }
+                vec![]
+            }
+            HandshakeEvent::RequestFailed => self.fail_current(),
+            HandshakeEvent::Timeout { id } => {
+                if self.current.map(|(cid, _)| cid) == Some(id) {
+                    self.fail_current()
+                } else {
+                    vec![] // stale timer
+                }
+            }
+            HandshakeEvent::NotifyTimeout { id } => {
+                // The notify never arrived: roll back the
+                // optimistically committed GTS.
+                match self.awaiting_notify.iter().position(|(i, _, _)| *i == id) {
+                    Some(pos) => {
+                        let (_, peer, gts) = self.awaiting_notify.swap_remove(pos);
+                        self.failures += 1;
+                        vec![
+                            HandshakeAction::Deallocated { gts, peer },
+                            HandshakeAction::Failed { id },
+                        ]
+                    }
+                    None => vec![], // notify arrived in time
+                }
+            }
+            HandshakeEvent::Message { msg, src } => self.on_message(msg, src, sab),
+        }
+    }
+
+    fn start(
+        &mut self,
+        peer: NodeId,
+        op: GtsOp,
+        gts: Option<GtsSlot>,
+        sab: &SlotBitmap,
+    ) -> Vec<HandshakeAction> {
+        if self.current.is_some() {
+            return vec![]; // one at a time; caller retries later
+        }
+        let id = self.next_id;
+        self.next_id = self.next_id.wrapping_add(1).max(1);
+        self.current = Some((id, InitiatorState::AwaitRequestAck { peer, op, gts }));
+        let msg = GtsMessage {
+            kind: GtsMessageKind::Request,
+            op,
+            gts,
+            sab_busy: sab.to_word(),
+            handshake_id: id,
+            peer,
+        };
+        vec![
+            HandshakeAction::Send(msg),
+            HandshakeAction::StartTimer { id },
+        ]
+    }
+
+    fn fail_current(&mut self) -> Vec<HandshakeAction> {
+        let Some((id, state)) = self.current.take() else {
+            return vec![];
+        };
+        self.failures += 1;
+        match state {
+            // A failed *deallocation* still releases the slot locally:
+            // the peer will clean up via its own idle tracking, and a
+            // stuck slot is worse than a stale one.
+            InitiatorState::AwaitRequestAck { peer, op: GtsOp::Deallocate, gts: Some(gts) }
+            | InitiatorState::AwaitResponse { peer, op: GtsOp::Deallocate, gts: Some(gts) } => {
+                vec![
+                    HandshakeAction::Deallocated { gts, peer },
+                    HandshakeAction::Failed { id },
+                ]
+            }
+            _ => vec![HandshakeAction::Failed { id }],
+        }
+    }
+
+    fn on_message(
+        &mut self,
+        msg: GtsMessage,
+        src: NodeId,
+        sab: &SlotBitmap,
+    ) -> Vec<HandshakeAction> {
+        match msg.kind {
+            GtsMessageKind::Request => {
+                // We are the responder; msg.peer is us.
+                if msg.peer != self.me {
+                    return vec![];
+                }
+                match msg.op {
+                    GtsOp::Allocate => {
+                        let theirs = sab.word_with_same_geometry(msg.sab_busy);
+                        let offset = (self.me.0.wrapping_mul(7))
+                            .wrapping_add(msg.handshake_id)
+                            % sab.capacity() as u32;
+                        let choice = sab.first_common_free(&theirs, offset);
+                        let response = GtsMessage {
+                            kind: GtsMessageKind::Response,
+                            op: GtsOp::Allocate,
+                            gts: choice,
+                            sab_busy: 0,
+                            handshake_id: msg.handshake_id,
+                            peer: src,
+                        };
+                        let mut actions = vec![HandshakeAction::Send(response)];
+                        if let Some(gts) = choice {
+                            self.completed_allocations += 1;
+                            self.awaiting_notify.push((msg.handshake_id, src, gts));
+                            actions.push(HandshakeAction::Allocated {
+                                gts,
+                                peer: src,
+                                tx: false,
+                            });
+                            actions.push(HandshakeAction::StartNotifyTimer {
+                                id: msg.handshake_id,
+                            });
+                        }
+                        actions
+                    }
+                    GtsOp::Deallocate => {
+                        let Some(gts) = msg.gts else {
+                            return vec![];
+                        };
+                        self.completed_deallocations += 1;
+                        vec![
+                            HandshakeAction::Send(GtsMessage {
+                                kind: GtsMessageKind::Response,
+                                op: GtsOp::Deallocate,
+                                gts: Some(gts),
+                                sab_busy: 0,
+                                handshake_id: msg.handshake_id,
+                                peer: src,
+                            }),
+                            HandshakeAction::Deallocated { gts, peer: src },
+                        ]
+                    }
+                }
+            }
+            GtsMessageKind::Response => {
+                // Only the addressed initiator reacts here; everyone
+                // else just updates their SAB (done by the node).
+                if msg.peer != self.me {
+                    return vec![];
+                }
+                let Some((id, state)) = self.current else {
+                    return vec![];
+                };
+                if msg.handshake_id != id {
+                    return vec![];
+                }
+                let (peer, op) = match state {
+                    InitiatorState::AwaitRequestAck { peer, op, .. }
+                    | InitiatorState::AwaitResponse { peer, op, .. } => (peer, op),
+                };
+                if src != peer {
+                    return vec![];
+                }
+                self.current = None;
+                match (op, msg.gts) {
+                    (GtsOp::Allocate, Some(gts)) => {
+                        self.completed_allocations += 1;
+                        vec![
+                            HandshakeAction::Send(GtsMessage {
+                                kind: GtsMessageKind::Notify,
+                                op: GtsOp::Allocate,
+                                gts: Some(gts),
+                                sab_busy: 0,
+                                handshake_id: id,
+                                peer,
+                            }),
+                            HandshakeAction::Allocated {
+                                gts,
+                                peer,
+                                tx: true,
+                            },
+                        ]
+                    }
+                    (GtsOp::Allocate, None) => {
+                        // Responder found no common free slot.
+                        self.failures += 1;
+                        vec![HandshakeAction::Failed { id }]
+                    }
+                    (GtsOp::Deallocate, Some(gts)) => {
+                        self.completed_deallocations += 1;
+                        vec![
+                            HandshakeAction::Send(GtsMessage {
+                                kind: GtsMessageKind::Notify,
+                                op: GtsOp::Deallocate,
+                                gts: Some(gts),
+                                sab_busy: 0,
+                                handshake_id: id,
+                                peer,
+                            }),
+                            HandshakeAction::Deallocated { gts, peer },
+                        ]
+                    }
+                    (GtsOp::Deallocate, None) => {
+                        self.failures += 1;
+                        vec![HandshakeAction::Failed { id }]
+                    }
+                }
+            }
+            GtsMessageKind::Notify => {
+                // The responder confirms its optimistic commitment.
+                if msg.peer == self.me {
+                    self.awaiting_notify
+                        .retain(|(id, _, _)| *id != msg.handshake_id);
+                }
+                vec![] // SAB upkeep happens in the node
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msf::MsfConfig;
+
+    fn engine(id: u32) -> HandshakeEngine {
+        HandshakeEngine::new(NodeId(id))
+    }
+
+    fn empty_sab() -> SlotBitmap {
+        SlotBitmap::new(&MsfConfig::default())
+    }
+
+    fn extract_sent(actions: &[HandshakeAction]) -> Vec<GtsMessage> {
+        actions
+            .iter()
+            .filter_map(|a| match a {
+                HandshakeAction::Send(m) => Some(*m),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Plays a full allocation handshake between two engines with a
+    /// perfect channel; returns the committed GTS.
+    fn full_allocation(a: &mut HandshakeEngine, b: &mut HandshakeEngine) -> GtsSlot {
+        let sab_a = empty_sab();
+        let sab_b = empty_sab();
+        let actions = a.handle(
+            HandshakeEvent::StartAllocate { peer: NodeId(1) },
+            &sab_a,
+        );
+        let request = extract_sent(&actions)[0];
+        assert!(actions.contains(&HandshakeAction::StartTimer {
+            id: request.handshake_id
+        }));
+        // Request reaches B (and is acked).
+        a.handle(HandshakeEvent::RequestDelivered, &sab_a);
+        let b_actions = b.handle(
+            HandshakeEvent::Message {
+                msg: request,
+                src: NodeId(0),
+            },
+            &sab_b,
+        );
+        let response = extract_sent(&b_actions)[0];
+        assert_eq!(response.kind, GtsMessageKind::Response);
+        let gts_b = match b_actions
+            .iter()
+            .find(|a| matches!(a, HandshakeAction::Allocated { .. }))
+        {
+            Some(&HandshakeAction::Allocated { gts, peer, tx }) => {
+                assert_eq!(peer, NodeId(0));
+                assert!(!tx, "responder is the RX side");
+                gts
+            }
+            _ => panic!("responder did not allocate"),
+        };
+        // Response reaches A.
+        let a_actions = a.handle(
+            HandshakeEvent::Message {
+                msg: response,
+                src: NodeId(1),
+            },
+            &sab_a,
+        );
+        let notify = extract_sent(&a_actions)[0];
+        assert_eq!(notify.kind, GtsMessageKind::Notify);
+        match a_actions
+            .iter()
+            .find(|x| matches!(x, HandshakeAction::Allocated { .. }))
+        {
+            Some(&HandshakeAction::Allocated { gts, peer, tx }) => {
+                assert_eq!(gts, gts_b, "both sides must commit the same GTS");
+                assert_eq!(peer, NodeId(1));
+                assert!(tx, "initiator is the TX side");
+                gts
+            }
+            _ => panic!("initiator did not allocate"),
+        }
+    }
+
+    #[test]
+    fn successful_allocation_commits_both_sides() {
+        let mut a = engine(0);
+        let mut b = engine(1);
+        let gts = full_allocation(&mut a, &mut b);
+        assert!(gts.index < 14);
+        assert!(!a.busy(), "handshake must be finished");
+        assert_eq!(a.completed_allocations(), 1);
+        assert_eq!(b.completed_allocations(), 1);
+    }
+
+    #[test]
+    fn request_failure_aborts() {
+        let mut a = engine(0);
+        let sab = empty_sab();
+        let actions = a.handle(HandshakeEvent::StartAllocate { peer: NodeId(1) }, &sab);
+        let id = extract_sent(&actions)[0].handshake_id;
+        let fail = a.handle(HandshakeEvent::RequestFailed, &sab);
+        assert!(fail.contains(&HandshakeAction::Failed { id }));
+        assert!(!a.busy());
+        assert_eq!(a.failures(), 1);
+    }
+
+    #[test]
+    fn timeout_aborts_only_matching_id() {
+        let mut a = engine(0);
+        let sab = empty_sab();
+        let actions = a.handle(HandshakeEvent::StartAllocate { peer: NodeId(1) }, &sab);
+        let id = extract_sent(&actions)[0].handshake_id;
+        // A stale timer does nothing.
+        assert!(a
+            .handle(HandshakeEvent::Timeout { id: id + 7 }, &sab)
+            .is_empty());
+        assert!(a.busy());
+        let fail = a.handle(HandshakeEvent::Timeout { id }, &sab);
+        assert!(fail.contains(&HandshakeAction::Failed { id }));
+    }
+
+    #[test]
+    fn responder_with_full_sab_rejects() {
+        let mut a = engine(0);
+        let mut b = engine(1);
+        let sab_a = empty_sab();
+        let mut sab_b = empty_sab();
+        for g in sab_b.clone().free_iter().collect::<Vec<_>>() {
+            sab_b.mark(g);
+        }
+        let actions = a.handle(HandshakeEvent::StartAllocate { peer: NodeId(1) }, &sab_a);
+        let request = extract_sent(&actions)[0];
+        a.handle(HandshakeEvent::RequestDelivered, &sab_a);
+        let b_actions = b.handle(
+            HandshakeEvent::Message { msg: request, src: NodeId(0) },
+            &sab_b,
+        );
+        let response = extract_sent(&b_actions)[0];
+        assert_eq!(response.gts, None, "full responder must offer nothing");
+        assert!(!b_actions
+            .iter()
+            .any(|x| matches!(x, HandshakeAction::Allocated { .. })));
+        let a_actions = a.handle(
+            HandshakeEvent::Message { msg: response, src: NodeId(1) },
+            &sab_a,
+        );
+        assert!(matches!(a_actions[0], HandshakeAction::Failed { .. }));
+    }
+
+    #[test]
+    fn responder_avoids_initiators_busy_slots() {
+        let mut b = engine(1);
+        let mut sab_a = empty_sab();
+        // The initiator's view: everything busy except one slot.
+        let keep = GtsSlot { index: 9, channel: 2 };
+        for g in sab_a.clone().free_iter().collect::<Vec<_>>() {
+            if g != keep {
+                sab_a.mark(g);
+            }
+        }
+        let request = GtsMessage {
+            kind: GtsMessageKind::Request,
+            op: GtsOp::Allocate,
+            gts: None,
+            sab_busy: sab_a.to_word(),
+            handshake_id: 5,
+            peer: NodeId(1),
+        };
+        let actions = b.handle(
+            HandshakeEvent::Message { msg: request, src: NodeId(0) },
+            &empty_sab(),
+        );
+        let response = extract_sent(&actions)[0];
+        assert_eq!(response.gts, Some(keep));
+    }
+
+    #[test]
+    fn deallocation_roundtrip() {
+        let mut a = engine(0);
+        let mut b = engine(1);
+        let gts = full_allocation(&mut a, &mut b);
+        let sab = empty_sab();
+        let actions = a.handle(
+            HandshakeEvent::StartDeallocate { peer: NodeId(1), gts },
+            &sab,
+        );
+        let request = extract_sent(&actions)[0];
+        assert_eq!(request.op, GtsOp::Deallocate);
+        assert_eq!(request.gts, Some(gts));
+        a.handle(HandshakeEvent::RequestDelivered, &sab);
+        let b_actions = b.handle(
+            HandshakeEvent::Message { msg: request, src: NodeId(0) },
+            &sab,
+        );
+        assert!(b_actions.contains(&HandshakeAction::Deallocated { gts, peer: NodeId(0) }));
+        let response = extract_sent(&b_actions)[0];
+        let a_actions = a.handle(
+            HandshakeEvent::Message { msg: response, src: NodeId(1) },
+            &sab,
+        );
+        assert!(a_actions.contains(&HandshakeAction::Deallocated { gts, peer: NodeId(1) }));
+        assert_eq!(a.completed_deallocations(), 1);
+        assert_eq!(b.completed_deallocations(), 1);
+    }
+
+    #[test]
+    fn failed_deallocation_still_releases_locally() {
+        let mut a = engine(0);
+        let sab = empty_sab();
+        let gts = GtsSlot { index: 2, channel: 1 };
+        a.handle(
+            HandshakeEvent::StartDeallocate { peer: NodeId(1), gts },
+            &sab,
+        );
+        let actions = a.handle(HandshakeEvent::RequestFailed, &sab);
+        assert!(actions.contains(&HandshakeAction::Deallocated { gts, peer: NodeId(1) }));
+    }
+
+    #[test]
+    fn second_start_while_busy_is_ignored() {
+        let mut a = engine(0);
+        let sab = empty_sab();
+        let first = a.handle(HandshakeEvent::StartAllocate { peer: NodeId(1) }, &sab);
+        assert!(!first.is_empty());
+        let second = a.handle(HandshakeEvent::StartAllocate { peer: NodeId(2) }, &sab);
+        assert!(second.is_empty(), "engine must run one handshake at a time");
+    }
+
+    #[test]
+    fn responses_for_others_are_ignored() {
+        let mut c = engine(2);
+        let sab = empty_sab();
+        let response = GtsMessage {
+            kind: GtsMessageKind::Response,
+            op: GtsOp::Allocate,
+            gts: Some(GtsSlot { index: 0, channel: 0 }),
+            sab_busy: 0,
+            handshake_id: 1,
+            peer: NodeId(0), // addressed to node 0, not us
+        };
+        let actions = c.handle(
+            HandshakeEvent::Message { msg: response, src: NodeId(1) },
+            &sab,
+        );
+        assert!(actions.is_empty());
+    }
+
+    #[test]
+    fn stale_response_after_timeout_is_ignored() {
+        let mut a = engine(0);
+        let sab = empty_sab();
+        let actions = a.handle(HandshakeEvent::StartAllocate { peer: NodeId(1) }, &sab);
+        let id = extract_sent(&actions)[0].handshake_id;
+        a.handle(HandshakeEvent::Timeout { id }, &sab);
+        let response = GtsMessage {
+            kind: GtsMessageKind::Response,
+            op: GtsOp::Allocate,
+            gts: Some(GtsSlot { index: 1, channel: 1 }),
+            sab_busy: 0,
+            handshake_id: id,
+            peer: NodeId(0),
+        };
+        let late = a.handle(
+            HandshakeEvent::Message { msg: response, src: NodeId(1) },
+            &sab,
+        );
+        assert!(late.is_empty(), "late responses must not resurrect state");
+    }
+}

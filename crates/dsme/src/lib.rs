@@ -1,0 +1,40 @@
+//! IEEE 802.15.4 DSME substrate (paper Appendix A, §6.3).
+//!
+//! The Deterministic and Synchronous Multi-channel Extension divides
+//! time into multi-superframes of `2^(MO−SO)` superframes; each
+//! superframe has a beacon slot, 8 CAP slots (contention — where QMA
+//! or CSMA/CA runs) and 7 GTS slots spread over frequency channels
+//! (Fig. 23). GTS must be allocated through a **3-way handshake** in
+//! the CAP (GTS-request → GTS-response → GTS-notify, Fig. 24) with
+//! duplicate detection and rollback.
+//!
+//! Modules:
+//!
+//! * [`msf`] — multi-superframe geometry: GTS-slot indexing and
+//!   occurrence times on top of the shared [`qma_netsim::FrameClock`],
+//! * [`sab`] — the slot-allocation bitmap over (GTS slot, channel),
+//! * [`msg`] — handshake message encoding into management frames,
+//! * [`handshake`] — the 3-way handshake state machine (pure and
+//!   unit-testable: events in, actions out),
+//! * [`gts`] — a node's allocated-GTS table with idle tracking,
+//! * [`node`] — the DSME upper layer tying it all together: GPSR
+//!   hellos, backlog-driven GTS (de)allocation over the contention
+//!   MAC, and the CFP data plane (one packet per GTS, per-slot
+//!   channel hopping).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gts;
+pub mod handshake;
+pub mod msf;
+pub mod msg;
+pub mod node;
+pub mod sab;
+
+pub use gts::{GtsDirection, GtsEntry, GtsTable};
+pub use handshake::{HandshakeAction, HandshakeEngine, HandshakeEvent};
+pub use msf::{GtsSlot, MsfConfig};
+pub use msg::{GtsMessage, GtsMessageKind, GtsOp};
+pub use node::{DsmeNode, DsmeNodeConfig};
+pub use sab::SlotBitmap;

@@ -1,0 +1,203 @@
+//! Multi-superframe geometry (Fig. 23).
+//!
+//! A multi-superframe spans `sf_per_msf = 2^(MO−SO)` superframes;
+//! each superframe contributes 7 GTS slots (slots 9–15 of the
+//! 16-slot superframe; slot 0 is the beacon, slots 1–8 the CAP).
+//! A **GTS coordinate** is `(gts_index, channel)` where
+//! `gts_index = superframe_in_msf · 7 + cfp_slot`.
+
+use qma_des::{SimDuration, SimTime};
+use qma_netsim::FrameClock;
+
+/// GTS slots per superframe (CFP slots 9–15).
+pub const GTS_PER_SUPERFRAME: u16 = 7;
+/// The superframe slot index where the CFP begins.
+pub const CFP_FIRST_SLOT: u16 = 9;
+/// Superframe slots.
+pub const SUPERFRAME_SLOTS: u16 = 16;
+
+/// A concrete GTS coordinate inside a multi-superframe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GtsSlot {
+    /// `superframe_in_msf · 7 + cfp_slot`.
+    pub index: u16,
+    /// Frequency channel.
+    pub channel: u8,
+}
+
+/// Multi-superframe configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MsfConfig {
+    /// Superframes per multi-superframe (`2^(MO−SO)`).
+    pub sf_per_msf: u16,
+    /// Number of frequency channels usable for GTS.
+    pub channels: u8,
+}
+
+impl Default for MsfConfig {
+    fn default() -> Self {
+        // MO = SO+1 → 2 superframes per multi-superframe, 4 channels:
+        // 14 GTS slots × 4 channels = 56 GTS per multi-superframe,
+        // which fits the 64-bit SAB word in handshake messages.
+        MsfConfig {
+            sf_per_msf: 2,
+            channels: 4,
+        }
+    }
+}
+
+impl MsfConfig {
+    /// Total GTS slot indices per multi-superframe.
+    pub fn gts_slots(&self) -> u16 {
+        self.sf_per_msf * GTS_PER_SUPERFRAME
+    }
+
+    /// Total (slot, channel) GTS coordinates per multi-superframe.
+    pub fn gts_capacity(&self) -> u32 {
+        self.gts_slots() as u32 * self.channels as u32
+    }
+
+    /// Duration of one multi-superframe under `clock`.
+    pub fn msf_duration(&self, clock: &FrameClock) -> SimDuration {
+        clock.frame_duration() * self.sf_per_msf as u64
+    }
+
+    /// The start time of the `occurrence`-th multi-superframe.
+    pub fn msf_start(&self, clock: &FrameClock, occurrence: u64) -> SimTime {
+        SimTime::from_micros(occurrence * self.msf_duration(clock).as_micros())
+    }
+
+    /// Which multi-superframe contains `t`.
+    pub fn msf_index(&self, clock: &FrameClock, t: SimTime) -> u64 {
+        clock.frame_index(t) / self.sf_per_msf as u64
+    }
+
+    /// Superframe-slot duration under `clock`.
+    pub fn slot_duration(&self, clock: &FrameClock) -> SimDuration {
+        clock.frame_duration() / SUPERFRAME_SLOTS as u64
+    }
+
+    /// Start time of `slot` (a GTS index) within the multi-superframe
+    /// beginning at `msf_start`.
+    pub fn gts_start(&self, clock: &FrameClock, msf_start: SimTime, index: u16) -> SimTime {
+        assert!(index < self.gts_slots(), "GTS index {index} out of range");
+        let sf = (index / GTS_PER_SUPERFRAME) as u64;
+        let slot = (index % GTS_PER_SUPERFRAME) as u64 + CFP_FIRST_SLOT as u64;
+        msf_start + clock.frame_duration() * sf + self.slot_duration(clock) * slot
+    }
+
+    /// The next occurrence (strictly after `now`) of GTS `index`.
+    pub fn next_gts_occurrence(&self, clock: &FrameClock, index: u16, now: SimTime) -> SimTime {
+        let msf = self.msf_index(clock, now);
+        for occurrence in msf..=msf + 1 {
+            let start = self.msf_start(clock, occurrence);
+            let t = self.gts_start(clock, start, index);
+            if t > now {
+                return t;
+            }
+        }
+        unreachable!("a GTS occurs in every multi-superframe")
+    }
+
+    /// The GTS index whose slot contains `t`, if `t` is inside a CFP.
+    pub fn gts_at(&self, clock: &FrameClock, t: SimTime) -> Option<u16> {
+        let frame = clock.frame_index(t);
+        let in_frame = t.since(clock.frame_start(frame));
+        let slot = (in_frame.as_micros() / self.slot_duration(clock).as_micros()) as u16;
+        if slot < CFP_FIRST_SLOT || slot >= SUPERFRAME_SLOTS {
+            return None;
+        }
+        let sf_in_msf = (frame % self.sf_per_msf as u64) as u16;
+        Some(sf_in_msf * GTS_PER_SUPERFRAME + (slot - CFP_FIRST_SLOT))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clock() -> FrameClock {
+        FrameClock::dsme_so3() // 122.88 ms superframe
+    }
+
+    #[test]
+    fn capacity_default_fits_sab_word() {
+        let c = MsfConfig::default();
+        assert_eq!(c.gts_slots(), 14);
+        assert_eq!(c.gts_capacity(), 56);
+        assert!(c.gts_capacity() <= 64);
+    }
+
+    #[test]
+    fn msf_duration_and_indexing() {
+        let c = MsfConfig::default();
+        let k = clock();
+        assert_eq!(c.msf_duration(&k), SimDuration::from_micros(245_760));
+        assert_eq!(c.msf_index(&k, SimTime::from_micros(0)), 0);
+        assert_eq!(c.msf_index(&k, SimTime::from_micros(245_760)), 1);
+        assert_eq!(c.msf_index(&k, SimTime::from_micros(245_759)), 0);
+    }
+
+    #[test]
+    fn gts_start_times() {
+        let c = MsfConfig::default();
+        let k = clock();
+        let slot = c.slot_duration(&k);
+        assert_eq!(slot, SimDuration::from_micros(7_680));
+        // GTS 0 = superframe 0, slot 9.
+        assert_eq!(
+            c.gts_start(&k, SimTime::ZERO, 0),
+            SimTime::from_micros(9 * 7_680)
+        );
+        // GTS 7 = superframe 1, slot 9.
+        assert_eq!(
+            c.gts_start(&k, SimTime::ZERO, 7),
+            SimTime::from_micros(122_880 + 9 * 7_680)
+        );
+        // Last GTS of the msf: superframe 1, slot 15.
+        assert_eq!(
+            c.gts_start(&k, SimTime::ZERO, 13),
+            SimTime::from_micros(122_880 + 15 * 7_680)
+        );
+    }
+
+    #[test]
+    fn gts_at_roundtrip() {
+        let c = MsfConfig::default();
+        let k = clock();
+        for index in 0..c.gts_slots() {
+            let t = c.gts_start(&k, SimTime::ZERO, index);
+            assert_eq!(c.gts_at(&k, t), Some(index), "index {index}");
+            // Middle of the slot too.
+            assert_eq!(
+                c.gts_at(&k, t + SimDuration::from_micros(3_000)),
+                Some(index)
+            );
+        }
+        // CAP times map to none.
+        assert_eq!(c.gts_at(&k, SimTime::from_micros(10_000)), None);
+        // Beacon slot too.
+        assert_eq!(c.gts_at(&k, SimTime::from_micros(100)), None);
+    }
+
+    #[test]
+    fn next_occurrence_is_strictly_future_and_periodic() {
+        let c = MsfConfig::default();
+        let k = clock();
+        let first = c.next_gts_occurrence(&k, 3, SimTime::ZERO);
+        assert_eq!(first, SimTime::from_micros(12 * 7_680));
+        let second = c.next_gts_occurrence(&k, 3, first);
+        assert_eq!(
+            second.since(first),
+            c.msf_duration(&k),
+            "GTS must recur once per multi-superframe"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn gts_index_bounds_checked() {
+        let c = MsfConfig::default();
+        c.gts_start(&clock(), SimTime::ZERO, 14);
+    }
+}

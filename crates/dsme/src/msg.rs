@@ -1,0 +1,205 @@
+//! GTS handshake message encoding (Fig. 24).
+//!
+//! The three handshake messages travel as management frames during
+//! the CAP: the **request** is unicast (acknowledged), **response**
+//! and **notify** are broadcast "to inform all nodes in the
+//! neighbourhood about the GTS that is going to be allocated".
+
+use qma_netsim::{Address, Frame, FrameKind, NodeId, Payload};
+
+use crate::msf::GtsSlot;
+
+/// Management-frame discriminators for the handshake.
+pub const MGMT_GTS_REQUEST: u8 = 0x20;
+/// GTS-response discriminator.
+pub const MGMT_GTS_RESPONSE: u8 = 0x21;
+/// GTS-notify discriminator.
+pub const MGMT_GTS_NOTIFY: u8 = 0x22;
+
+/// Which of the three messages this is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GtsMessageKind {
+    /// Unicast request from the initiator.
+    Request,
+    /// Broadcast response from the responder.
+    Response,
+    /// Broadcast notify from the initiator.
+    Notify,
+}
+
+/// Allocation or deallocation handshake.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GtsOp {
+    /// Allocate a new GTS.
+    Allocate,
+    /// Deallocate (rollback) an existing GTS.
+    Deallocate,
+}
+
+/// A decoded handshake message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GtsMessage {
+    /// Message kind.
+    pub kind: GtsMessageKind,
+    /// Allocation or deallocation.
+    pub op: GtsOp,
+    /// The GTS being negotiated. Absent in allocation *requests*
+    /// (the responder chooses); present everywhere else.
+    pub gts: Option<GtsSlot>,
+    /// The sender's busy-SAB word (requests carry it so the responder
+    /// can intersect views; other messages carry 0).
+    pub sab_busy: u64,
+    /// Handshake identifier (unique per initiator).
+    pub handshake_id: u32,
+    /// The other party of the handshake: for a request, the
+    /// responder; for response/notify broadcasts, the peer the GTS is
+    /// shared with (receivers need it to attribute the allocation).
+    pub peer: NodeId,
+}
+
+/// Octet sizes accounted for the three messages (header fields +
+/// SAB payload, in the ballpark of openDSME's frames).
+const REQUEST_OCTETS: u16 = 16;
+const RESPONSE_OCTETS: u16 = 12;
+const NOTIFY_OCTETS: u16 = 10;
+
+impl GtsMessage {
+    /// Encodes into a MAC frame from `src`, with `seq` for ACK
+    /// matching.
+    pub fn encode(&self, src: NodeId, seq: u32) -> Frame {
+        let (disc, dst, octets, ack) = match self.kind {
+            GtsMessageKind::Request => (
+                MGMT_GTS_REQUEST,
+                Address::Node(self.peer),
+                REQUEST_OCTETS,
+                true,
+            ),
+            GtsMessageKind::Response => {
+                (MGMT_GTS_RESPONSE, Address::Broadcast, RESPONSE_OCTETS, false)
+            }
+            GtsMessageKind::Notify => {
+                (MGMT_GTS_NOTIFY, Address::Broadcast, NOTIFY_OCTETS, false)
+            }
+        };
+        let op_bit = match self.op {
+            GtsOp::Allocate => 0u64,
+            GtsOp::Deallocate => 1u64,
+        };
+        let gts_word = match self.gts {
+            None => u64::MAX,
+            Some(g) => ((g.index as u64) << 8) | g.channel as u64,
+        };
+        let meta = op_bit | ((self.handshake_id as u64) << 1) | ((self.peer.0 as u64) << 33);
+        Frame::management(src, dst, disc, seq, octets, ack)
+            .with_payload(Payload::Words([meta, gts_word, self.sab_busy, 0]))
+    }
+
+    /// Decodes a management frame; `None` if it is not a handshake
+    /// message.
+    pub fn decode(frame: &Frame) -> Option<GtsMessage> {
+        let FrameKind::Management(disc) = frame.kind else {
+            return None;
+        };
+        let kind = match disc {
+            MGMT_GTS_REQUEST => GtsMessageKind::Request,
+            MGMT_GTS_RESPONSE => GtsMessageKind::Response,
+            MGMT_GTS_NOTIFY => GtsMessageKind::Notify,
+            _ => return None,
+        };
+        let Payload::Words([meta, gts_word, sab_busy, _]) = frame.payload else {
+            return None;
+        };
+        let op = if meta & 1 == 0 {
+            GtsOp::Allocate
+        } else {
+            GtsOp::Deallocate
+        };
+        let handshake_id = ((meta >> 1) & 0xFFFF_FFFF) as u32;
+        let peer = NodeId((meta >> 33) as u32);
+        let gts = if gts_word == u64::MAX {
+            None
+        } else {
+            Some(GtsSlot {
+                index: (gts_word >> 8) as u16,
+                channel: (gts_word & 0xFF) as u8,
+            })
+        };
+        Some(GtsMessage {
+            kind,
+            op,
+            gts,
+            sab_busy,
+            handshake_id,
+            peer,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(kind: GtsMessageKind, gts: Option<GtsSlot>) -> GtsMessage {
+        GtsMessage {
+            kind,
+            op: GtsOp::Allocate,
+            gts,
+            sab_busy: 0b1011,
+            handshake_id: 0xDEAD_BEEF,
+            peer: NodeId(42),
+        }
+    }
+
+    #[test]
+    fn request_roundtrip() {
+        let m = sample(GtsMessageKind::Request, None);
+        let f = m.encode(NodeId(7), 99);
+        assert_eq!(f.dst, Address::Node(NodeId(42)));
+        assert!(f.ack_request);
+        assert_eq!(GtsMessage::decode(&f), Some(m));
+    }
+
+    #[test]
+    fn response_and_notify_are_broadcast() {
+        let g = Some(GtsSlot { index: 5, channel: 3 });
+        for kind in [GtsMessageKind::Response, GtsMessageKind::Notify] {
+            let m = sample(kind, g);
+            let f = m.encode(NodeId(1), 5);
+            assert!(f.dst.is_broadcast());
+            assert!(!f.ack_request);
+            assert_eq!(GtsMessage::decode(&f), Some(m));
+        }
+    }
+
+    #[test]
+    fn deallocate_flag_roundtrip() {
+        let mut m = sample(GtsMessageKind::Notify, Some(GtsSlot { index: 1, channel: 0 }));
+        m.op = GtsOp::Deallocate;
+        let f = m.encode(NodeId(3), 1);
+        assert_eq!(GtsMessage::decode(&f).unwrap().op, GtsOp::Deallocate);
+    }
+
+    #[test]
+    fn non_handshake_frames_decode_to_none() {
+        let data = Frame::data(NodeId(0), Address::Broadcast, 1, 10, false);
+        assert_eq!(GtsMessage::decode(&data), None);
+        let other = Frame::management(NodeId(0), Address::Broadcast, 0x10, 1, 4, false);
+        assert_eq!(GtsMessage::decode(&other), None);
+    }
+
+    #[test]
+    fn handshake_id_and_peer_preserved() {
+        let m = GtsMessage {
+            kind: GtsMessageKind::Response,
+            op: GtsOp::Allocate,
+            gts: Some(GtsSlot { index: 13, channel: 1 }),
+            sab_busy: u64::MAX >> 8,
+            handshake_id: u32::MAX,
+            peer: NodeId(90),
+        };
+        let back = GtsMessage::decode(&m.encode(NodeId(2), 7)).unwrap();
+        assert_eq!(back.handshake_id, u32::MAX);
+        assert_eq!(back.peer, NodeId(90));
+        assert_eq!(back.sab_busy, u64::MAX >> 8);
+    }
+}

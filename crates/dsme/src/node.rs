@@ -1,0 +1,755 @@
+//! The DSME upper layer (§6.3's scenario): primary traffic over
+//! allocated GTS, secondary traffic (GTS handshakes + GPSR hellos)
+//! over the contention MAC.
+//!
+//! Responsibilities per node:
+//!
+//! * generate primary data (fluctuating Poisson) and forward incoming
+//!   data one hop closer to the sink (GPSR next hop, falling back to
+//!   the topology parent until hellos have been heard),
+//! * keep a CFP transmit queue per outgoing link and drive
+//!   backlog-triggered GTS allocation / idle-triggered deallocation
+//!   through the 3-way handshake engine,
+//! * maintain the slot-allocation bitmap from overheard
+//!   response/notify broadcasts and detect duplicate allocations
+//!   (rolled back via a deallocation handshake, as in Appendix A),
+//! * run the CFP data plane: transmit one packet per owned TX-GTS
+//!   occurrence on its channel, retune the receiver for RX-GTS.
+
+use std::collections::VecDeque;
+
+use qma_des::{SimDuration, SimTime};
+use qma_net::{Gpsr, GpsrConfig, TrafficPattern};
+use qma_netsim::{
+    Address, AppInfo, Frame, FrameClock, NodeId, TxResult, UpperCtx, UpperLayer,
+};
+use qma_phy::Position;
+
+use crate::gts::{GtsDirection, GtsTable};
+use crate::handshake::{HandshakeAction, HandshakeEngine, HandshakeEvent};
+use crate::msf::{GtsSlot, MsfConfig, CFP_FIRST_SLOT, GTS_PER_SUPERFRAME, SUPERFRAME_SLOTS};
+use crate::msg::{GtsMessage, GtsMessageKind, GtsOp, MGMT_GTS_REQUEST};
+use crate::sab::SlotBitmap;
+
+/// Configuration of one DSME node.
+#[derive(Debug, Clone)]
+pub struct DsmeNodeConfig {
+    /// Multi-superframe geometry.
+    pub msf: MsfConfig,
+    /// Primary traffic source.
+    pub pattern: TrafficPattern,
+    /// The data sink.
+    pub sink: NodeId,
+    /// The sink's position (GPSR destination).
+    pub sink_pos: Position,
+    /// This node's position.
+    pub my_pos: Position,
+    /// Static next hop toward the sink (topology parent), used until
+    /// GPSR has neighbour information.
+    pub fallback_next_hop: Option<NodeId>,
+    /// GPSR parameters.
+    pub gpsr: GpsrConfig,
+    /// Application payload octets for primary data.
+    pub payload_octets: u16,
+    /// CFP queue capacity (the paper's queues hold 8 packets).
+    pub cfp_queue_capacity: usize,
+    /// Request one more GTS when the backlog exceeds
+    /// `backlog_per_gts × owned TX slots`.
+    pub backlog_per_gts: usize,
+    /// Upper bound on TX GTS toward one peer.
+    pub max_tx_gts_per_link: usize,
+    /// Deallocate a TX GTS after this many idle occurrences.
+    pub dealloc_idle_streak: u32,
+    /// Handshake response timeout.
+    pub handshake_timeout: SimDuration,
+}
+
+impl DsmeNodeConfig {
+    /// Defaults matching the paper's scalability scenario for a node
+    /// at `my_pos` with the given role.
+    pub fn paper(
+        pattern: TrafficPattern,
+        sink: NodeId,
+        sink_pos: Position,
+        my_pos: Position,
+        fallback_next_hop: Option<NodeId>,
+    ) -> Self {
+        DsmeNodeConfig {
+            msf: MsfConfig::default(),
+            pattern,
+            sink,
+            sink_pos,
+            my_pos,
+            fallback_next_hop,
+            gpsr: GpsrConfig::default(),
+            payload_octets: 60,
+            cfp_queue_capacity: 8,
+            backlog_per_gts: 2,
+            max_tx_gts_per_link: 7,
+            dealloc_idle_streak: 8,
+            // 8 superframes ≈ 1 s: generous enough for a CAP that is
+            // still *learning* (QMA's early exploration phase delays
+            // responses), tight enough to roll orphans back quickly.
+            handshake_timeout: SimDuration::from_micros(8 * 122_880),
+        }
+    }
+}
+
+const TAG_ARRIVAL: u64 = 1;
+const TAG_HELLO: u64 = 2;
+const TAG_SLOT: u64 = 3;
+const TAG_SLOT_END: u64 = 4;
+const TAG_MAINT: u64 = 5;
+const TAG_GTS_TX: u64 = 6;
+const TAG_HS_BASE: u64 = 8;
+const TAG_HS_NOTIFY: u64 = 9;
+
+fn hs_tag(id: u32) -> u64 {
+    TAG_HS_BASE | ((id as u64) << 8)
+}
+
+fn hs_notify_tag(id: u32) -> u64 {
+    TAG_HS_NOTIFY | ((id as u64) << 8)
+}
+
+fn hs_id_of(tag: u64) -> Option<u32> {
+    (tag & 0xFF == TAG_HS_BASE).then_some((tag >> 8) as u32)
+}
+
+fn hs_notify_id_of(tag: u64) -> Option<u32> {
+    (tag & 0xFF == TAG_HS_NOTIFY).then_some((tag >> 8) as u32)
+}
+
+/// The DSME upper layer.
+pub struct DsmeNode {
+    cfg: DsmeNodeConfig,
+    gpsr: Gpsr,
+    engine: HandshakeEngine,
+    table: GtsTable,
+    sab: SlotBitmap,
+    cfp_queue: VecDeque<Frame>,
+    generated: u64,
+    seq: u32,
+    pending_request_seq: Option<u32>,
+    /// Earliest time the next allocation attempt may start (set after
+    /// a failed handshake so a congested CAP is not flooded with
+    /// back-to-back GTS-requests).
+    alloc_cooldown_until: SimTime,
+    /// Data frame staged for transmission after the rx→tx turnaround
+    /// of the current GTS (receivers retune at the slot boundary; the
+    /// sender waits aTurnaroundTime so every receiver is tuned).
+    pending_gts_tx: Option<(Frame, u8, GtsSlot)>,
+    me: NodeId,
+}
+
+impl DsmeNode {
+    /// Creates the node's DSME layer.
+    pub fn new(me: NodeId, cfg: DsmeNodeConfig) -> Self {
+        let gpsr = Gpsr::new(cfg.gpsr, me, cfg.my_pos);
+        let sab = SlotBitmap::new(&cfg.msf);
+        DsmeNode {
+            engine: HandshakeEngine::new(me),
+            table: GtsTable::new(),
+            gpsr,
+            sab,
+            cfp_queue: VecDeque::new(),
+            generated: 0,
+            seq: 0,
+            pending_request_seq: None,
+            alloc_cooldown_until: SimTime::ZERO,
+            pending_gts_tx: None,
+            me,
+            cfg,
+        }
+    }
+
+    /// The node's GTS table (tests, analysis).
+    pub fn gts_table(&self) -> &GtsTable {
+        &self.table
+    }
+
+    /// The node's SAB view.
+    pub fn sab(&self) -> &SlotBitmap {
+        &self.sab
+    }
+
+    fn next_hop(&self, now: SimTime) -> Option<NodeId> {
+        if self.me == self.cfg.sink {
+            return None;
+        }
+        self.gpsr
+            .next_hop(self.cfg.sink_pos, now)
+            .or(self.cfg.fallback_next_hop)
+    }
+
+    /// Our SAB plus all channels of the slot indices we already own
+    /// (a node cannot use two channels in the same slot).
+    fn effective_sab(&self) -> SlotBitmap {
+        let mut v = self.sab.clone();
+        for e in self.table.iter() {
+            for channel in 0..v.channels() {
+                v.mark(GtsSlot {
+                    index: e.gts.index,
+                    channel,
+                });
+            }
+        }
+        v
+    }
+
+    fn process_actions(&mut self, ctx: &mut UpperCtx<'_>, actions: Vec<HandshakeAction>) {
+        for action in actions {
+            match action {
+                HandshakeAction::Send(msg) => self.send_handshake(ctx, msg),
+                HandshakeAction::StartTimer { id } => {
+                    ctx.schedule(self.cfg.handshake_timeout, hs_tag(id));
+                }
+                HandshakeAction::StartNotifyTimer { id } => {
+                    ctx.schedule(self.cfg.handshake_timeout, hs_notify_tag(id));
+                }
+                HandshakeAction::Allocated { gts, peer, tx } => {
+                    let dir = if tx { GtsDirection::Tx } else { GtsDirection::Rx };
+                    self.table.add(gts, dir, peer);
+                    self.sab.mark(gts);
+                    ctx.metrics().count("gts_allocated", 1.0);
+                    let me = self.me;
+                    ctx.metrics().count_node("gts_allocated", me, 1.0);
+                }
+                HandshakeAction::Deallocated { gts, peer: _ } => {
+                    if self.table.remove(gts).is_some() {
+                        ctx.metrics().count("gts_deallocated", 1.0);
+                    }
+                    self.sab.clear(gts);
+                }
+                HandshakeAction::Failed { id: _ } => {
+                    ctx.metrics().count("gts_hs_failed", 1.0);
+                    self.alloc_cooldown_until = ctx.now() + self.cfg.handshake_timeout;
+                }
+            }
+        }
+    }
+
+    fn send_handshake(&mut self, ctx: &mut UpperCtx<'_>, msg: GtsMessage) {
+        self.seq = self.seq.wrapping_add(1);
+        let frame = msg.encode(self.me, self.seq);
+        let counter = match msg.kind {
+            GtsMessageKind::Request => {
+                self.pending_request_seq = Some(self.seq);
+                "sec_req_sent"
+            }
+            GtsMessageKind::Response => {
+                if msg.gts.is_none() {
+                    // Responder found no common free coordinate — the
+                    // congestion signal of a full SAB (analysis aid).
+                    ctx.metrics().count("gts_resp_rejected", 1.0);
+                }
+                "sec_resp_sent"
+            }
+            GtsMessageKind::Notify => "sec_notify_sent",
+        };
+        ctx.metrics().count(counter, 1.0);
+        ctx.metrics().count("sec_sent", 1.0);
+        if !ctx.enqueue_mac(frame) {
+            ctx.metrics().count("sec_queue_drop", 1.0);
+            if msg.kind == GtsMessageKind::Request {
+                // The request never reached the MAC — fail fast.
+                self.pending_request_seq = None;
+                let sab = self.effective_sab();
+                let actions = self.engine.handle(HandshakeEvent::RequestFailed, &sab);
+                self.process_actions(ctx, actions);
+            }
+        }
+    }
+
+    fn maybe_allocate(&mut self, ctx: &mut UpperCtx<'_>) {
+        if self.engine.busy() || ctx.now() < self.alloc_cooldown_until {
+            return;
+        }
+        let Some(peer) = self.next_hop(ctx.now()) else {
+            return;
+        };
+        let backlog = self
+            .cfp_queue
+            .iter()
+            .filter(|f| f.dst == Address::Node(peer))
+            .count();
+        let owned = self.table.tx_count_to(peer);
+        let wanted = backlog.div_ceil(self.cfg.backlog_per_gts.max(1));
+        if owned < wanted && owned < self.cfg.max_tx_gts_per_link {
+            let sab = self.effective_sab();
+            let actions = self
+                .engine
+                .handle(HandshakeEvent::StartAllocate { peer }, &sab);
+            self.process_actions(ctx, actions);
+        }
+    }
+
+    fn enqueue_cfp(&mut self, ctx: &mut UpperCtx<'_>, frame: Frame) {
+        if self.cfp_queue.len() >= self.cfg.cfp_queue_capacity {
+            ctx.metrics().count("cfp_queue_drop", 1.0);
+            return;
+        }
+        self.cfp_queue.push_back(frame);
+        self.maybe_allocate(ctx);
+    }
+
+    /// The next CFP slot boundary strictly after `now`, as
+    /// `(time, gts_index)`.
+    fn next_cfp_slot(&self, clock: &FrameClock, now: SimTime) -> (SimTime, u16) {
+        let slot_dur = self.cfg.msf.slot_duration(clock);
+        let mut frame = clock.frame_index(now);
+        loop {
+            for slot in CFP_FIRST_SLOT..SUPERFRAME_SLOTS {
+                let t = clock.frame_start(frame) + slot_dur * slot as u64;
+                if t > now {
+                    let sf_in_msf = (frame % self.cfg.msf.sf_per_msf as u64) as u16;
+                    let index = sf_in_msf * GTS_PER_SUPERFRAME + (slot - CFP_FIRST_SLOT);
+                    return (t, index);
+                }
+            }
+            frame += 1;
+        }
+    }
+
+    fn on_slot_tick(&mut self, ctx: &mut UpperCtx<'_>, index: u16) {
+        let clock = *ctx.clock();
+        // Re-arm the tick chain first.
+        let now = ctx.now();
+        let (next_t, next_idx) = self.next_cfp_slot(&clock, now);
+        ctx.schedule(next_t.since(now), TAG_SLOT | ((next_idx as u64) << 8));
+
+        let entries: Vec<_> = self
+            .table
+            .iter()
+            .filter(|e| e.gts.index == index)
+            .copied()
+            .collect();
+        for e in entries {
+            match e.dir {
+                GtsDirection::Tx => {
+                    let pos = self
+                        .cfp_queue
+                        .iter()
+                        .position(|f| f.dst == Address::Node(e.peer));
+                    match pos {
+                        Some(i) if !ctx.tx_in_flight() => {
+                            let frame = self.cfp_queue.remove(i).expect("index valid");
+                            // Wait the rx→tx turnaround so the
+                            // receiver's retune (at the slot boundary)
+                            // is guaranteed to precede the frame.
+                            self.pending_gts_tx = Some((frame, e.gts.channel, e.gts));
+                            ctx.schedule(
+                                SimDuration::from_micros(192),
+                                TAG_GTS_TX,
+                            );
+                        }
+                        _ => {
+                            let streak = self.table.mark_idle(e.gts);
+                            if streak >= self.cfg.dealloc_idle_streak && !self.engine.busy() {
+                                let sab = self.effective_sab();
+                                let actions = self.engine.handle(
+                                    HandshakeEvent::StartDeallocate {
+                                        peer: e.peer,
+                                        gts: e.gts,
+                                    },
+                                    &sab,
+                                );
+                                self.process_actions(ctx, actions);
+                            }
+                        }
+                    }
+                }
+                GtsDirection::Rx => {
+                    ctx.set_listen_channel(e.gts.channel);
+                    // Return to the common channel one turnaround
+                    // before the next slot boundary, so this event can
+                    // never clobber the retune of a back-to-back GTS.
+                    let slot_dur = self.cfg.msf.slot_duration(&clock);
+                    ctx.schedule(
+                        slot_dur - SimDuration::from_micros(192),
+                        TAG_SLOT_END,
+                    );
+                    // Receiver-side idle tracking: an RX GTS whose
+                    // peer stopped using it (or whose peer never
+                    // learned of it — a lost notify at the initiator)
+                    // is released, freeing the coordinate for others.
+                    let streak = self.table.mark_idle(e.gts);
+                    if streak >= self.cfg.dealloc_idle_streak * 2 && !self.engine.busy() {
+                        let sab = self.effective_sab();
+                        let actions = self.engine.handle(
+                            HandshakeEvent::StartDeallocate {
+                                peer: e.peer,
+                                gts: e.gts,
+                            },
+                            &sab,
+                        );
+                        self.process_actions(ctx, actions);
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_handshake_frame(&mut self, ctx: &mut UpperCtx<'_>, msg: GtsMessage, src: NodeId) {
+        // Secondary-traffic success accounting (Fig. 21/22): the
+        // critical receiver of a response is the initiator, of a
+        // notify the responder.
+        match msg.kind {
+            GtsMessageKind::Response if msg.peer == self.me => {
+                ctx.metrics().count("sec_resp_ok", 1.0);
+            }
+            GtsMessageKind::Notify if msg.peer == self.me => {
+                ctx.metrics().count("sec_notify_ok", 1.0);
+            }
+            _ => {}
+        }
+
+        // SAB upkeep from overheard broadcasts.
+        if let Some(gts) = msg.gts {
+            if msg.kind != GtsMessageKind::Request {
+                match msg.op {
+                    GtsOp::Allocate => {
+                        // Duplicate detection: someone is allocating a
+                        // GTS we already own → roll ours back.
+                        let ours = self.table.get(gts).is_some();
+                        let involves_me = msg.peer == self.me || src == self.me;
+                        if ours && !involves_me {
+                            ctx.metrics().count("gts_conflict", 1.0);
+                            if !self.engine.busy() {
+                                let peer = self.table.get(gts).expect("checked").peer;
+                                let sab = self.effective_sab();
+                                let actions = self.engine.handle(
+                                    HandshakeEvent::StartDeallocate { peer, gts },
+                                    &sab,
+                                );
+                                self.process_actions(ctx, actions);
+                            }
+                        } else {
+                            self.sab.mark(gts);
+                        }
+                    }
+                    GtsOp::Deallocate => {
+                        if self.table.get(gts).is_none() {
+                            self.sab.clear(gts);
+                        }
+                    }
+                }
+            }
+        }
+
+        let sab = self.effective_sab();
+        let actions = self.engine.handle(HandshakeEvent::Message { msg, src }, &sab);
+        self.process_actions(ctx, actions);
+    }
+
+    fn generate_packet(&mut self, ctx: &mut UpperCtx<'_>) {
+        let now = ctx.now();
+        let me = self.me;
+        self.generated += 1;
+        ctx.metrics().app_generated(me);
+        let Some(next) = self.next_hop(now) else {
+            return;
+        };
+        self.seq = self.seq.wrapping_add(1);
+        let frame = Frame::data(me, Address::Node(next), self.seq, self.cfg.payload_octets, false)
+            .with_app(AppInfo {
+                origin: me,
+                id: self.generated,
+                created_at: now,
+                hops: 0,
+            });
+        self.enqueue_cfp(ctx, frame);
+    }
+
+    fn schedule_next_arrival(&mut self, ctx: &mut UpperCtx<'_>) {
+        let now = ctx.now();
+        if let Some(at) = self.cfg.pattern.next_arrival(now, self.generated, ctx.rng()) {
+            ctx.schedule(at.since(now), TAG_ARRIVAL);
+        }
+    }
+}
+
+impl UpperLayer for DsmeNode {
+    fn start(&mut self, ctx: &mut UpperCtx<'_>) {
+        use rand::Rng;
+        self.schedule_next_arrival(ctx);
+        // Jittered hello start avoids a synchronized broadcast storm.
+        let jitter_us = ctx.rng().gen_range(0..self.cfg.gpsr.hello_period.as_micros());
+        ctx.schedule(SimDuration::from_micros(jitter_us), TAG_HELLO);
+        let clock = *ctx.clock();
+        let (t, idx) = self.next_cfp_slot(&clock, ctx.now());
+        ctx.schedule(t.since(ctx.now()), TAG_SLOT | ((idx as u64) << 8));
+        ctx.schedule(clock.frame_duration(), TAG_MAINT);
+    }
+
+    fn on_timer(&mut self, ctx: &mut UpperCtx<'_>, tag: u64) {
+        if let Some(id) = hs_id_of(tag) {
+            let sab = self.effective_sab();
+            let actions = self.engine.handle(HandshakeEvent::Timeout { id }, &sab);
+            self.process_actions(ctx, actions);
+            return;
+        }
+        if let Some(id) = hs_notify_id_of(tag) {
+            // Veto the rollback when the slot demonstrably carries
+            // data (the notify broadcast was lost, but the initiator
+            // clearly committed): tearing the receiver down would
+            // black-hole the sender's ongoing transmissions.
+            if let Some(gts) = self.engine.notify_pending_gts(id) {
+                let in_use = self
+                    .table
+                    .get(gts)
+                    .map(|e| e.idle_streak == 0)
+                    .unwrap_or(false);
+                if in_use {
+                    self.engine.confirm_gts(gts);
+                    return;
+                }
+            }
+            let sab = self.effective_sab();
+            let actions = self
+                .engine
+                .handle(HandshakeEvent::NotifyTimeout { id }, &sab);
+            self.process_actions(ctx, actions);
+            return;
+        }
+        match tag & 0xFF {
+            TAG_ARRIVAL => {
+                self.generate_packet(ctx);
+                self.schedule_next_arrival(ctx);
+            }
+            TAG_HELLO => {
+                let hello = self.gpsr.make_hello();
+                ctx.metrics().count("hello_sent", 1.0);
+                ctx.metrics().count("sec_sent", 1.0);
+                ctx.enqueue_mac(hello);
+                ctx.schedule(self.cfg.gpsr.hello_period, TAG_HELLO);
+            }
+            TAG_SLOT => {
+                let index = (tag >> 8) as u16;
+                self.on_slot_tick(ctx, index);
+            }
+            TAG_SLOT_END => {
+                ctx.set_listen_channel(0);
+            }
+            TAG_GTS_TX => {
+                if let Some((frame, channel, gts)) = self.pending_gts_tx.take() {
+                    if ctx.tx_in_flight() {
+                        // Extremely rare (a CAP ACK bleeding over);
+                        // requeue rather than lose the packet.
+                        self.cfp_queue.push_front(frame);
+                    } else {
+                        ctx.metrics().count("gts_data_tx", 1.0);
+                        ctx.phy_tx(frame, channel);
+                        self.table.mark_used(gts);
+                    }
+                }
+            }
+            TAG_MAINT => {
+                self.gpsr.expire(ctx.now());
+                self.maybe_allocate(ctx);
+                ctx.schedule(ctx.clock().frame_duration(), TAG_MAINT);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_deliver(&mut self, ctx: &mut UpperCtx<'_>, frame: &Frame) {
+        let now = ctx.now();
+        if self.gpsr.on_frame(frame, now) {
+            ctx.metrics().count("hello_rx", 1.0);
+            return;
+        }
+        if let Some(msg) = GtsMessage::decode(frame) {
+            self.on_handshake_frame(ctx, msg, frame.src);
+            return;
+        }
+        if let Some(app) = frame.app {
+            // Mark the RX GTS this frame arrived in as used (resets
+            // the receiver-side idle streak).
+            let clock = *ctx.clock();
+            if let Some(idx) = self.cfg.msf.gts_at(&clock, now) {
+                let rx_gts = self
+                    .table
+                    .iter()
+                    .find(|e| e.dir == GtsDirection::Rx && e.gts.index == idx)
+                    .map(|e| e.gts);
+                if let Some(gts) = rx_gts {
+                    self.table.mark_used(gts);
+                    // Data in the slot is an implicit notify.
+                    self.engine.confirm_gts(gts);
+                }
+            }
+            if self.me == self.cfg.sink {
+                let delay = now.since(app.created_at).as_secs_f64();
+                ctx.metrics().app_delivered(app.origin, delay);
+            } else if let Some(next) = self.next_hop(now) {
+                self.seq = self.seq.wrapping_add(1);
+                let fwd = Frame::data(
+                    self.me,
+                    Address::Node(next),
+                    self.seq,
+                    self.cfg.payload_octets,
+                    false,
+                )
+                .with_app(AppInfo {
+                    hops: app.hops + 1,
+                    ..app
+                });
+                self.enqueue_cfp(ctx, fwd);
+            }
+        }
+    }
+
+    fn on_tx_result(&mut self, ctx: &mut UpperCtx<'_>, frame: &Frame, result: TxResult) {
+        // Only our GTS-request cares about the MAC verdict.
+        let is_pending_request = matches!(frame.kind, qma_netsim::FrameKind::Management(d) if d == MGMT_GTS_REQUEST)
+            && self.pending_request_seq == Some(frame.seq);
+        if is_pending_request {
+            self.pending_request_seq = None;
+            let (event, counter) = match result {
+                TxResult::Delivered => (HandshakeEvent::RequestDelivered, "sec_req_acked"),
+                _ => (HandshakeEvent::RequestFailed, "sec_req_failed"),
+            };
+            ctx.metrics().count(counter, 1.0);
+            let sab = self.effective_sab();
+            let actions = self.engine.handle(event, &sab);
+            self.process_actions(ctx, actions);
+        }
+    }
+
+    fn on_phy_tx_end(&mut self, ctx: &mut UpperCtx<'_>, frame: &Frame, delivered: &[NodeId]) {
+        // Omniscient bookkeeping for analysis (the protocol itself
+        // gets no feedback in a GTS).
+        if frame.app.is_some() {
+            if delivered.iter().any(|&r| Address::Node(r) == frame.dst) {
+                ctx.metrics().count("gts_data_delivered", 1.0);
+            } else {
+                ctx.metrics().count("gts_data_lost", 1.0);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qma_mac::{CsmaConfig, CsmaMac};
+    use qma_netsim::{FrameClock, SimBuilder};
+    use qma_topo::Topology;
+
+    fn dsme_sim(topology: &Topology, rate: f64, seed: u64) -> qma_netsim::Sim {
+        let sink = NodeId(topology.sink as u32);
+        let sink_pos = topology.positions[topology.sink];
+        let positions = topology.positions.clone();
+        let parents: Vec<Option<NodeId>> = topology
+            .parent
+            .iter()
+            .map(|p| p.map(|i| NodeId(i as u32)))
+            .collect();
+        SimBuilder::new(topology.connectivity.clone(), seed)
+            .clock(FrameClock::dsme_so3())
+            .channels(MsfConfig::default().channels)
+            .mac_factory(|_, clock| Box::new(CsmaMac::new(CsmaConfig::unslotted(), *clock)))
+            .upper_factory(move |node, _| {
+                let pattern = if node == sink {
+                    TrafficPattern::Silent
+                } else {
+                    TrafficPattern::Poisson {
+                        rate,
+                        start: SimTime::from_secs(2),
+                        limit: Some(50),
+                    }
+                };
+                let cfg = DsmeNodeConfig::paper(
+                    pattern,
+                    sink,
+                    sink_pos,
+                    positions[node.index()],
+                    parents[node.index()],
+                );
+                Box::new(DsmeNode::new(node, cfg))
+            })
+            .build()
+    }
+
+    #[test]
+    fn allocates_gts_and_delivers_primary_traffic() {
+        let topo = qma_topo::hidden_node();
+        let mut sim = dsme_sim(&topo, 3.0, 7);
+        sim.run_for(SimDuration::from_secs(60));
+        let m = sim.metrics();
+        assert!(
+            m.get("gts_allocated") >= 2.0,
+            "no GTS allocated: {}",
+            m.get("gts_allocated")
+        );
+        let pdr = m.pdr_of([NodeId(0), NodeId(2)]).unwrap();
+        assert!(pdr > 0.7, "primary PDR over GTS too low: {pdr}");
+        // Handshake traffic flowed through the CAP.
+        assert!(m.get("sec_req_sent") >= 2.0);
+        assert!(m.get("sec_req_acked") >= 2.0);
+    }
+
+    #[test]
+    fn hellos_populate_gpsr() {
+        let topo = qma_topo::hidden_node();
+        let mut sim = dsme_sim(&topo, 1.0, 9);
+        sim.run_for(SimDuration::from_secs(30));
+        let m = sim.metrics();
+        assert!(m.get("hello_sent") >= 9.0, "hello_sent {}", m.get("hello_sent"));
+        assert!(m.get("hello_rx") >= 6.0, "hello_rx {}", m.get("hello_rx"));
+    }
+
+    #[test]
+    fn idle_gts_get_deallocated() {
+        // Sources send a short burst then stop: allocated slots must
+        // be released within a few multi-superframes.
+        let topo = qma_topo::hidden_node();
+        let sink = NodeId(1);
+        let positions = topo.positions.clone();
+        let mut sim = SimBuilder::new(topo.connectivity.clone(), 13)
+            .clock(FrameClock::dsme_so3())
+            .channels(MsfConfig::default().channels)
+            .mac_factory(|_, clock| Box::new(CsmaMac::new(CsmaConfig::unslotted(), *clock)))
+            .upper_factory(move |node, _| {
+                let pattern = if node == sink {
+                    TrafficPattern::Silent
+                } else {
+                    TrafficPattern::Poisson {
+                        rate: 20.0,
+                        start: SimTime::from_secs(1),
+                        limit: Some(10),
+                    }
+                };
+                let cfg = DsmeNodeConfig::paper(
+                    pattern,
+                    sink,
+                    positions[1],
+                    positions[node.index()],
+                    if node == sink { None } else { Some(sink) },
+                );
+                Box::new(DsmeNode::new(node, cfg))
+            })
+            .build();
+        sim.run_for(SimDuration::from_secs(60));
+        let m = sim.metrics();
+        assert!(m.get("gts_allocated") >= 1.0);
+        assert!(
+            m.get("gts_deallocated") >= 1.0,
+            "idle slots never deallocated: alloc {} dealloc {}",
+            m.get("gts_allocated"),
+            m.get("gts_deallocated")
+        );
+    }
+
+    #[test]
+    fn multihop_ring_traffic_reaches_sink() {
+        let topo = qma_topo::concentric_rings(1, 20.0);
+        let mut sim = dsme_sim(&topo, 1.0, 21);
+        sim.run_for(SimDuration::from_secs(90));
+        let m = sim.metrics();
+        let origins: Vec<NodeId> = topo.sources().map(|i| NodeId(i as u32)).collect();
+        let pdr = m.pdr_of(origins).unwrap();
+        assert!(pdr > 0.5, "ring PDR {pdr}");
+    }
+}

@@ -1,0 +1,233 @@
+//! The slot-allocation bitmap (SAB).
+//!
+//! Every node tracks which (GTS slot, channel) coordinates it
+//! believes are occupied in its neighbourhood — from its own
+//! allocations and from overheard GTS-response/notify broadcasts.
+//! The initiator sends its *free* view inside the GTS-request so the
+//! responder can pick a slot free on both sides; the 56 usable
+//! coordinates of the default configuration fit one 64-bit word.
+
+use crate::msf::{GtsSlot, MsfConfig};
+
+/// Occupancy bitmap over (GTS slot, channel).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlotBitmap {
+    slots: u16,
+    channels: u8,
+    busy: Vec<bool>,
+}
+
+impl SlotBitmap {
+    /// Creates an all-free bitmap for a multi-superframe
+    /// configuration.
+    pub fn new(cfg: &MsfConfig) -> Self {
+        Self::with_geometry(cfg.gts_slots(), cfg.channels)
+    }
+
+    /// Creates an all-free bitmap with explicit geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn with_geometry(slots: u16, channels: u8) -> Self {
+        assert!(slots > 0 && channels > 0, "bitmap geometry must be positive");
+        SlotBitmap {
+            slots,
+            channels,
+            busy: vec![false; slots as usize * channels as usize],
+        }
+    }
+
+    /// Number of GTS slot indices.
+    pub fn slots(&self) -> u16 {
+        self.slots
+    }
+
+    /// Number of channels.
+    pub fn channels(&self) -> u8 {
+        self.channels
+    }
+
+    /// An all-free bitmap with the same geometry as `self`.
+    pub fn same_geometry(&self) -> SlotBitmap {
+        Self::with_geometry(self.slots, self.channels)
+    }
+
+    /// Rebuilds a bitmap with the same geometry as `self` from a
+    /// packed busy word (inverse of [`SlotBitmap::to_word`]).
+    pub fn word_with_same_geometry(&self, word: u64) -> SlotBitmap {
+        let mut s = self.same_geometry();
+        for i in 0..s.busy.len().min(64) {
+            s.busy[i] = (word >> i) & 1 == 1;
+        }
+        s
+    }
+
+    fn bit(&self, gts: GtsSlot) -> usize {
+        assert!(gts.index < self.slots, "slot {} out of range", gts.index);
+        assert!(gts.channel < self.channels, "channel out of range");
+        gts.index as usize * self.channels as usize + gts.channel as usize
+    }
+
+    /// Marks a coordinate busy. Returns `false` if it already was.
+    pub fn mark(&mut self, gts: GtsSlot) -> bool {
+        let b = self.bit(gts);
+        let fresh = !self.busy[b];
+        self.busy[b] = true;
+        fresh
+    }
+
+    /// Clears a coordinate. Returns `false` if it was already free.
+    pub fn clear(&mut self, gts: GtsSlot) -> bool {
+        let b = self.bit(gts);
+        let was = self.busy[b];
+        self.busy[b] = false;
+        was
+    }
+
+    /// Is the coordinate free?
+    pub fn is_free(&self, gts: GtsSlot) -> bool {
+        !self.busy[self.bit(gts)]
+    }
+
+    /// Number of busy coordinates.
+    pub fn busy_count(&self) -> usize {
+        self.busy.iter().filter(|&&b| b).count()
+    }
+
+    /// Total coordinates.
+    pub fn capacity(&self) -> usize {
+        self.busy.len()
+    }
+
+    /// Iterates over all free coordinates in slot-major order.
+    pub fn free_iter(&self) -> impl Iterator<Item = GtsSlot> + '_ {
+        (0..self.slots).flat_map(move |index| {
+            (0..self.channels).filter_map(move |channel| {
+                let g = GtsSlot { index, channel };
+                self.is_free(g).then_some(g)
+            })
+        })
+    }
+
+    /// The first coordinate free in both `self` and `other`
+    /// (slot-major). `offset` rotates the search start so different
+    /// node pairs spread over the slot space instead of all fighting
+    /// for coordinate 0.
+    pub fn first_common_free(&self, other: &SlotBitmap, offset: u32) -> Option<GtsSlot> {
+        let cap = self.capacity() as u32;
+        (0..cap)
+            .map(|k| (k + offset) % cap)
+            .map(|b| GtsSlot {
+                index: (b / self.channels as u32) as u16,
+                channel: (b % self.channels as u32) as u8,
+            })
+            .find(|&g| self.is_free(g) && other.is_free(g))
+    }
+
+    /// Packs the *busy* set into a u64 (bit i = coordinate i busy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity exceeds 64 coordinates.
+    pub fn to_word(&self) -> u64 {
+        assert!(self.busy.len() <= 64, "SAB too large for a word");
+        self.busy
+            .iter()
+            .enumerate()
+            .fold(0u64, |acc, (i, &b)| if b { acc | (1 << i) } else { acc })
+    }
+
+    /// Reconstructs a bitmap from a packed word.
+    pub fn from_word(cfg: &MsfConfig, word: u64) -> Self {
+        let mut s = SlotBitmap::new(cfg);
+        for i in 0..s.busy.len().min(64) {
+            s.busy[i] = (word >> i) & 1 == 1;
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> MsfConfig {
+        MsfConfig::default()
+    }
+
+    #[test]
+    fn mark_clear_roundtrip() {
+        let mut s = SlotBitmap::new(&cfg());
+        let g = GtsSlot { index: 3, channel: 2 };
+        assert!(s.is_free(g));
+        assert!(s.mark(g));
+        assert!(!s.is_free(g));
+        assert!(!s.mark(g), "double mark must report non-fresh");
+        assert!(s.clear(g));
+        assert!(s.is_free(g));
+        assert!(!s.clear(g), "double clear must report already-free");
+    }
+
+    #[test]
+    fn word_roundtrip() {
+        let c = cfg();
+        let mut s = SlotBitmap::new(&c);
+        s.mark(GtsSlot { index: 0, channel: 0 });
+        s.mark(GtsSlot { index: 13, channel: 3 });
+        s.mark(GtsSlot { index: 7, channel: 1 });
+        let w = s.to_word();
+        let back = SlotBitmap::from_word(&c, w);
+        assert_eq!(s, back);
+        assert_eq!(back.busy_count(), 3);
+    }
+
+    #[test]
+    fn common_free_respects_both_views() {
+        let c = cfg();
+        let mut a = SlotBitmap::new(&c);
+        let mut b = SlotBitmap::new(&c);
+        // A considers channel 0 of every slot busy; B considers slot 0
+        // fully busy.
+        for index in 0..c.gts_slots() {
+            a.mark(GtsSlot { index, channel: 0 });
+        }
+        for channel in 0..c.channels {
+            b.mark(GtsSlot { index: 0, channel });
+        }
+        let g = a.first_common_free(&b, 0).unwrap();
+        assert!(g.index > 0 && g.channel > 0, "{g:?}");
+        assert!(a.is_free(g) && b.is_free(g));
+    }
+
+    #[test]
+    fn offset_rotates_choice() {
+        let c = cfg();
+        let a = SlotBitmap::new(&c);
+        let b = SlotBitmap::new(&c);
+        let g0 = a.first_common_free(&b, 0).unwrap();
+        let g9 = a.first_common_free(&b, 9).unwrap();
+        assert_ne!(g0, g9);
+    }
+
+    #[test]
+    fn full_bitmap_has_no_free() {
+        let c = cfg();
+        let mut a = SlotBitmap::new(&c);
+        for index in 0..c.gts_slots() {
+            for channel in 0..c.channels {
+                a.mark(GtsSlot { index, channel });
+            }
+        }
+        assert_eq!(a.first_common_free(&a.clone(), 5), None);
+        assert_eq!(a.free_iter().count(), 0);
+        assert_eq!(a.busy_count(), a.capacity());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bounds_checked() {
+        let mut s = SlotBitmap::new(&cfg());
+        s.mark(GtsSlot { index: 99, channel: 0 });
+    }
+}

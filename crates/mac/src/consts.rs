@@ -1,0 +1,30 @@
+//! IEEE 802.15.4 MAC constants (2020 revision, §8.4.3) as used by the
+//! paper's CSMA/CA baselines and by QMA's retry rule ("a packet is
+//! dropped after N_R retransmissions as in CSMA/CA").
+
+/// macMinBE — initial backoff exponent.
+pub const MAC_MIN_BE: u8 = 3;
+/// macMaxBE — maximum backoff exponent.
+pub const MAC_MAX_BE: u8 = 5;
+/// macMaxCSMABackoffs — CCA failures before a channel-access failure.
+pub const MAC_MAX_CSMA_BACKOFFS: u8 = 4;
+/// macMaxFrameRetries — retransmissions before the frame is dropped.
+pub const MAC_MAX_FRAME_RETRIES: u8 = 3;
+/// CW₀ — contention window length of slotted CSMA/CA (number of
+/// consecutive idle CCAs required).
+pub const CSMA_CW: u8 = 2;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_values() {
+        // Anchors so an accidental edit of the constants fails loudly.
+        assert_eq!(MAC_MIN_BE, 3);
+        assert_eq!(MAC_MAX_BE, 5);
+        assert_eq!(MAC_MAX_CSMA_BACKOFFS, 4);
+        assert_eq!(MAC_MAX_FRAME_RETRIES, 3);
+        assert_eq!(CSMA_CW, 2);
+    }
+}

@@ -1,0 +1,297 @@
+//! Absorbing Markov chains in canonical form.
+//!
+//! A chain with `t` transient and `r` absorbing states has transition
+//! matrix `P = [[Q, R], [0, I]]` (the paper's Eq. 9). The fundamental
+//! matrix `N = (I − Q)⁻¹` (Eq. 11) gives the expected number of visits
+//! to each transient state; `S = N·1` (Eq. 12) the expected number of
+//! steps until absorption.
+
+use crate::matrix::{Matrix, MatrixError};
+
+/// Errors from absorbing-chain construction and analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChainError {
+    /// `Q` must be square and `R` must have the same row count.
+    DimensionMismatch,
+    /// A row of `[Q R]` does not sum to 1 (within tolerance) or has a
+    /// negative entry.
+    NotStochastic,
+    /// `I − Q` is singular: some transient state can never reach an
+    /// absorbing state.
+    NotAbsorbing,
+}
+
+impl std::fmt::Display for ChainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChainError::DimensionMismatch => write!(f, "Q and R dimensions are incompatible"),
+            ChainError::NotStochastic => {
+                write!(f, "transition rows must be non-negative and sum to 1")
+            }
+            ChainError::NotAbsorbing => {
+                write!(f, "chain has transient states that cannot reach absorption")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ChainError {}
+
+impl From<MatrixError> for ChainError {
+    fn from(e: MatrixError) -> Self {
+        match e {
+            MatrixError::Singular => ChainError::NotAbsorbing,
+            _ => ChainError::DimensionMismatch,
+        }
+    }
+}
+
+/// An absorbing Markov chain in canonical form.
+///
+/// # Examples
+///
+/// A fair coin flipped until the first head (one transient state, one
+/// absorbing state, success probability ½ per step):
+///
+/// ```
+/// use qma_markov::{AbsorbingChain, Matrix};
+///
+/// let q = Matrix::from_rows(&[&[0.5]]).unwrap();
+/// let r = Matrix::from_rows(&[&[0.5]]).unwrap();
+/// let chain = AbsorbingChain::new(q, r).unwrap();
+/// assert!((chain.expected_steps().unwrap()[0] - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct AbsorbingChain {
+    q: Matrix,
+    r: Matrix,
+}
+
+const ROW_SUM_TOLERANCE: f64 = 1e-9;
+
+impl AbsorbingChain {
+    /// Builds a chain from the transient-to-transient block `Q` and
+    /// the transient-to-absorbing block `R`.
+    ///
+    /// # Errors
+    ///
+    /// * [`ChainError::DimensionMismatch`] if `Q` is not square or `R`
+    ///   has a different number of rows,
+    /// * [`ChainError::NotStochastic`] if any row of `[Q R]` has a
+    ///   negative entry or does not sum to 1 within 1e-9.
+    pub fn new(q: Matrix, r: Matrix) -> Result<Self, ChainError> {
+        if !q.is_square() || r.rows() != q.rows() {
+            return Err(ChainError::DimensionMismatch);
+        }
+        for i in 0..q.rows() {
+            let mut sum = 0.0;
+            for j in 0..q.cols() {
+                let v = q[(i, j)];
+                if v < -ROW_SUM_TOLERANCE {
+                    return Err(ChainError::NotStochastic);
+                }
+                sum += v;
+            }
+            for j in 0..r.cols() {
+                let v = r[(i, j)];
+                if v < -ROW_SUM_TOLERANCE {
+                    return Err(ChainError::NotStochastic);
+                }
+                sum += v;
+            }
+            if (sum - 1.0).abs() > ROW_SUM_TOLERANCE {
+                return Err(ChainError::NotStochastic);
+            }
+        }
+        Ok(AbsorbingChain { q, r })
+    }
+
+    /// Number of transient states.
+    pub fn transient_states(&self) -> usize {
+        self.q.rows()
+    }
+
+    /// Number of absorbing states.
+    pub fn absorbing_states(&self) -> usize {
+        self.r.cols()
+    }
+
+    /// The `Q` block.
+    pub fn q(&self) -> &Matrix {
+        &self.q
+    }
+
+    /// The `R` block.
+    pub fn r(&self) -> &Matrix {
+        &self.r
+    }
+
+    /// The fundamental matrix `N = (I − Q)⁻¹` (Eq. 11). Entry
+    /// `N[i][j]` is the expected number of visits to transient state
+    /// `j` when starting in transient state `i`.
+    ///
+    /// # Errors
+    ///
+    /// [`ChainError::NotAbsorbing`] when `I − Q` is singular.
+    pub fn fundamental_matrix(&self) -> Result<Matrix, ChainError> {
+        let i = Matrix::identity(self.q.rows());
+        Ok(i.sub(&self.q)?.inverse()?)
+    }
+
+    /// Expected number of steps until absorption from each transient
+    /// state: `S = N·1` (Eq. 12). Computed as a linear solve
+    /// `(I − Q)·S = 1` (cheaper and better conditioned than forming
+    /// `N`).
+    ///
+    /// # Errors
+    ///
+    /// [`ChainError::NotAbsorbing`] when `I − Q` is singular.
+    pub fn expected_steps(&self) -> Result<Vec<f64>, ChainError> {
+        let i = Matrix::identity(self.q.rows());
+        let ones = vec![1.0; self.q.rows()];
+        Ok(i.sub(&self.q)?.solve(&ones)?)
+    }
+
+    /// Absorption probabilities `B = N·R`: `B[i][k]` is the
+    /// probability of ending in absorbing state `k` when starting in
+    /// transient state `i`.
+    ///
+    /// # Errors
+    ///
+    /// [`ChainError::NotAbsorbing`] when `I − Q` is singular.
+    pub fn absorption_probabilities(&self) -> Result<Matrix, ChainError> {
+        Ok(self.fundamental_matrix()?.mul(&self.r)?)
+    }
+
+    /// Expected number of visits to transient state `target` starting
+    /// from `start` (an entry of `N`).
+    ///
+    /// # Errors
+    ///
+    /// [`ChainError::NotAbsorbing`] on singular `I − Q`;
+    /// [`ChainError::DimensionMismatch`] for out-of-range indices.
+    pub fn expected_visits(&self, start: usize, target: usize) -> Result<f64, ChainError> {
+        if start >= self.transient_states() || target >= self.transient_states() {
+            return Err(ChainError::DimensionMismatch);
+        }
+        Ok(self.fundamental_matrix()?[(start, target)])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Classic 1-D gambler's-ruin / drunkard's-walk on 0..=4 where 0
+    /// and 4 absorb and each interior state moves left/right with
+    /// probability ½. Known results: expected steps from state i is
+    /// i(4−i); absorption probability into 4 from state i is i/4.
+    fn drunkards_walk() -> AbsorbingChain {
+        let q = Matrix::from_rows(&[
+            &[0.0, 0.5, 0.0],
+            &[0.5, 0.0, 0.5],
+            &[0.0, 0.5, 0.0],
+        ])
+        .unwrap();
+        let r = Matrix::from_rows(&[&[0.5, 0.0], &[0.0, 0.0], &[0.0, 0.5]]).unwrap();
+        AbsorbingChain::new(q, r).unwrap()
+    }
+
+    #[test]
+    fn drunkards_walk_expected_steps() {
+        let s = drunkards_walk().expected_steps().unwrap();
+        assert!((s[0] - 3.0).abs() < 1e-9); // 1·(4−1)
+        assert!((s[1] - 4.0).abs() < 1e-9); // 2·(4−2)
+        assert!((s[2] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn drunkards_walk_absorption_probs() {
+        let b = drunkards_walk().absorption_probabilities().unwrap();
+        // Column 0 = absorbed at 0, column 1 = absorbed at 4.
+        assert!((b[(0, 1)] - 0.25).abs() < 1e-9);
+        assert!((b[(1, 1)] - 0.5).abs() < 1e-9);
+        assert!((b[(2, 1)] - 0.75).abs() < 1e-9);
+        // Rows sum to 1.
+        for i in 0..3 {
+            assert!((b[(i, 0)] + b[(i, 1)] - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fundamental_matrix_visits() {
+        let chain = drunkards_walk();
+        let n = chain.fundamental_matrix().unwrap();
+        // From the middle state, expected visits to itself: 2.
+        assert!((n[(1, 1)] - 2.0).abs() < 1e-9);
+        assert!(
+            (chain.expected_visits(1, 1).unwrap() - n[(1, 1)]).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn geometric_chain() {
+        // Success probability p per trial → expected 1/p steps.
+        for p in [0.1, 0.5, 0.9] {
+            let q = Matrix::from_rows(&[&[1.0 - p]]).unwrap();
+            let r = Matrix::from_rows(&[&[p]]).unwrap();
+            let chain = AbsorbingChain::new(q, r).unwrap();
+            let s = chain.expected_steps().unwrap();
+            assert!((s[0] - 1.0 / p).abs() < 1e-9, "p={p}");
+        }
+    }
+
+    #[test]
+    fn rejects_non_stochastic_rows() {
+        let q = Matrix::from_rows(&[&[0.5]]).unwrap();
+        let r = Matrix::from_rows(&[&[0.2]]).unwrap(); // sums to 0.7
+        assert_eq!(
+            AbsorbingChain::new(q, r).unwrap_err(),
+            ChainError::NotStochastic
+        );
+        let q = Matrix::from_rows(&[&[-0.5]]).unwrap();
+        let r = Matrix::from_rows(&[&[1.5]]).unwrap();
+        assert_eq!(
+            AbsorbingChain::new(q, r).unwrap_err(),
+            ChainError::NotStochastic
+        );
+    }
+
+    #[test]
+    fn rejects_dimension_mismatch() {
+        let q = Matrix::zeros(2, 3);
+        let r = Matrix::zeros(2, 1);
+        assert_eq!(
+            AbsorbingChain::new(q, r).unwrap_err(),
+            ChainError::DimensionMismatch
+        );
+        let q = Matrix::identity(2);
+        let r = Matrix::zeros(3, 1);
+        assert_eq!(
+            AbsorbingChain::new(q, r).unwrap_err(),
+            ChainError::DimensionMismatch
+        );
+    }
+
+    #[test]
+    fn detects_non_absorbing_chain() {
+        // Two transient states that only feed each other; R is all
+        // zero so rows still sum to 1 but absorption is impossible.
+        let q = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        let r = Matrix::zeros(2, 1);
+        let chain = AbsorbingChain::new(q, r).unwrap();
+        assert_eq!(
+            chain.expected_steps().unwrap_err(),
+            ChainError::NotAbsorbing
+        );
+    }
+
+    #[test]
+    fn expected_visits_bounds_checked() {
+        let chain = drunkards_walk();
+        assert_eq!(
+            chain.expected_visits(0, 99).unwrap_err(),
+            ChainError::DimensionMismatch
+        );
+    }
+}

@@ -1,0 +1,447 @@
+//! Small dense matrices with Gauss–Jordan elimination.
+//!
+//! The chains in this workspace have at most a few dozen states, so a
+//! straightforward `Vec<f64>`-backed dense matrix with partial-pivot
+//! Gauss–Jordan is both simpler and faster than pulling in a linear
+//! algebra dependency.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// Errors from matrix operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatrixError {
+    /// Operand dimensions are incompatible.
+    DimensionMismatch,
+    /// The matrix is singular (or numerically so) and cannot be
+    /// inverted / solved against.
+    Singular,
+    /// The operation requires a square matrix.
+    NotSquare,
+}
+
+impl fmt::Display for MatrixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MatrixError::DimensionMismatch => write!(f, "matrix dimensions are incompatible"),
+            MatrixError::Singular => write!(f, "matrix is singular"),
+            MatrixError::NotSquare => write!(f, "matrix is not square"),
+        }
+    }
+}
+
+impl std::error::Error for MatrixError {}
+
+/// A row-major dense matrix of `f64`.
+///
+/// # Examples
+///
+/// ```
+/// use qma_markov::Matrix;
+///
+/// let a = Matrix::from_rows(&[&[2.0, 0.0], &[0.0, 4.0]]).unwrap();
+/// let inv = a.inverse().unwrap();
+/// assert_eq!(inv[(0, 0)], 0.5);
+/// assert_eq!(inv[(1, 1)], 0.25);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates an all-zero matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the n×n identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from row slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::DimensionMismatch`] if rows have unequal
+    /// lengths or the input is empty.
+    pub fn from_rows(rows: &[&[f64]]) -> Result<Self, MatrixError> {
+        let r = rows.len();
+        if r == 0 {
+            return Err(MatrixError::DimensionMismatch);
+        }
+        let c = rows[0].len();
+        if c == 0 || rows.iter().any(|row| row.len() != c) {
+            return Err(MatrixError::DimensionMismatch);
+        }
+        let mut m = Matrix::zeros(r, c);
+        for (i, row) in rows.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                m[(i, j)] = v;
+            }
+        }
+        Ok(m)
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns `true` if the matrix is square.
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Element access with bounds checking, returning `None` outside
+    /// the matrix.
+    pub fn get(&self, r: usize, c: usize) -> Option<f64> {
+        if r < self.rows && c < self.cols {
+            Some(self.data[r * self.cols + c])
+        } else {
+            None
+        }
+    }
+
+    /// Matrix product `self · rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::DimensionMismatch`] when the inner
+    /// dimensions differ.
+    pub fn mul(&self, rhs: &Matrix) -> Result<Matrix, MatrixError> {
+        if self.cols != rhs.rows {
+            return Err(MatrixError::DimensionMismatch);
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    out[(i, j)] += a * rhs[(k, j)];
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix–vector product.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::DimensionMismatch`] when the vector
+    /// length differs from the column count.
+    pub fn mul_vec(&self, v: &[f64]) -> Result<Vec<f64>, MatrixError> {
+        if v.len() != self.cols {
+            return Err(MatrixError::DimensionMismatch);
+        }
+        Ok((0..self.rows)
+            .map(|i| (0..self.cols).map(|j| self[(i, j)] * v[j]).sum())
+            .collect())
+    }
+
+    /// Element-wise subtraction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::DimensionMismatch`] when shapes differ.
+    pub fn sub(&self, rhs: &Matrix) -> Result<Matrix, MatrixError> {
+        if self.rows != rhs.rows || self.cols != rhs.cols {
+            return Err(MatrixError::DimensionMismatch);
+        }
+        let mut out = self.clone();
+        for (a, b) in out.data.iter_mut().zip(&rhs.data) {
+            *a -= b;
+        }
+        Ok(out)
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// Inverse via Gauss–Jordan with partial pivoting.
+    ///
+    /// # Errors
+    ///
+    /// [`MatrixError::NotSquare`] for rectangular input and
+    /// [`MatrixError::Singular`] when a pivot collapses below 1e-12.
+    pub fn inverse(&self) -> Result<Matrix, MatrixError> {
+        if !self.is_square() {
+            return Err(MatrixError::NotSquare);
+        }
+        let n = self.rows;
+        let mut a = self.clone();
+        let mut inv = Matrix::identity(n);
+        for col in 0..n {
+            // Partial pivot: largest magnitude in this column.
+            let pivot_row = (col..n)
+                .max_by(|&r1, &r2| {
+                    a[(r1, col)]
+                        .abs()
+                        .partial_cmp(&a[(r2, col)].abs())
+                        .expect("pivot comparison")
+                })
+                .expect("non-empty pivot range");
+            if a[(pivot_row, col)].abs() < 1e-12 {
+                return Err(MatrixError::Singular);
+            }
+            a.swap_rows(col, pivot_row);
+            inv.swap_rows(col, pivot_row);
+            let pivot = a[(col, col)];
+            for j in 0..n {
+                a[(col, j)] /= pivot;
+                inv[(col, j)] /= pivot;
+            }
+            for row in 0..n {
+                if row == col {
+                    continue;
+                }
+                let factor = a[(row, col)];
+                if factor == 0.0 {
+                    continue;
+                }
+                for j in 0..n {
+                    let s = a[(col, j)];
+                    a[(row, j)] -= factor * s;
+                    let s = inv[(col, j)];
+                    inv[(row, j)] -= factor * s;
+                }
+            }
+        }
+        Ok(inv)
+    }
+
+    /// Solves `self · x = b` for `x` without forming the inverse.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Matrix::inverse`], plus
+    /// [`MatrixError::DimensionMismatch`] for a wrong-length `b`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, MatrixError> {
+        if !self.is_square() {
+            return Err(MatrixError::NotSquare);
+        }
+        if b.len() != self.rows {
+            return Err(MatrixError::DimensionMismatch);
+        }
+        let n = self.rows;
+        let mut a = self.clone();
+        let mut x: Vec<f64> = b.to_vec();
+        // Forward elimination with partial pivoting.
+        for col in 0..n {
+            let pivot_row = (col..n)
+                .max_by(|&r1, &r2| {
+                    a[(r1, col)]
+                        .abs()
+                        .partial_cmp(&a[(r2, col)].abs())
+                        .expect("pivot comparison")
+                })
+                .expect("non-empty pivot range");
+            if a[(pivot_row, col)].abs() < 1e-12 {
+                return Err(MatrixError::Singular);
+            }
+            a.swap_rows(col, pivot_row);
+            x.swap(col, pivot_row);
+            for row in col + 1..n {
+                let factor = a[(row, col)] / a[(col, col)];
+                if factor == 0.0 {
+                    continue;
+                }
+                for j in col..n {
+                    let s = a[(col, j)];
+                    a[(row, j)] -= factor * s;
+                }
+                x[row] -= factor * x[col];
+            }
+        }
+        // Back substitution.
+        for col in (0..n).rev() {
+            x[col] /= a[(col, col)];
+            for row in 0..col {
+                x[row] -= a[(row, col)] * x[col];
+            }
+        }
+        Ok(x)
+    }
+
+    /// Maximum absolute element (∞-entrywise norm); useful in tests.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0f64, |m, &v| m.max(v.abs()))
+    }
+
+    fn swap_rows(&mut self, r1: usize, r2: usize) {
+        if r1 == r2 {
+            return;
+        }
+        for j in 0..self.cols {
+            self.data.swap(r1 * self.cols + j, r2 * self.cols + j);
+        }
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                if j > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "{:9.4}", self[(i, j)])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-9, "{a} != {b}");
+    }
+
+    #[test]
+    fn identity_inverse_is_identity() {
+        let i = Matrix::identity(4);
+        assert_eq!(i.inverse().unwrap(), i);
+    }
+
+    #[test]
+    fn known_2x2_inverse() {
+        let a = Matrix::from_rows(&[&[4.0, 7.0], &[2.0, 6.0]]).unwrap();
+        let inv = a.inverse().unwrap();
+        assert_close(inv[(0, 0)], 0.6);
+        assert_close(inv[(0, 1)], -0.7);
+        assert_close(inv[(1, 0)], -0.2);
+        assert_close(inv[(1, 1)], 0.4);
+    }
+
+    #[test]
+    fn inverse_times_original_is_identity() {
+        let a = Matrix::from_rows(&[
+            &[3.0, 0.5, -1.0],
+            &[2.0, -4.0, 0.25],
+            &[-1.0, 2.0, 5.0],
+        ])
+        .unwrap();
+        let prod = a.inverse().unwrap().mul(&a).unwrap();
+        let diff = prod.sub(&Matrix::identity(3)).unwrap();
+        assert!(diff.max_abs() < 1e-10);
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        assert_eq!(a.inverse().unwrap_err(), MatrixError::Singular);
+        assert_eq!(a.solve(&[1.0, 1.0]).unwrap_err(), MatrixError::Singular);
+    }
+
+    #[test]
+    fn not_square_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert_eq!(a.inverse().unwrap_err(), MatrixError::NotSquare);
+    }
+
+    #[test]
+    fn solve_matches_inverse() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]).unwrap();
+        let b = [5.0, 10.0];
+        let x = a.solve(&b).unwrap();
+        let via_inv = a.inverse().unwrap().mul_vec(&b).unwrap();
+        assert_close(x[0], via_inv[0]);
+        assert_close(x[1], via_inv[1]);
+        // Verify residual.
+        let r = a.mul_vec(&x).unwrap();
+        assert_close(r[0], 5.0);
+        assert_close(r[1], 10.0);
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Zero in the (0,0) position forces a row swap.
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        let x = a.solve(&[3.0, 7.0]).unwrap();
+        assert_close(x[0], 7.0);
+        assert_close(x[1], 3.0);
+    }
+
+    #[test]
+    fn mul_dimension_mismatch() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        assert_eq!(a.mul(&b).unwrap_err(), MatrixError::DimensionMismatch);
+        assert_eq!(a.mul_vec(&[1.0]).unwrap_err(), MatrixError::DimensionMismatch);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]).unwrap();
+        let t = a.transpose();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.cols(), 2);
+        assert_eq!(t[(2, 1)], 6.0);
+        assert_eq!(t.transpose(), a);
+    }
+
+    #[test]
+    fn from_rows_validates() {
+        assert!(Matrix::from_rows(&[]).is_err());
+        assert!(Matrix::from_rows(&[&[1.0], &[1.0, 2.0]]).is_err());
+    }
+
+    #[test]
+    fn display_formats() {
+        let a = Matrix::identity(2);
+        let s = a.to_string();
+        assert!(s.contains("1.0000"));
+    }
+}

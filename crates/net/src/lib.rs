@@ -1,0 +1,28 @@
+//! Network substrate: traffic generation, routing and the
+//! data-collection application layer.
+//!
+//! The paper's workloads are Poisson data-collection flows toward a
+//! sink ("nodes A and C generate 1000 data packets according to a
+//! Poisson distribution", §6.1; fluctuating variants in §6.1.2 and
+//! §6.3) routed over a static tree, plus GPSR route-discovery
+//! broadcasts as secondary traffic in the DSME scenario.
+//!
+//! * [`traffic`] — [`TrafficPattern`]: Poisson, alternating-rate and
+//!   silent sources with packet budgets and start offsets,
+//! * [`app`] — [`CollectionApp`]: the upper layer that generates
+//!   packets, forwards them hop by hop along a routing tree and
+//!   accounts end-to-end PDR/delay at the sink,
+//! * [`gpsr`] — a greedy geographic router with periodic hello
+//!   broadcasts (the paper's GPSR stand-in; the broadcasts are what
+//!   matter — they load the contention period).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod app;
+pub mod gpsr;
+pub mod traffic;
+
+pub use app::{CollectionApp, CollectionConfig};
+pub use gpsr::{Gpsr, GpsrConfig};
+pub use traffic::TrafficPattern;

@@ -1,0 +1,265 @@
+//! Traffic source patterns.
+
+use qma_des::{SimDuration, SimTime};
+use qma_stats::Exponential;
+use rand::Rng;
+
+/// When (and how fast) a node generates application packets.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrafficPattern {
+    /// No traffic (pure sink / forwarder).
+    Silent,
+    /// Poisson arrivals at `rate` packets/s, beginning at `start`,
+    /// stopping after `limit` packets when given. This is the
+    /// paper's primary workload ("δ packets per second …
+    /// generation of data packets starts after 100 s").
+    Poisson {
+        /// Mean packet rate δ in packets/s.
+        rate: f64,
+        /// Generation start time.
+        start: SimTime,
+        /// Total packets to generate (`None` = unlimited).
+        limit: Option<u64>,
+    },
+    /// Alternating Poisson rates: `rates.0` for `period`, then
+    /// `rates.1` for `period`, repeating — the fluctuating traffic of
+    /// §6.1.2 (10 ↔ 100 pkt/s every 100 s) and §6.3 (1 ↔ 10 pkt/s
+    /// every 5 s).
+    Alternating {
+        /// The two rates in packets/s.
+        rates: (f64, f64),
+        /// Half-period: how long each rate lasts.
+        period: SimDuration,
+        /// Generation start time.
+        start: SimTime,
+        /// Total packets to generate (`None` = unlimited).
+        limit: Option<u64>,
+    },
+}
+
+impl TrafficPattern {
+    /// The paper's standard source: `rate` pkt/s from t = 100 s, 1000
+    /// packets total (§6.1).
+    pub fn paper_poisson(rate: f64) -> Self {
+        TrafficPattern::Poisson {
+            rate,
+            start: SimTime::from_secs(100),
+            limit: Some(1000),
+        }
+    }
+
+    /// The instantaneous rate at `now` (0 when outside the active
+    /// window).
+    pub fn rate_at(&self, now: SimTime) -> f64 {
+        match *self {
+            TrafficPattern::Silent => 0.0,
+            TrafficPattern::Poisson { rate, start, .. } => {
+                if now >= start {
+                    rate
+                } else {
+                    0.0
+                }
+            }
+            TrafficPattern::Alternating {
+                rates,
+                period,
+                start,
+                ..
+            } => {
+                if now < start {
+                    return 0.0;
+                }
+                let elapsed = now.since(start).as_micros();
+                let phase = (elapsed / period.as_micros()) % 2;
+                if phase == 0 {
+                    rates.0
+                } else {
+                    rates.1
+                }
+            }
+        }
+    }
+
+    /// The generation start time (`None` for silent sources).
+    pub fn start(&self) -> Option<SimTime> {
+        match *self {
+            TrafficPattern::Silent => None,
+            TrafficPattern::Poisson { start, .. }
+            | TrafficPattern::Alternating { start, .. } => Some(start),
+        }
+    }
+
+    /// The packet budget, if any.
+    pub fn limit(&self) -> Option<u64> {
+        match *self {
+            TrafficPattern::Silent => Some(0),
+            TrafficPattern::Poisson { limit, .. }
+            | TrafficPattern::Alternating { limit, .. } => limit,
+        }
+    }
+
+    /// Samples the next arrival instant strictly after `now`,
+    /// assuming `generated` packets have been produced so far.
+    /// Returns `None` when the budget is exhausted or the source is
+    /// silent.
+    ///
+    /// For alternating sources the exponential gap is sampled at the
+    /// *current* rate and re-evaluated if it crosses a rate switch —
+    /// a standard thinning-free approximation that is exact in the
+    /// limit of short gaps relative to the period.
+    pub fn next_arrival<R: Rng + ?Sized>(
+        &self,
+        now: SimTime,
+        generated: u64,
+        rng: &mut R,
+    ) -> Option<SimTime> {
+        if let Some(limit) = self.limit() {
+            if generated >= limit {
+                return None;
+            }
+        }
+        let start = self.start()?;
+        let mut t = now.max(start);
+        // Walk across rate-switch boundaries until a gap lands inside
+        // its own rate regime.
+        for _ in 0..64 {
+            let rate = self.rate_at(t);
+            if rate <= 0.0 {
+                return None;
+            }
+            let gap = Exponential::new(rate)
+                .expect("positive rate")
+                .sample(rng);
+            let candidate = t + SimDuration::from_secs_f64(gap);
+            match *self {
+                TrafficPattern::Alternating { period, start, .. } => {
+                    let boundary = next_switch(t, start, period);
+                    if candidate <= boundary {
+                        return Some(candidate);
+                    }
+                    // Restart the memoryless clock at the boundary.
+                    t = boundary;
+                }
+                _ => return Some(candidate),
+            }
+        }
+        Some(t) // pathological parameters: degrade gracefully
+    }
+}
+
+/// The first rate-switch instant strictly after `t`.
+fn next_switch(t: SimTime, start: SimTime, period: SimDuration) -> SimTime {
+    let elapsed = t.since(start).as_micros();
+    let k = elapsed / period.as_micros() + 1;
+    start + period * k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn poisson_rate_window() {
+        let p = TrafficPattern::paper_poisson(25.0);
+        assert_eq!(p.rate_at(SimTime::from_secs(50)), 0.0);
+        assert_eq!(p.rate_at(SimTime::from_secs(100)), 25.0);
+        assert_eq!(p.limit(), Some(1000));
+    }
+
+    #[test]
+    fn alternating_phases() {
+        let p = TrafficPattern::Alternating {
+            rates: (10.0, 100.0),
+            period: SimDuration::from_secs(100),
+            start: SimTime::from_secs(100),
+            limit: None,
+        };
+        assert_eq!(p.rate_at(SimTime::from_secs(0)), 0.0);
+        assert_eq!(p.rate_at(SimTime::from_secs(150)), 10.0);
+        assert_eq!(p.rate_at(SimTime::from_secs(250)), 100.0);
+        assert_eq!(p.rate_at(SimTime::from_secs(350)), 10.0);
+    }
+
+    #[test]
+    fn arrival_rate_matches_poisson_mean() {
+        let p = TrafficPattern::Poisson {
+            rate: 50.0,
+            start: SimTime::ZERO,
+            limit: None,
+        };
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut t = SimTime::ZERO;
+        let mut n = 0u64;
+        while t < SimTime::from_secs(100) {
+            t = p.next_arrival(t, n, &mut rng).unwrap();
+            n += 1;
+        }
+        // 50 pkt/s over 100 s → about 5000 arrivals.
+        assert!((n as f64 - 5000.0).abs() < 250.0, "n = {n}");
+    }
+
+    #[test]
+    fn budget_exhausts() {
+        let p = TrafficPattern::Poisson {
+            rate: 10.0,
+            start: SimTime::ZERO,
+            limit: Some(3),
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(p.next_arrival(SimTime::ZERO, 2, &mut rng).is_some());
+        assert!(p.next_arrival(SimTime::ZERO, 3, &mut rng).is_none());
+    }
+
+    #[test]
+    fn silent_never_fires() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(TrafficPattern::Silent
+            .next_arrival(SimTime::ZERO, 0, &mut rng)
+            .is_none());
+        assert_eq!(TrafficPattern::Silent.rate_at(SimTime::from_secs(9)), 0.0);
+    }
+
+    #[test]
+    fn arrivals_before_start_are_clamped_to_start() {
+        let p = TrafficPattern::Poisson {
+            rate: 1000.0,
+            start: SimTime::from_secs(10),
+            limit: None,
+        };
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = p.next_arrival(SimTime::ZERO, 0, &mut rng).unwrap();
+        assert!(t >= SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn alternating_respects_switch_boundaries() {
+        // With an extreme rate imbalance the slow phase must still
+        // produce arrivals *in* the slow phase, not carry over the
+        // fast phase's clock.
+        let p = TrafficPattern::Alternating {
+            rates: (1000.0, 0.5),
+            period: SimDuration::from_secs(10),
+            start: SimTime::ZERO,
+            limit: None,
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut t = SimTime::ZERO;
+        let mut slow_phase_arrivals = 0;
+        for _ in 0..20_000 {
+            t = match p.next_arrival(t, 0, &mut rng) {
+                Some(t) => t,
+                None => break,
+            };
+            let phase = (t.as_micros() / SimDuration::from_secs(10).as_micros()) % 2;
+            if phase == 1 {
+                slow_phase_arrivals += 1;
+            }
+            if t > SimTime::from_secs(100) {
+                break;
+            }
+        }
+        assert!(slow_phase_arrivals >= 1, "slow phase starved");
+    }
+}

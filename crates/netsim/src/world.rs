@@ -1,0 +1,1164 @@
+//! The simulated world: nodes, medium, event dispatch and the
+//! MAC / upper-layer protocol traits.
+//!
+//! Protocol objects (implementations of [`MacProtocol`] and
+//! [`UpperLayer`]) live in vectors *parallel* to the world state, so
+//! a dispatched handler can freely mutate the world through its
+//! [`MacCtx`]/[`UpperCtx`] view without aliasing itself. Cross-layer
+//! calls (MAC → upper delivery, upper → MAC enqueue) are queued as
+//! notices and drained after the handler returns.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+
+use qma_des::{Executor, Handler, Scheduler, SeedSequence, SimDuration, SimTime};
+use qma_phy::{
+    Connectivity, EnergyMeter, EnergyReport, Medium, PhyNodeId, PhyTiming, PowerProfile, TxToken,
+};
+
+use crate::clock::FrameClock;
+use crate::frame::Frame;
+use crate::metrics::{LearnerSample, MetricsHub, SlotAction, TxResult};
+use crate::queue::TxQueue;
+
+/// Identifier of a simulated node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The id as a table index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    fn phy(self) -> PhyNodeId {
+        PhyNodeId(self.0)
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// How long a piggybacked neighbour queue level stays valid (see
+/// [`MacCtx::queue_diff`]).
+pub const NEIGHBOR_LEVEL_TTL: SimDuration = SimDuration::from_millis(1_500);
+
+/// MAC timer classes. Each class has one outstanding instance per
+/// node; re-arming cancels the previous one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MacTimerKind {
+    /// Next contention subslot boundary.
+    Subslot,
+    /// CSMA/CA backoff expiry.
+    Backoff,
+    /// ACK wait timeout.
+    AckTimeout,
+    /// CAP start/end housekeeping.
+    Cap,
+    /// Protocol-defined auxiliary timer (e.g. delayed ACK turnaround).
+    Aux1,
+    /// Second auxiliary timer.
+    Aux2,
+}
+
+impl MacTimerKind {
+    const COUNT: usize = 6;
+
+    fn index(self) -> usize {
+        match self {
+            MacTimerKind::Subslot => 0,
+            MacTimerKind::Backoff => 1,
+            MacTimerKind::AckTimeout => 2,
+            MacTimerKind::Cap => 3,
+            MacTimerKind::Aux1 => 4,
+            MacTimerKind::Aux2 => 5,
+        }
+    }
+}
+
+/// Who initiated an in-flight transmission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TxOrigin {
+    Mac,
+    Upper,
+}
+
+/// Simulation events.
+#[derive(Debug, Clone)]
+enum Event {
+    Start,
+    EnableNode {
+        node: NodeId,
+    },
+    MacTimer {
+        node: NodeId,
+        kind: MacTimerKind,
+        gen: u64,
+    },
+    UpperTimer {
+        node: NodeId,
+        tag: u64,
+    },
+    TxEnd {
+        node: NodeId,
+    },
+    CcaEnd {
+        node: NodeId,
+        gen: u64,
+    },
+    FrameBoundary,
+}
+
+#[derive(Debug)]
+struct CcaState {
+    saw_energy: bool,
+    gen: u64,
+}
+
+#[derive(Debug)]
+struct NodeState {
+    queue: TxQueue,
+    neighbor_queues: HashMap<u32, (u8, SimTime)>,
+    energy: EnergyMeter,
+    in_flight: Option<(TxToken, Frame, TxOrigin)>,
+    cca: Option<CcaState>,
+    cca_gen: u64,
+    mac_timer_gen: [u64; MacTimerKind::COUNT],
+    mac_rng: StdRng,
+    upper_rng: StdRng,
+    enabled: bool,
+}
+
+enum Notice {
+    DeliverUp(NodeId, Frame),
+    TxResultUp(NodeId, Frame, TxResult),
+    MacEnqueued(NodeId),
+    UpperPhyTxEnd(NodeId, Frame, Vec<NodeId>),
+}
+
+/// Mutable world state shared by all protocol handlers.
+pub struct World {
+    medium: Medium,
+    clock: FrameClock,
+    phy: PhyTiming,
+    nodes: Vec<NodeState>,
+    /// Metrics collection (public: scenarios read it directly).
+    pub metrics: MetricsHub,
+    notices: std::collections::VecDeque<Notice>,
+}
+
+impl World {
+    /// The shared frame clock.
+    pub fn clock(&self) -> &FrameClock {
+        &self.clock
+    }
+
+    /// The PHY timing table.
+    pub fn phy(&self) -> &PhyTiming {
+        &self.phy
+    }
+
+    /// Immutable medium access (tests, assertions).
+    pub fn medium(&self) -> &Medium {
+        &self.medium
+    }
+
+    /// Is a node active (started and radio on)?
+    pub fn is_enabled(&self, node: NodeId) -> bool {
+        self.nodes[node.index()].enabled
+    }
+
+    /// A node's transmit queue.
+    pub fn queue(&self, node: NodeId) -> &TxQueue {
+        &self.nodes[node.index()].queue
+    }
+
+    /// Closes a node's energy accounting and returns the report.
+    pub fn energy_report(&mut self, node: NodeId, now: SimTime) -> EnergyReport {
+        self.nodes[node.index()].energy.finish(now.as_micros())
+    }
+
+    fn start_tx_internal(
+        &mut self,
+        node: NodeId,
+        mut frame: Frame,
+        channel: u8,
+        origin: TxOrigin,
+        sched: &mut Scheduler<Event>,
+    ) {
+        let now = sched.now();
+        let st = &self.nodes[node.index()];
+        assert!(
+            st.in_flight.is_none(),
+            "{node} started a tx while one is in flight"
+        );
+        frame.src = node;
+        frame.queue_level = st.queue.level_u8();
+
+        let airtime = SimDuration::from_micros(self.phy.frame_airtime_us(frame.psdu_octets as u64));
+        let token = self.medium.start_tx_on(node.phy(), channel);
+
+        // Nodes mid-CCA on this channel observe the new energy.
+        let listeners: Vec<PhyNodeId> = self.medium.connectivity().listeners_of(node.phy()).collect();
+        for r in listeners {
+            let r_id = NodeId(r.0);
+            if self.medium.listen_channel(r) == channel {
+                if let Some(cca) = &mut self.nodes[r_id.index()].cca {
+                    cca.saw_energy = true;
+                }
+            }
+        }
+
+        let st = &mut self.nodes[node.index()];
+        st.energy.count_tx_attempt();
+        st.energy
+            .set_activity(now.as_micros(), qma_phy::RadioActivity::Transmit);
+        st.in_flight = Some((token, frame, origin));
+        self.metrics.mac_mut(node).tx_attempts += 1;
+        sched.schedule_at(now + airtime, Event::TxEnd { node });
+    }
+}
+
+/// The MAC protocol interface.
+///
+/// One object per node. All methods receive a [`MacCtx`] scoped to
+/// that node.
+pub trait MacProtocol {
+    /// Called once when the node becomes active.
+    fn start(&mut self, ctx: &mut MacCtx<'_>);
+    /// A [`MacTimerKind`] timer armed by this MAC fired.
+    fn on_timer(&mut self, ctx: &mut MacCtx<'_>, kind: MacTimerKind);
+    /// A frame was received cleanly (any addressee — MACs overhear).
+    fn on_frame(&mut self, ctx: &mut MacCtx<'_>, frame: &Frame);
+    /// This node's own transmission finished its airtime.
+    fn on_tx_end(&mut self, ctx: &mut MacCtx<'_>);
+    /// A CCA started via [`MacCtx::start_cca`] completed.
+    fn on_cca_result(&mut self, ctx: &mut MacCtx<'_>, busy: bool);
+    /// The upper layer enqueued a frame into the transmit queue.
+    fn on_enqueue(&mut self, ctx: &mut MacCtx<'_>);
+    /// Per-frame learning metrics (learning MACs only).
+    fn learner_sample(&self) -> Option<LearnerSample> {
+        None
+    }
+    /// The current per-subslot policy (learning MACs only), encoded
+    /// as the dominant [`SlotAction`] the policy would execute.
+    fn policy_snapshot(&self) -> Option<Vec<SlotAction>> {
+        None
+    }
+}
+
+/// The upper layer (application, routing, DSME management).
+pub trait UpperLayer {
+    /// Called once when the node becomes active.
+    fn start(&mut self, ctx: &mut UpperCtx<'_>);
+    /// A timer armed via [`UpperCtx::schedule`] fired.
+    fn on_timer(&mut self, ctx: &mut UpperCtx<'_>, tag: u64);
+    /// The MAC delivered a frame addressed to this node.
+    fn on_deliver(&mut self, ctx: &mut UpperCtx<'_>, frame: &Frame);
+    /// The MAC finished a transmission chain for a queued frame.
+    fn on_tx_result(&mut self, ctx: &mut UpperCtx<'_>, frame: &Frame, result: TxResult);
+    /// A direct PHY transmission (CFP/GTS data) finished; `delivered`
+    /// lists clean receivers.
+    fn on_phy_tx_end(&mut self, ctx: &mut UpperCtx<'_>, frame: &Frame, delivered: &[NodeId]) {
+        let _ = (ctx, frame, delivered);
+    }
+}
+
+/// A no-op upper layer.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullUpper;
+
+impl UpperLayer for NullUpper {
+    fn start(&mut self, _: &mut UpperCtx<'_>) {}
+    fn on_timer(&mut self, _: &mut UpperCtx<'_>, _: u64) {}
+    fn on_deliver(&mut self, _: &mut UpperCtx<'_>, _: &Frame) {}
+    fn on_tx_result(&mut self, _: &mut UpperCtx<'_>, _: &Frame, _: TxResult) {}
+}
+
+/// Context handed to [`MacProtocol`] methods.
+pub struct MacCtx<'a> {
+    world: &'a mut World,
+    sched: &'a mut Scheduler<Event>,
+    /// The node this context is scoped to.
+    pub node: NodeId,
+}
+
+impl<'a> MacCtx<'a> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.sched.now()
+    }
+
+    /// The shared frame clock.
+    pub fn clock(&self) -> &FrameClock {
+        self.world.clock()
+    }
+
+    /// The PHY timing table.
+    pub fn phy(&self) -> &PhyTiming {
+        self.world.phy()
+    }
+
+    /// This node's deterministic RNG.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.world.nodes[self.node.index()].mac_rng
+    }
+
+    /// The transmit queue (read only; mutate through
+    /// [`MacCtx::pop_queue`] / [`MacCtx::queue_head_mut`]).
+    pub fn queue(&self) -> &TxQueue {
+        &self.world.nodes[self.node.index()].queue
+    }
+
+    /// Mutable head entry for retry bookkeeping.
+    pub fn queue_head_mut(&mut self) -> Option<&mut crate::queue::QueuedFrame> {
+        self.world.nodes[self.node.index()].queue.head_mut()
+    }
+
+    /// Pops the head frame, recording the queue-level change.
+    pub fn pop_queue(&mut self) -> Option<crate::queue::QueuedFrame> {
+        let now = self.sched.now();
+        let st = &mut self.world.nodes[self.node.index()];
+        let popped = st.queue.pop();
+        if popped.is_some() {
+            let level = st.queue.len();
+            self.world.metrics.queue_level(self.node, now, level);
+        }
+        popped
+    }
+
+    /// `local queue level − average reported neighbour queue level`,
+    /// rounded — the input to QMA's parameter-based exploration
+    /// (§4.2).
+    ///
+    /// Only *fresh* reports count ("the **current** queue level of a
+    /// neighbouring node is piggybacked"): entries older than
+    /// [`NEIGHBOR_LEVEL_TTL`] expire. This matters under saturation:
+    /// a starving neighbour stops transmitting, its stale (full)
+    /// report ages out, the local difference rises and exploration
+    /// resumes — without the expiry, a fully saturated neighbourhood
+    /// reports diff = 0 forever and the region deadlocks with ρ(0)=0.
+    /// Neighbours that never piggybacked a level (e.g. a pure sink
+    /// before its first frame) count as unknown, so an empty table
+    /// yields the local level itself.
+    pub fn queue_diff(&self) -> i32 {
+        let now = self.sched.now();
+        let st = &self.world.nodes[self.node.index()];
+        let local = st.queue.len() as f64;
+
+        // Prefer the communication partner's level: the node the
+        // head-of-line frame is addressed to is the one whose service
+        // we compete with ("it is beneficial to give the
+        // communication partner time", §1). In the paper's
+        // single-sink scenarios this is exactly the neighbour set of
+        // §4.2; in multi-hop trees it directs exploration pressure
+        // down the forwarding chain instead of averaging it away
+        // across saturated siblings.
+        if let Some(head) = st.queue.head() {
+            if let crate::frame::Address::Node(dst) = head.frame.dst {
+                if let Some(&(level, at)) = st.neighbor_queues.get(&dst.0) {
+                    if now.since(at) <= NEIGHBOR_LEVEL_TTL {
+                        return (local - level as f64).round() as i32;
+                    }
+                }
+                // Partner unknown or stale: treat as empty (the sink
+                // before its first frame, or a silent neighbour).
+                return local.round() as i32;
+            }
+        }
+
+        // Broadcast head or empty queue: fall back to the average
+        // over fresh neighbour reports.
+        let fresh: Vec<f64> = st
+            .neighbor_queues
+            .values()
+            .filter(|&&(_, at)| now.since(at) <= NEIGHBOR_LEVEL_TTL)
+            .map(|&(v, _)| v as f64)
+            .collect();
+        let avg = if fresh.is_empty() {
+            0.0
+        } else {
+            fresh.iter().sum::<f64>() / fresh.len() as f64
+        };
+        (local - avg).round() as i32
+    }
+
+    /// Starts a frame transmission on the contention channel. The
+    /// frame's `src` and `queue_level` are stamped automatically;
+    /// [`MacProtocol::on_tx_end`] fires when the airtime elapses.
+    pub fn start_tx(&mut self, frame: Frame) {
+        self.world
+            .start_tx_internal(self.node, frame, 0, TxOrigin::Mac, self.sched);
+    }
+
+    /// Starts a CCA; [`MacProtocol::on_cca_result`] fires after the
+    /// 8-symbol window with `busy = true` iff energy was present at
+    /// any point of the window.
+    pub fn start_cca(&mut self) {
+        let now = self.sched.now();
+        let st = &mut self.world.nodes[self.node.index()];
+        st.cca_gen += 1;
+        let gen = st.cca_gen;
+        st.cca = Some(CcaState {
+            saw_energy: self.world.medium.is_busy(self.node.phy()),
+            gen,
+        });
+        st.energy.count_cca();
+        self.world.metrics.mac_mut(self.node).ccas += 1;
+        let dur = SimDuration::from_micros(self.world.phy.cca_us());
+        self.sched
+            .schedule_at(now + dur, Event::CcaEnd { node: self.node, gen });
+    }
+
+    /// Arms (or re-arms) a MAC timer `delay` from now.
+    pub fn set_timer(&mut self, kind: MacTimerKind, delay: SimDuration) {
+        let st = &mut self.world.nodes[self.node.index()];
+        st.mac_timer_gen[kind.index()] += 1;
+        let gen = st.mac_timer_gen[kind.index()];
+        self.sched.schedule_in(
+            delay,
+            Event::MacTimer {
+                node: self.node,
+                kind,
+                gen,
+            },
+        );
+    }
+
+    /// Cancels a MAC timer class.
+    pub fn cancel_timer(&mut self, kind: MacTimerKind) {
+        self.world.nodes[self.node.index()].mac_timer_gen[kind.index()] += 1;
+    }
+
+    /// Hands a received frame to the upper layer (after this handler
+    /// returns).
+    pub fn deliver_to_upper(&mut self, frame: Frame) {
+        self.world.notices.push_back(Notice::DeliverUp(self.node, frame));
+    }
+
+    /// Reports the final outcome of a transmission chain to metrics
+    /// and the upper layer.
+    pub fn notify_tx_result(&mut self, frame: Frame, result: TxResult) {
+        self.world.metrics.tx_result(self.node, result);
+        self.world
+            .notices
+            .push_back(Notice::TxResultUp(self.node, frame, result));
+    }
+
+    /// Metrics collection.
+    pub fn metrics(&mut self) -> &mut MetricsHub {
+        &mut self.world.metrics
+    }
+
+    /// Records an executed subslot action for the Fig. 13–15 maps.
+    pub fn record_slot_action(&mut self, subslot: u16, action: SlotAction) {
+        self.world.metrics.slot_action(self.node, subslot, action);
+    }
+
+    /// Is the medium busy right now at this node (instantaneous
+    /// energy detection, not the windowed CCA)?
+    pub fn medium_busy(&self) -> bool {
+        self.world.medium.is_busy(self.node.phy())
+    }
+
+    /// Is this node currently transmitting?
+    pub fn transmitting(&self) -> bool {
+        self.world.medium.is_transmitting(self.node.phy())
+    }
+}
+
+/// Context handed to [`UpperLayer`] methods.
+pub struct UpperCtx<'a> {
+    world: &'a mut World,
+    sched: &'a mut Scheduler<Event>,
+    /// The node this context is scoped to.
+    pub node: NodeId,
+}
+
+impl<'a> UpperCtx<'a> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.sched.now()
+    }
+
+    /// The shared frame clock.
+    pub fn clock(&self) -> &FrameClock {
+        self.world.clock()
+    }
+
+    /// This node's deterministic RNG (independent of the MAC stream).
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.world.nodes[self.node.index()].upper_rng
+    }
+
+    /// Enqueues a frame for contention transmission. Returns `false`
+    /// (frame dropped) when the queue is full. The MAC is notified
+    /// after this handler returns.
+    pub fn enqueue_mac(&mut self, frame: Frame) -> bool {
+        let now = self.sched.now();
+        let st = &mut self.world.nodes[self.node.index()];
+        let ok = st.queue.push(frame, now);
+        if ok {
+            let level = st.queue.len();
+            self.world.metrics.queue_level(self.node, now, level);
+            self.world.notices.push_back(Notice::MacEnqueued(self.node));
+        }
+        ok
+    }
+
+    /// Current queue length.
+    pub fn queue_len(&self) -> usize {
+        self.world.nodes[self.node.index()].queue.len()
+    }
+
+    /// Schedules [`UpperLayer::on_timer`] with `tag` after `delay`.
+    /// Upper timers are one-shot and not cancellable; stale-tag
+    /// filtering is the upper layer's responsibility.
+    pub fn schedule(&mut self, delay: SimDuration, tag: u64) {
+        self.sched.schedule_in(
+            delay,
+            Event::UpperTimer {
+                node: self.node,
+                tag,
+            },
+        );
+    }
+
+    /// Transmits a frame directly on the PHY (bypassing the
+    /// contention MAC) on `channel` — the DSME CFP/GTS data path.
+    /// [`UpperLayer::on_phy_tx_end`] fires when the airtime elapses.
+    pub fn phy_tx(&mut self, frame: Frame, channel: u8) {
+        self.world
+            .start_tx_internal(self.node, frame, channel, TxOrigin::Upper, self.sched);
+    }
+
+    /// Is a transmission from this node currently in flight?
+    pub fn tx_in_flight(&self) -> bool {
+        self.world.nodes[self.node.index()].in_flight.is_some()
+    }
+
+    /// Retunes this node's receiver (GTS channel hopping).
+    pub fn set_listen_channel(&mut self, channel: u8) {
+        self.world
+            .medium
+            .set_listen_channel(self.node.phy(), channel);
+    }
+
+    /// Metrics collection.
+    pub fn metrics(&mut self) -> &mut MetricsHub {
+        &mut self.world.metrics
+    }
+}
+
+/// Factory signature for per-node MAC construction.
+pub type MacFactory = Box<dyn Fn(NodeId, &FrameClock) -> Box<dyn MacProtocol>>;
+/// Factory signature for per-node upper-layer construction.
+pub type UpperFactory = Box<dyn Fn(NodeId, &FrameClock) -> Box<dyn UpperLayer>>;
+
+/// Builder for a [`Sim`].
+pub struct SimBuilder {
+    conn: Connectivity,
+    channels: u8,
+    clock: FrameClock,
+    phy: PhyTiming,
+    power: PowerProfile,
+    queue_capacity: usize,
+    seed: u64,
+    mac_factory: Option<MacFactory>,
+    upper_factory: Option<UpperFactory>,
+    node_starts: HashMap<u32, SimTime>,
+    record_learner: bool,
+}
+
+impl SimBuilder {
+    /// Starts a builder over a connectivity graph with a master seed.
+    pub fn new(conn: Connectivity, seed: u64) -> Self {
+        SimBuilder {
+            conn,
+            channels: 1,
+            clock: FrameClock::dsme_so3(),
+            phy: PhyTiming::oqpsk_2_4ghz(),
+            power: PowerProfile::default(),
+            queue_capacity: 8,
+            seed,
+            mac_factory: None,
+            upper_factory: None,
+            node_starts: HashMap::new(),
+            record_learner: true,
+        }
+    }
+
+    /// Sets the frame clock (default: DSME SO=3 with 54 subslots).
+    pub fn clock(mut self, clock: FrameClock) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    /// Sets the number of orthogonal channels (default 1).
+    pub fn channels(mut self, channels: u8) -> Self {
+        self.channels = channels;
+        self
+    }
+
+    /// Sets the MAC queue capacity (default 8, as in the paper).
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// Sets the per-state power profile for energy accounting.
+    pub fn power_profile(mut self, power: PowerProfile) -> Self {
+        self.power = power;
+        self
+    }
+
+    /// Installs the MAC factory (required).
+    pub fn mac_factory<F>(mut self, f: F) -> Self
+    where
+        F: Fn(NodeId, &FrameClock) -> Box<dyn MacProtocol> + 'static,
+    {
+        self.mac_factory = Some(Box::new(f));
+        self
+    }
+
+    /// Installs the upper-layer factory (default: no-op upper).
+    pub fn upper_factory<F>(mut self, f: F) -> Self
+    where
+        F: Fn(NodeId, &FrameClock) -> Box<dyn UpperLayer> + 'static,
+    {
+        self.upper_factory = Some(Box::new(f));
+        self
+    }
+
+    /// Delays a node's activation (e.g. Fig. 12's node C joins the
+    /// network 100 s after node A).
+    pub fn node_start(mut self, node: NodeId, at: SimTime) -> Self {
+        self.node_starts.insert(node.0, at);
+        self
+    }
+
+    /// Enables/disables per-frame learner sampling (default on).
+    pub fn record_learner(mut self, on: bool) -> Self {
+        self.record_learner = on;
+        self
+    }
+
+    /// Builds the simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no MAC factory was installed.
+    pub fn build(self) -> Sim {
+        let mac_factory = self.mac_factory.expect("a MAC factory is required");
+        let n = self.conn.len();
+        let seeds = SeedSequence::new(self.seed);
+        let nodes: Vec<NodeState> = (0..n)
+            .map(|i| NodeState {
+                queue: TxQueue::new(self.queue_capacity),
+                neighbor_queues: HashMap::new(),
+                energy: EnergyMeter::new(self.power),
+                in_flight: None,
+                cca: None,
+                cca_gen: 0,
+                mac_timer_gen: [0; MacTimerKind::COUNT],
+                mac_rng: seeds.derive(1).derive(i as u64).rng(),
+                upper_rng: seeds.derive(2).derive(i as u64).rng(),
+                enabled: false,
+            })
+            .collect();
+        let subslots = self.clock.subslots();
+        let macs: Vec<Box<dyn MacProtocol>> = (0..n)
+            .map(|i| mac_factory(NodeId(i as u32), &self.clock))
+            .collect();
+        let uppers: Vec<Box<dyn UpperLayer>> = match &self.upper_factory {
+            Some(f) => (0..n).map(|i| f(NodeId(i as u32), &self.clock)).collect(),
+            None => (0..n).map(|_| Box::new(NullUpper) as Box<dyn UpperLayer>).collect(),
+        };
+
+        let mut sched = Scheduler::new();
+        sched.schedule_at(SimTime::ZERO, Event::Start);
+        for (i, &t) in &self.node_starts {
+            if t > SimTime::ZERO {
+                sched.schedule_at(t, Event::EnableNode { node: NodeId(*i) });
+            }
+        }
+
+        Sim {
+            world: World {
+                medium: Medium::with_channels(self.conn, self.channels),
+                clock: self.clock,
+                phy: self.phy,
+                nodes,
+                metrics: MetricsHub::new(n, subslots),
+                notices: std::collections::VecDeque::new(),
+            },
+            macs,
+            uppers,
+            sched,
+            node_starts: self.node_starts,
+            record_learner: self.record_learner,
+        }
+    }
+}
+
+/// A runnable simulation.
+pub struct Sim {
+    world: World,
+    macs: Vec<Box<dyn MacProtocol>>,
+    uppers: Vec<Box<dyn UpperLayer>>,
+    sched: Scheduler<Event>,
+    node_starts: HashMap<u32, SimTime>,
+    record_learner: bool,
+}
+
+impl Sim {
+    /// Runs until simulated time `horizon`, then closes metrics.
+    pub fn run_until(&mut self, horizon: SimTime) {
+        struct Driver<'s> {
+            world: &'s mut World,
+            macs: &'s mut [Box<dyn MacProtocol>],
+            uppers: &'s mut [Box<dyn UpperLayer>],
+            node_starts: &'s HashMap<u32, SimTime>,
+            record_learner: bool,
+        }
+
+        impl Driver<'_> {
+            fn enable_node(&mut self, node: NodeId, sched: &mut Scheduler<Event>) {
+                self.world.nodes[node.index()].enabled = true;
+                let mut mctx = MacCtx {
+                    world: self.world,
+                    sched,
+                    node,
+                };
+                self.macs[node.index()].start(&mut mctx);
+                let mut uctx = UpperCtx {
+                    world: self.world,
+                    sched,
+                    node,
+                };
+                self.uppers[node.index()].start(&mut uctx);
+            }
+
+            fn drain_notices(&mut self, sched: &mut Scheduler<Event>) {
+                while let Some(notice) = self.world.notices.pop_front() {
+                    match notice {
+                        Notice::DeliverUp(node, frame) => {
+                            let mut ctx = UpperCtx {
+                                world: self.world,
+                                sched,
+                                node,
+                            };
+                            self.uppers[node.index()].on_deliver(&mut ctx, &frame);
+                        }
+                        Notice::TxResultUp(node, frame, result) => {
+                            let mut ctx = UpperCtx {
+                                world: self.world,
+                                sched,
+                                node,
+                            };
+                            self.uppers[node.index()].on_tx_result(&mut ctx, &frame, result);
+                        }
+                        Notice::MacEnqueued(node) => {
+                            let mut ctx = MacCtx {
+                                world: self.world,
+                                sched,
+                                node,
+                            };
+                            self.macs[node.index()].on_enqueue(&mut ctx);
+                        }
+                        Notice::UpperPhyTxEnd(node, frame, delivered) => {
+                            let mut ctx = UpperCtx {
+                                world: self.world,
+                                sched,
+                                node,
+                            };
+                            self.uppers[node.index()].on_phy_tx_end(&mut ctx, &frame, &delivered);
+                        }
+                    }
+                }
+            }
+        }
+
+        impl Handler<Event> for Driver<'_> {
+            fn handle(&mut self, now: SimTime, event: Event, sched: &mut Scheduler<Event>) {
+                match event {
+                    Event::Start => {
+                        let n = self.world.nodes.len();
+                        for i in 0..n {
+                            let node = NodeId(i as u32);
+                            let starts_later = self
+                                .node_starts
+                                .get(&node.0)
+                                .map(|&t| t > SimTime::ZERO)
+                                .unwrap_or(false);
+                            if !starts_later {
+                                self.enable_node(node, sched);
+                            }
+                        }
+                        if self.record_learner {
+                            sched.schedule_in(
+                                self.world.clock.frame_duration(),
+                                Event::FrameBoundary,
+                            );
+                        }
+                    }
+                    Event::EnableNode { node } => {
+                        self.enable_node(node, sched);
+                    }
+                    Event::FrameBoundary => {
+                        let n = self.world.nodes.len();
+                        for i in 0..n {
+                            let node = NodeId(i as u32);
+                            if !self.world.nodes[i].enabled {
+                                continue;
+                            }
+                            if let Some(sample) = self.macs[i].learner_sample() {
+                                self.world.metrics.learner_sample(node, now, sample);
+                            }
+                        }
+                        sched.schedule_in(self.world.clock.frame_duration(), Event::FrameBoundary);
+                    }
+                    Event::MacTimer { node, kind, gen } => {
+                        let st = &self.world.nodes[node.index()];
+                        if !st.enabled || st.mac_timer_gen[kind.index()] != gen {
+                            return;
+                        }
+                        let mut ctx = MacCtx {
+                            world: self.world,
+                            sched,
+                            node,
+                        };
+                        self.macs[node.index()].on_timer(&mut ctx, kind);
+                    }
+                    Event::UpperTimer { node, tag } => {
+                        if !self.world.nodes[node.index()].enabled {
+                            return;
+                        }
+                        let mut ctx = UpperCtx {
+                            world: self.world,
+                            sched,
+                            node,
+                        };
+                        self.uppers[node.index()].on_timer(&mut ctx, tag);
+                    }
+                    Event::TxEnd { node } => {
+                        let (token, frame, origin) = self.world.nodes[node.index()]
+                            .in_flight
+                            .take()
+                            .expect("TxEnd without in-flight frame");
+                        self.world.nodes[node.index()]
+                            .energy
+                            .set_activity(now.as_micros(), qma_phy::RadioActivity::Listen);
+                        let delivered = self.world.medium.end_tx(token);
+                        let delivered: Vec<NodeId> = delivered
+                            .into_iter()
+                            .map(|p| NodeId(p.0))
+                            .filter(|r| self.world.nodes[r.index()].enabled)
+                            .collect();
+
+                        // Queue-level piggyback: every frame is
+                        // stamped with its sender's queue level at
+                        // transmission time, so receivers track the
+                        // backlog of all audible neighbours — data
+                        // frames as in the paper (§4.2), plus ACKs,
+                        // which keeps a pure sink's (empty) level
+                        // visible and lets a draining forwarder
+                        // release its neighbours' exploration.
+                        for &r in &delivered {
+                            self.world.nodes[r.index()]
+                                .neighbor_queues
+                                .insert(frame.src.0, (frame.queue_level, now));
+                        }
+
+                        match origin {
+                            TxOrigin::Mac => {
+                                let mut ctx = MacCtx {
+                                    world: self.world,
+                                    sched,
+                                    node,
+                                };
+                                self.macs[node.index()].on_tx_end(&mut ctx);
+                            }
+                            TxOrigin::Upper => {
+                                self.world.notices.push_back(Notice::UpperPhyTxEnd(
+                                    node,
+                                    frame.clone(),
+                                    delivered.clone(),
+                                ));
+                            }
+                        }
+
+                        for &r in &delivered {
+                            let mut ctx = MacCtx {
+                                world: self.world,
+                                sched,
+                                node: r,
+                            };
+                            self.macs[r.index()].on_frame(&mut ctx, &frame);
+                        }
+                    }
+                    Event::CcaEnd { node, gen } => {
+                        let st = &mut self.world.nodes[node.index()];
+                        let valid = st
+                            .cca
+                            .as_ref()
+                            .map(|c| c.gen == gen)
+                            .unwrap_or(false);
+                        if !valid {
+                            return;
+                        }
+                        let saw = st.cca.take().expect("checked above").saw_energy;
+                        let busy = saw || self.world.medium.is_busy(node.phy());
+                        if !st.enabled {
+                            return;
+                        }
+                        let mut ctx = MacCtx {
+                            world: self.world,
+                            sched,
+                            node,
+                        };
+                        self.macs[node.index()].on_cca_result(&mut ctx, busy);
+                    }
+                }
+                self.drain_notices(sched);
+            }
+        }
+
+        let mut driver = Driver {
+            world: &mut self.world,
+            macs: &mut self.macs,
+            uppers: &mut self.uppers,
+            node_starts: &self.node_starts,
+            record_learner: self.record_learner,
+        };
+        Executor::new().run_until(&mut driver, &mut self.sched, horizon);
+        self.world.metrics.close(horizon);
+    }
+
+    /// Runs for a duration from the current simulated time.
+    pub fn run_for(&mut self, d: SimDuration) {
+        let horizon = self.sched.now() + d;
+        self.run_until(horizon);
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.sched.now()
+    }
+
+    /// The metrics hub.
+    pub fn metrics(&self) -> &MetricsHub {
+        &self.world.metrics
+    }
+
+    /// Mutable metrics access (window resets).
+    pub fn metrics_mut(&mut self) -> &mut MetricsHub {
+        &mut self.world.metrics
+    }
+
+    /// Restarts the queue-level averaging of every node at the
+    /// current time (to exclude a warmup phase from time-weighted
+    /// queue metrics).
+    pub fn reset_queue_accounting(&mut self) {
+        let now = self.sched.now();
+        for i in 0..self.world.nodes.len() {
+            let level = self.world.nodes[i].queue.len();
+            self.world
+                .metrics
+                .restart_queue_accounting(NodeId(i as u32), now, level);
+        }
+    }
+
+    /// The world (tests, assertions).
+    pub fn world(&self) -> &World {
+        &self.world
+    }
+
+    /// Energy report for a node up to the current time.
+    pub fn energy_report(&mut self, node: NodeId) -> EnergyReport {
+        let now = self.sched.now();
+        self.world.energy_report(node, now)
+    }
+
+    /// A MAC's current policy snapshot (learning MACs only).
+    pub fn policy_snapshot(&self, node: NodeId) -> Option<Vec<SlotAction>> {
+        self.macs[node.index()].policy_snapshot()
+    }
+
+    /// A MAC's current learner sample (learning MACs only).
+    pub fn learner_sample(&self, node: NodeId) -> Option<LearnerSample> {
+        self.macs[node.index()].learner_sample()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::Address;
+
+    /// A MAC that transmits its queue head immediately on enqueue and
+    /// delivers received frames upward. No ACKs, no backoff.
+    struct NaiveMac;
+
+    impl MacProtocol for NaiveMac {
+        fn start(&mut self, _: &mut MacCtx<'_>) {}
+        fn on_timer(&mut self, _: &mut MacCtx<'_>, _: MacTimerKind) {}
+        fn on_frame(&mut self, ctx: &mut MacCtx<'_>, frame: &Frame) {
+            if frame.dst.is_for(ctx.node) {
+                ctx.deliver_to_upper(frame.clone());
+            }
+        }
+        fn on_tx_end(&mut self, ctx: &mut MacCtx<'_>) {
+            let frame = ctx.pop_queue().map(|q| q.frame);
+            if let Some(f) = frame {
+                ctx.notify_tx_result(f, TxResult::Delivered);
+            }
+            // Keep draining the queue back-to-back.
+            if let Some(next) = ctx.queue().head().map(|q| q.frame.clone()) {
+                ctx.start_tx(next);
+            }
+        }
+        fn on_cca_result(&mut self, _: &mut MacCtx<'_>, _: bool) {}
+        fn on_enqueue(&mut self, ctx: &mut MacCtx<'_>) {
+            if !ctx.transmitting() {
+                let f = ctx.queue().head().expect("just enqueued").frame.clone();
+                ctx.start_tx(f);
+            }
+        }
+    }
+
+    /// Upper layer that sends `count` frames to node 1 at start and
+    /// counts deliveries.
+    struct Sender {
+        count: u32,
+    }
+
+    impl UpperLayer for Sender {
+        fn start(&mut self, ctx: &mut UpperCtx<'_>) {
+            if ctx.node == NodeId(0) {
+                for s in 0..self.count {
+                    let f = Frame::data(ctx.node, Address::Node(NodeId(1)), s, 20, false);
+                    ctx.enqueue_mac(f);
+                }
+            }
+        }
+        fn on_timer(&mut self, _: &mut UpperCtx<'_>, _: u64) {}
+        fn on_deliver(&mut self, ctx: &mut UpperCtx<'_>, _: &Frame) {
+            ctx.metrics().count("received", 1.0);
+        }
+        fn on_tx_result(&mut self, _: &mut UpperCtx<'_>, _: &Frame, _: TxResult) {}
+    }
+
+    fn two_node_sim(count: u32) -> Sim {
+        SimBuilder::new(Connectivity::full(2), 7)
+            .clock(FrameClock::all_cap(10, 1_000))
+            .mac_factory(|_, _| Box::new(NaiveMac))
+            .upper_factory(move |_, _| Box::new(Sender { count }))
+            .build()
+    }
+
+    #[test]
+    fn frames_flow_end_to_end() {
+        let mut sim = two_node_sim(3);
+        sim.run_for(SimDuration::from_secs(1));
+        assert_eq!(sim.metrics().get("received"), 3.0);
+        assert_eq!(sim.metrics().mac(NodeId(0)).tx_attempts, 3);
+        assert_eq!(sim.metrics().mac(NodeId(0)).tx_delivered, 3);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_outcome() {
+        let mut a = two_node_sim(5);
+        let mut b = two_node_sim(5);
+        a.run_for(SimDuration::from_secs(2));
+        b.run_for(SimDuration::from_secs(2));
+        assert_eq!(a.metrics().get("received"), b.metrics().get("received"));
+        assert_eq!(
+            a.metrics().mac(NodeId(0)).tx_attempts,
+            b.metrics().mac(NodeId(0)).tx_attempts
+        );
+    }
+
+    #[test]
+    fn delayed_node_start() {
+        struct StartProbe;
+        impl UpperLayer for StartProbe {
+            fn start(&mut self, ctx: &mut UpperCtx<'_>) {
+                let t = ctx.now().as_secs_f64();
+                let node = ctx.node;
+                ctx.metrics().count_node("started_at", node, t);
+            }
+            fn on_timer(&mut self, _: &mut UpperCtx<'_>, _: u64) {}
+            fn on_deliver(&mut self, _: &mut UpperCtx<'_>, _: &Frame) {}
+            fn on_tx_result(&mut self, _: &mut UpperCtx<'_>, _: &Frame, _: TxResult) {}
+        }
+        let mut sim = SimBuilder::new(Connectivity::full(2), 1)
+            .clock(FrameClock::all_cap(10, 1_000))
+            .mac_factory(|_, _| Box::new(NaiveMac))
+            .upper_factory(|_, _| Box::new(StartProbe))
+            .node_start(NodeId(1), SimTime::from_secs(5))
+            .build();
+        sim.run_for(SimDuration::from_secs(10));
+        assert_eq!(sim.metrics().get_node("started_at", NodeId(0)), 0.0);
+        assert_eq!(sim.metrics().get_node("started_at", NodeId(1)), 5.0);
+    }
+
+    #[test]
+    fn queue_levels_recorded() {
+        let mut sim = two_node_sim(4);
+        sim.run_for(SimDuration::from_secs(1));
+        // Queue rose to 4 then drained; average must be positive but
+        // far below capacity.
+        let avg = sim.metrics().avg_queue_level(NodeId(0));
+        assert!(avg > 0.0 && avg < 1.0, "avg {avg}");
+    }
+
+    #[test]
+    fn energy_reports_accumulate_tx_time() {
+        let mut sim = two_node_sim(5);
+        sim.run_for(SimDuration::from_secs(1));
+        let r0 = sim.energy_report(NodeId(0));
+        assert_eq!(r0.tx_attempts, 5);
+        assert!(r0.transmit_us > 0);
+        let r1 = sim.energy_report(NodeId(1));
+        assert_eq!(r1.tx_attempts, 0);
+        assert_eq!(r1.transmit_us, 0);
+    }
+
+    #[test]
+    fn neighbor_queue_piggyback() {
+        // After node 0 transmits with a backlog, node 1 must know it.
+        struct Probe;
+        impl UpperLayer for Probe {
+            fn start(&mut self, ctx: &mut UpperCtx<'_>) {
+                if ctx.node == NodeId(0) {
+                    for s in 0..4 {
+                        let f = Frame::data(ctx.node, Address::Node(NodeId(1)), s, 20, false);
+                        ctx.enqueue_mac(f);
+                    }
+                }
+            }
+            fn on_timer(&mut self, _: &mut UpperCtx<'_>, _: u64) {}
+            fn on_deliver(&mut self, _: &mut UpperCtx<'_>, _: &Frame) {}
+            fn on_tx_result(&mut self, _: &mut UpperCtx<'_>, _: &Frame, _: TxResult) {}
+        }
+        let mut sim = SimBuilder::new(Connectivity::full(2), 3)
+            .clock(FrameClock::all_cap(10, 1_000))
+            .mac_factory(|_, _| Box::new(NaiveMac))
+            .upper_factory(|_, _| Box::new(Probe))
+            .build();
+        sim.run_for(SimDuration::from_millis(3));
+        // Node 1 heard at least the first frame, which carried
+        // node 0's then-current queue level (3 remaining).
+        // queue_diff at node 1: local 0 − neighbour 3-ish < 0.
+        // (Direct access via world for the assertion.)
+        let st = &sim.world().nodes[1];
+        let level = st.neighbor_queues.get(&0).map(|&(v, _)| v);
+        assert!(level.is_some(), "piggyback missing");
+        assert!(level.unwrap() >= 1);
+    }
+}

@@ -1,0 +1,96 @@
+//! 2-D geometry for node placement.
+
+use std::fmt;
+
+/// A node position in metres.
+///
+/// # Examples
+///
+/// ```
+/// use qma_phy::Position;
+///
+/// let a = Position::new(0.0, 0.0);
+/// let b = Position::new(3.0, 4.0);
+/// assert_eq!(a.distance_to(b), 5.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Position {
+    /// X coordinate in metres.
+    pub x: f64,
+    /// Y coordinate in metres.
+    pub y: f64,
+}
+
+impl Position {
+    /// The origin.
+    pub const ORIGIN: Position = Position { x: 0.0, y: 0.0 };
+
+    /// Creates a position.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Position { x, y }
+    }
+
+    /// Euclidean distance to another position.
+    pub fn distance_to(self, other: Position) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+
+    /// Creates a position from polar coordinates around a centre.
+    pub fn polar(center: Position, radius: f64, angle_rad: f64) -> Position {
+        Position {
+            x: center.x + radius * angle_rad.cos(),
+            y: center.y + radius * angle_rad.sin(),
+        }
+    }
+
+    /// Midpoint between two positions.
+    pub fn midpoint(self, other: Position) -> Position {
+        Position {
+            x: (self.x + other.x) / 2.0,
+            y: (self.y + other.y) / 2.0,
+        }
+    }
+}
+
+impl fmt::Display for Position {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.2}, {:.2})", self.x, self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = Position::new(1.0, 2.0);
+        let b = Position::new(-3.0, 5.0);
+        assert_eq!(a.distance_to(b), b.distance_to(a));
+        assert_eq!(a.distance_to(a), 0.0);
+    }
+
+    #[test]
+    fn polar_points_land_on_circle() {
+        let c = Position::new(10.0, 10.0);
+        for k in 0..8 {
+            let angle = k as f64 * std::f64::consts::FRAC_PI_4;
+            let p = Position::polar(c, 7.5, angle);
+            assert!((p.distance_to(c) - 7.5).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn midpoint_is_halfway() {
+        let a = Position::new(0.0, 0.0);
+        let b = Position::new(4.0, -2.0);
+        let m = a.midpoint(b);
+        assert_eq!(m, Position::new(2.0, -1.0));
+        assert!((a.distance_to(m) - b.distance_to(m)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Position::new(1.0, 2.5).to_string(), "(1.00, 2.50)");
+    }
+}

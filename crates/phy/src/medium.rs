@@ -1,0 +1,650 @@
+//! The shared wireless medium with binary interference.
+//!
+//! This implements the *protocol model*: every node pair is either
+//! audible or not (derived from a path-loss model or given
+//! explicitly), a receiver locks onto the first frame that arrives
+//! while it senses no other energy, and a locked frame is corrupted
+//! if any other audible transmission — or a local transmission —
+//! overlaps any part of its airtime. Clear-channel assessment reports
+//! busy iff any audible energy is present.
+//!
+//! This is exactly the structure the paper's hidden-node analysis
+//! relies on (§6.1): with A–B–C in a line and A, C mutually inaudible,
+//! "a CCA at node A or C only fails if node B is currently sending an
+//! ACK", while simultaneous data frames from A and C collide at B.
+//!
+//! The medium is pure bookkeeping: callers (the network simulator)
+//! drive it with `start_tx` / `end_tx` calls at the appropriate
+//! simulated times and deliver frames to MAC layers themselves.
+
+use crate::geo::Position;
+use crate::pathloss::PathLoss;
+use crate::units::Dbm;
+
+/// Index of a node known to the medium.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PhyNodeId(pub u32);
+
+impl PhyNodeId {
+    /// The index as usize, for table lookups.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for PhyNodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Handle for an in-flight transmission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TxToken(u64);
+
+/// Who can hear whom.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Connectivity {
+    n: usize,
+    audible: Vec<bool>, // row-major n×n, diagonal false
+}
+
+impl Connectivity {
+    /// Derives connectivity from positions and a path-loss model:
+    /// `j` hears `i` iff the power received from `i` at `j`'s position
+    /// is at least `sensitivity`.
+    pub fn from_pathloss(
+        positions: &[Position],
+        model: &PathLoss,
+        tx_power: Dbm,
+        sensitivity: Dbm,
+    ) -> Self {
+        let n = positions.len();
+        let mut audible = vec![false; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    let d = positions[i].distance_to(positions[j]);
+                    audible[i * n + j] = model.audible(tx_power, sensitivity, d);
+                }
+            }
+        }
+        Connectivity { n, audible }
+    }
+
+    /// Builds connectivity from an explicit edge list. Edges are
+    /// directed `(transmitter, receiver)`; use [`Connectivity::symmetric`]
+    /// for bidirectional links.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range node indices or self-loops.
+    pub fn explicit(n: usize, edges: &[(u32, u32)]) -> Self {
+        let mut audible = vec![false; n * n];
+        for &(i, j) in edges {
+            let (i, j) = (i as usize, j as usize);
+            assert!(i < n && j < n, "edge ({i},{j}) out of range (n={n})");
+            assert_ne!(i, j, "self-loop ({i},{i})");
+            audible[i * n + j] = true;
+        }
+        Connectivity { n, audible }
+    }
+
+    /// Builds symmetric connectivity from an undirected edge list.
+    pub fn symmetric(n: usize, edges: &[(u32, u32)]) -> Self {
+        let mut both: Vec<(u32, u32)> = Vec::with_capacity(edges.len() * 2);
+        for &(a, b) in edges {
+            both.push((a, b));
+            both.push((b, a));
+        }
+        Connectivity::explicit(n, &both)
+    }
+
+    /// Fully connected topology on `n` nodes (single collision
+    /// domain, e.g. the star testbed where "all nodes can hear each
+    /// other").
+    pub fn full(n: usize) -> Self {
+        let mut audible = vec![true; n * n];
+        for i in 0..n {
+            audible[i * n + i] = false;
+        }
+        Connectivity { n, audible }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Returns `true` if the topology has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Can `rx` hear `tx`?
+    pub fn hears(&self, rx: PhyNodeId, tx: PhyNodeId) -> bool {
+        self.audible[tx.index() * self.n + rx.index()]
+    }
+
+    /// Iterator over the nodes audible from `tx` (its interference
+    /// set).
+    pub fn listeners_of(&self, tx: PhyNodeId) -> impl Iterator<Item = PhyNodeId> + '_ {
+        let base = tx.index() * self.n;
+        (0..self.n)
+            .filter(move |&j| self.audible[base + j])
+            .map(|j| PhyNodeId(j as u32))
+    }
+
+    /// Neighbour count of `tx`.
+    pub fn degree(&self, tx: PhyNodeId) -> usize {
+        self.listeners_of(tx).count()
+    }
+
+    /// Returns `true` if the (i → j) and (j → i) links both exist.
+    pub fn bidirectional(&self, a: PhyNodeId, b: PhyNodeId) -> bool {
+        self.hears(a, b) && self.hears(b, a)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct ActiveTx {
+    token: TxToken,
+    tx_node: PhyNodeId,
+    channel: u8,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct RxLock {
+    token: TxToken,
+    clean: bool,
+}
+
+#[derive(Debug, Clone, Default)]
+struct ReceiverState {
+    /// Number of audible in-flight transmissions, per channel.
+    energy: Vec<u32>,
+    /// The frame this receiver is locked onto, if any.
+    lock: Option<RxLock>,
+    /// Is this node itself transmitting?
+    transmitting: bool,
+    /// The channel this node's receiver is tuned to.
+    listen_channel: u8,
+}
+
+/// The shared medium.
+///
+/// # Examples
+///
+/// ```
+/// use qma_phy::{Connectivity, Medium, PhyNodeId};
+///
+/// // A — B — C chain: the classic hidden-node topology.
+/// let conn = Connectivity::symmetric(3, &[(0, 1), (1, 2)]);
+/// let mut medium = Medium::new(conn);
+/// let a = PhyNodeId(0);
+/// let b = PhyNodeId(1);
+/// let c = PhyNodeId(2);
+///
+/// // C cannot hear A's transmission, so its CCA stays idle...
+/// let tx = medium.start_tx(a);
+/// assert!(!medium.is_busy(c));
+/// assert!(medium.is_busy(b));
+/// // ...and B receives the frame cleanly.
+/// assert_eq!(medium.end_tx(tx), vec![b]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Medium {
+    conn: Connectivity,
+    receivers: Vec<ReceiverState>,
+    active: Vec<ActiveTx>,
+    channels: u8,
+    next_token: u64,
+    collisions: u64,
+    clean_receptions: u64,
+}
+
+impl Medium {
+    /// Creates a single-channel medium over the given connectivity.
+    pub fn new(conn: Connectivity) -> Self {
+        Self::with_channels(conn, 1)
+    }
+
+    /// Creates a medium with `channels` orthogonal frequency channels
+    /// (IEEE 802.15.4 at 2.4 GHz offers 16; DSME spreads GTS over
+    /// them). Transmissions interfere only within the same channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels` is zero.
+    pub fn with_channels(conn: Connectivity, channels: u8) -> Self {
+        assert!(channels > 0, "need at least one channel");
+        let n = conn.len();
+        Medium {
+            conn,
+            receivers: vec![
+                ReceiverState {
+                    energy: vec![0; channels as usize],
+                    lock: None,
+                    transmitting: false,
+                    listen_channel: 0,
+                };
+                n
+            ],
+            active: Vec::new(),
+            channels,
+            next_token: 0,
+            collisions: 0,
+            clean_receptions: 0,
+        }
+    }
+
+    /// Number of orthogonal channels.
+    pub fn channels(&self) -> u8 {
+        self.channels
+    }
+
+    /// Retunes a node's receiver. Any reception in progress is lost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel is out of range.
+    pub fn set_listen_channel(&mut self, node: PhyNodeId, channel: u8) {
+        assert!(channel < self.channels, "channel {channel} out of range");
+        let st = &mut self.receivers[node.index()];
+        if st.listen_channel != channel {
+            st.listen_channel = channel;
+            st.lock = None;
+        }
+    }
+
+    /// The channel a node's receiver is tuned to.
+    pub fn listen_channel(&self, node: PhyNodeId) -> u8 {
+        self.receivers[node.index()].listen_channel
+    }
+
+    /// The connectivity this medium was built with.
+    pub fn connectivity(&self) -> &Connectivity {
+        &self.conn
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.conn.len()
+    }
+
+    /// Returns `true` when the medium has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.conn.is_empty()
+    }
+
+    /// Begins a transmission from `tx_node` on channel 0. See
+    /// [`Medium::start_tx_on`].
+    pub fn start_tx(&mut self, tx_node: PhyNodeId) -> TxToken {
+        self.start_tx_on(tx_node, 0)
+    }
+
+    /// Begins a transmission from `tx_node` on `channel`. The caller
+    /// is responsible for calling [`Medium::end_tx`] with the
+    /// returned token exactly when the frame's airtime elapses.
+    ///
+    /// Starting a transmission aborts any reception in progress at the
+    /// transmitter (half-duplex).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is already transmitting (MAC layers must
+    /// serialise their own transmissions) or the channel is out of
+    /// range.
+    pub fn start_tx_on(&mut self, tx_node: PhyNodeId, channel: u8) -> TxToken {
+        assert!(
+            !self.receivers[tx_node.index()].transmitting,
+            "{tx_node} started a second concurrent transmission"
+        );
+        assert!(channel < self.channels, "channel {channel} out of range");
+        let token = TxToken(self.next_token);
+        self.next_token += 1;
+
+        // Half-duplex: the transmitter loses anything it was receiving.
+        let me = &mut self.receivers[tx_node.index()];
+        me.transmitting = true;
+        if let Some(lock) = &mut me.lock {
+            lock.clean = false;
+        }
+
+        let listeners: Vec<PhyNodeId> = self.conn.listeners_of(tx_node).collect();
+        for r in listeners {
+            let st = &mut self.receivers[r.index()];
+            st.energy[channel as usize] += 1;
+            if st.transmitting || st.listen_channel != channel {
+                // A transmitting or differently-tuned node cannot
+                // lock onto this frame.
+                continue;
+            }
+            match &mut st.lock {
+                Some(lock) => {
+                    // Already locked onto another frame: that frame is
+                    // now corrupted, and the new frame cannot be
+                    // captured either (no capture effect).
+                    lock.clean = false;
+                }
+                None => {
+                    if st.energy[channel as usize] == 1 {
+                        st.lock = Some(RxLock { token, clean: true });
+                    }
+                    // energy > 1 without a lock: mid-air join, the new
+                    // frame is not receivable.
+                }
+            }
+        }
+
+        self.active.push(ActiveTx {
+            token,
+            tx_node,
+            channel,
+        });
+        token
+    }
+
+    /// Ends the transmission identified by `token`, releasing its
+    /// energy at all listeners. Returns the nodes that received the
+    /// frame cleanly (in ascending node order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the token is unknown (double `end_tx`).
+    pub fn end_tx(&mut self, token: TxToken) -> Vec<PhyNodeId> {
+        let idx = self
+            .active
+            .iter()
+            .position(|a| a.token == token)
+            .expect("end_tx with unknown token");
+        let tx = self.active.swap_remove(idx);
+
+        self.receivers[tx.tx_node.index()].transmitting = false;
+
+        let mut delivered = Vec::new();
+        let listeners: Vec<PhyNodeId> = self.conn.listeners_of(tx.tx_node).collect();
+        for r in listeners {
+            let st = &mut self.receivers[r.index()];
+            let energy = &mut st.energy[tx.channel as usize];
+            debug_assert!(*energy > 0, "energy underflow at {r}");
+            *energy -= 1;
+            if let Some(lock) = st.lock {
+                if lock.token == token {
+                    st.lock = None;
+                    if lock.clean && !st.transmitting && st.listen_channel == tx.channel {
+                        delivered.push(r);
+                        self.clean_receptions += 1;
+                    } else {
+                        self.collisions += 1;
+                    }
+                }
+            }
+        }
+        delivered.sort_unstable();
+        delivered
+    }
+
+    /// Clear-channel assessment at `node` on its listen channel:
+    /// `true` iff any audible transmission is in flight there or the
+    /// node itself is transmitting.
+    pub fn is_busy(&self, node: PhyNodeId) -> bool {
+        let st = &self.receivers[node.index()];
+        st.energy[st.listen_channel as usize] > 0 || st.transmitting
+    }
+
+    /// Is this node currently transmitting?
+    pub fn is_transmitting(&self, node: PhyNodeId) -> bool {
+        self.receivers[node.index()].transmitting
+    }
+
+    /// Is this node currently locked onto an incoming frame?
+    pub fn is_receiving(&self, node: PhyNodeId) -> bool {
+        self.receivers[node.index()].lock.is_some()
+    }
+
+    /// Number of transmissions currently in flight.
+    pub fn active_count(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Total corrupted receptions observed so far.
+    pub fn collisions(&self) -> u64 {
+        self.collisions
+    }
+
+    /// Total clean receptions observed so far.
+    pub fn clean_receptions(&self) -> u64 {
+        self.clean_receptions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hidden_node_medium() -> (Medium, PhyNodeId, PhyNodeId, PhyNodeId) {
+        let conn = Connectivity::symmetric(3, &[(0, 1), (1, 2)]);
+        (Medium::new(conn), PhyNodeId(0), PhyNodeId(1), PhyNodeId(2))
+    }
+
+    #[test]
+    fn clean_reception_single_tx() {
+        let (mut m, a, b, c) = hidden_node_medium();
+        let t = m.start_tx(a);
+        assert!(m.is_busy(b));
+        assert!(!m.is_busy(c), "C must not hear A (hidden node)");
+        assert_eq!(m.end_tx(t), vec![b]);
+        assert!(!m.is_busy(b));
+        assert_eq!(m.clean_receptions(), 1);
+        assert_eq!(m.collisions(), 0);
+    }
+
+    #[test]
+    fn hidden_node_collision_at_middle() {
+        let (mut m, a, b, c) = hidden_node_medium();
+        let ta = m.start_tx(a);
+        let tc = m.start_tx(c);
+        // B locked onto A's frame first; C's frame corrupts it.
+        assert_eq!(m.end_tx(ta), vec![]);
+        assert_eq!(m.end_tx(tc), vec![]);
+        assert_eq!(m.clean_receptions(), 0);
+        assert!(m.collisions() >= 1);
+        assert!(!m.is_busy(b));
+    }
+
+    #[test]
+    fn late_joiner_is_not_captured() {
+        let (mut m, a, b, c) = hidden_node_medium();
+        let ta = m.start_tx(a);
+        let tc = m.start_tx(c);
+        // A finishes; B still has energy from C but never locked onto
+        // C's frame, so nothing is delivered at either end.
+        assert_eq!(m.end_tx(ta), vec![]);
+        assert!(m.is_busy(b), "C's frame still in the air");
+        assert_eq!(m.end_tx(tc), vec![]);
+    }
+
+    #[test]
+    fn half_duplex_transmitter_cannot_receive() {
+        let (mut m, a, b, _c) = hidden_node_medium();
+        let tb = m.start_tx(b);
+        let ta = m.start_tx(a);
+        // B is transmitting, so it never locks onto A's frame.
+        assert_eq!(m.end_tx(ta), vec![]);
+        // A (and C) receive B's frame cleanly? A locked onto B at
+        // start_tx(b) — before A transmitted. A's own transmission
+        // corrupts its reception (half-duplex).
+        assert_eq!(m.end_tx(tb), vec![PhyNodeId(2)]);
+    }
+
+    #[test]
+    fn reception_aborted_by_own_tx() {
+        let (mut m, a, b, _c) = hidden_node_medium();
+        let ta = m.start_tx(a); // B locks on
+        assert!(m.is_receiving(b));
+        let tb = m.start_tx(b); // B preempts its own reception
+        assert_eq!(m.end_tx(ta), vec![], "B's rx must be aborted");
+        // A hears B's frame, but A was transmitting when it started →
+        // A never locked; C locked cleanly.
+        assert_eq!(m.end_tx(tb), vec![PhyNodeId(2)]);
+    }
+
+    #[test]
+    fn cca_busy_only_within_range() {
+        let (mut m, a, _b, c) = hidden_node_medium();
+        let t = m.start_tx(a);
+        assert!(!m.is_busy(c));
+        assert!(m.is_busy(PhyNodeId(1)));
+        // The transmitter itself reports busy (it cannot CCA mid-tx).
+        assert!(m.is_busy(a));
+        m.end_tx(t);
+    }
+
+    #[test]
+    fn energy_returns_to_zero_after_overlap() {
+        let conn = Connectivity::full(4);
+        let mut m = Medium::new(conn);
+        let t0 = m.start_tx(PhyNodeId(0));
+        let t1 = m.start_tx(PhyNodeId(1));
+        let t2 = m.start_tx(PhyNodeId(2));
+        m.end_tx(t0);
+        m.end_tx(t1);
+        m.end_tx(t2);
+        for i in 0..4 {
+            assert!(!m.is_busy(PhyNodeId(i)), "node {i} stuck busy");
+        }
+        assert_eq!(m.active_count(), 0);
+    }
+
+    #[test]
+    fn full_topology_broadcast_reaches_all() {
+        let mut m = Medium::new(Connectivity::full(5));
+        let t = m.start_tx(PhyNodeId(2));
+        let got = m.end_tx(t);
+        assert_eq!(
+            got,
+            vec![PhyNodeId(0), PhyNodeId(1), PhyNodeId(3), PhyNodeId(4)]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "second concurrent transmission")]
+    fn double_tx_panics() {
+        let (mut m, a, _, _) = hidden_node_medium();
+        let _t1 = m.start_tx(a);
+        let _t2 = m.start_tx(a);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown token")]
+    fn double_end_panics() {
+        let (mut m, a, _, _) = hidden_node_medium();
+        let t = m.start_tx(a);
+        m.end_tx(t);
+        m.end_tx(t);
+    }
+
+    #[test]
+    fn explicit_asymmetric_links() {
+        // 0 → 1 only: 1 hears 0 but not vice versa.
+        let conn = Connectivity::explicit(2, &[(0, 1)]);
+        assert!(conn.hears(PhyNodeId(1), PhyNodeId(0)));
+        assert!(!conn.hears(PhyNodeId(0), PhyNodeId(1)));
+        assert!(!conn.bidirectional(PhyNodeId(0), PhyNodeId(1)));
+        let mut m = Medium::new(conn);
+        let t = m.start_tx(PhyNodeId(1));
+        assert_eq!(m.end_tx(t), vec![], "0 cannot hear 1");
+    }
+
+    #[test]
+    fn connectivity_from_pathloss_matches_range() {
+        use crate::geo::Position;
+        use crate::units::Dbm;
+        let model = PathLoss::indoor_2_4ghz();
+        let tx = Dbm::new(-9.0);
+        let sens = Dbm::new(-72.0);
+        let range = model.max_range(tx, sens);
+        let positions = [
+            Position::new(0.0, 0.0),
+            Position::new(range * 0.9, 0.0),
+            Position::new(range * 1.8, 0.0),
+        ];
+        let conn = Connectivity::from_pathloss(&positions, &model, tx, sens);
+        assert!(conn.bidirectional(PhyNodeId(0), PhyNodeId(1)));
+        assert!(conn.bidirectional(PhyNodeId(1), PhyNodeId(2)));
+        assert!(!conn.hears(PhyNodeId(2), PhyNodeId(0)), "0–2 must be hidden");
+        assert_eq!(conn.degree(PhyNodeId(1)), 2);
+    }
+
+    #[test]
+    fn listeners_iterator() {
+        let conn = Connectivity::symmetric(3, &[(0, 1), (1, 2)]);
+        let l: Vec<_> = conn.listeners_of(PhyNodeId(1)).collect();
+        assert_eq!(l, vec![PhyNodeId(0), PhyNodeId(2)]);
+    }
+
+    // ---- Multi-channel behaviour (DSME CFP) ----
+
+    #[test]
+    fn orthogonal_channels_do_not_interfere() {
+        let mut m = Medium::with_channels(Connectivity::full(4), 4);
+        m.set_listen_channel(PhyNodeId(1), 1);
+        m.set_listen_channel(PhyNodeId(3), 2);
+        let t0 = m.start_tx_on(PhyNodeId(0), 1); // for node 1
+        let t2 = m.start_tx_on(PhyNodeId(2), 2); // for node 3
+        // Each receiver hears only its own channel.
+        assert_eq!(m.end_tx(t0), vec![PhyNodeId(1)]);
+        assert_eq!(m.end_tx(t2), vec![PhyNodeId(3)]);
+    }
+
+    #[test]
+    fn same_channel_still_collides() {
+        let mut m = Medium::with_channels(Connectivity::full(4), 4);
+        m.set_listen_channel(PhyNodeId(1), 3);
+        m.set_listen_channel(PhyNodeId(3), 3);
+        let t0 = m.start_tx_on(PhyNodeId(0), 3);
+        let t2 = m.start_tx_on(PhyNodeId(2), 3);
+        assert_eq!(m.end_tx(t0), vec![]);
+        assert_eq!(m.end_tx(t2), vec![]);
+        assert!(m.collisions() >= 1);
+    }
+
+    #[test]
+    fn cca_uses_listen_channel() {
+        let mut m = Medium::with_channels(Connectivity::full(2), 2);
+        let t = m.start_tx_on(PhyNodeId(0), 1);
+        // Node 1 listens on channel 0: idle there.
+        assert!(!m.is_busy(PhyNodeId(1)));
+        m.set_listen_channel(PhyNodeId(1), 1);
+        assert!(m.is_busy(PhyNodeId(1)));
+        m.end_tx(t);
+    }
+
+    #[test]
+    fn retuning_mid_reception_loses_frame() {
+        let mut m = Medium::with_channels(Connectivity::full(2), 2);
+        let t = m.start_tx_on(PhyNodeId(0), 0);
+        assert!(m.is_receiving(PhyNodeId(1)));
+        m.set_listen_channel(PhyNodeId(1), 1);
+        assert!(!m.is_receiving(PhyNodeId(1)));
+        assert_eq!(m.end_tx(t), vec![], "retuned receiver must lose the frame");
+        // Energy bookkeeping stays consistent.
+        m.set_listen_channel(PhyNodeId(1), 0);
+        assert!(!m.is_busy(PhyNodeId(1)));
+    }
+
+    #[test]
+    fn default_listen_channel_is_zero() {
+        let m = Medium::with_channels(Connectivity::full(2), 16);
+        assert_eq!(m.listen_channel(PhyNodeId(0)), 0);
+        assert_eq!(m.channels(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn channel_out_of_range_panics() {
+        let mut m = Medium::with_channels(Connectivity::full(2), 2);
+        let _ = m.start_tx_on(PhyNodeId(0), 2);
+    }
+}

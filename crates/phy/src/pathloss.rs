@@ -1,0 +1,174 @@
+//! Propagation models.
+//!
+//! The testbed experiments (§6.2) specify links by transmission power
+//! and receiver sensitivity: "transmission power is set to −9 dBm and
+//! sensitivity is set to −72 dBm" (tree), "3 dBm and −90 dBm" (star).
+//! We reconstruct connectivity by solving the path-loss equation for
+//! the distance at which received power equals the sensitivity.
+
+use crate::units::Dbm;
+
+/// Speed of light in m/s.
+const C: f64 = 299_792_458.0;
+
+/// A deterministic path-loss model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PathLoss {
+    /// Free-space (Friis) propagation at a carrier frequency in Hz.
+    FreeSpace {
+        /// Carrier frequency in Hz (2.45 GHz for IEEE 802.15.4).
+        frequency_hz: f64,
+    },
+    /// Log-distance model: `PL(d) = PL(d0) + 10·n·log10(d/d0)`.
+    LogDistance {
+        /// Path-loss exponent (2 = free space, 3–4 indoor).
+        exponent: f64,
+        /// Reference loss in dB at distance `reference_m`.
+        reference_loss_db: f64,
+        /// Reference distance in metres.
+        reference_m: f64,
+    },
+}
+
+impl PathLoss {
+    /// Free-space propagation at the 2.45 GHz ISM band used by
+    /// IEEE 802.15.4 O-QPSK.
+    pub fn free_space_2_4ghz() -> Self {
+        PathLoss::FreeSpace {
+            frequency_hz: 2.45e9,
+        }
+    }
+
+    /// A typical indoor/testbed log-distance model at 2.45 GHz
+    /// (exponent 2.6, free-space reference loss at 1 m).
+    pub fn indoor_2_4ghz() -> Self {
+        let fs = PathLoss::free_space_2_4ghz();
+        PathLoss::LogDistance {
+            exponent: 2.6,
+            reference_loss_db: fs.loss_db(1.0),
+            reference_m: 1.0,
+        }
+    }
+
+    /// Path loss in dB at distance `d` metres.
+    ///
+    /// Distances below 1 mm are clamped to avoid the models' near-field
+    /// singularity.
+    pub fn loss_db(&self, d: f64) -> f64 {
+        let d = d.max(1e-3);
+        match *self {
+            PathLoss::FreeSpace { frequency_hz } => {
+                20.0 * d.log10() + 20.0 * frequency_hz.log10() + 20.0 * (4.0 * std::f64::consts::PI / C).log10()
+            }
+            PathLoss::LogDistance {
+                exponent,
+                reference_loss_db,
+                reference_m,
+            } => reference_loss_db + 10.0 * exponent * (d / reference_m).log10(),
+        }
+    }
+
+    /// Received power at distance `d` for transmit power `tx`.
+    pub fn received_power(&self, tx: Dbm, d: f64) -> Dbm {
+        tx - self.loss_db(d)
+    }
+
+    /// The maximum distance at which a signal transmitted at `tx` is
+    /// still received at or above `sensitivity` (the communication
+    /// range).
+    pub fn max_range(&self, tx: Dbm, sensitivity: Dbm) -> f64 {
+        let budget_db = tx - sensitivity;
+        match *self {
+            PathLoss::FreeSpace { .. } => {
+                // Invert loss_db(d) = budget.
+                let k = self.loss_db(1.0);
+                10f64.powf((budget_db - k) / 20.0)
+            }
+            PathLoss::LogDistance {
+                exponent,
+                reference_loss_db,
+                reference_m,
+            } => reference_m * 10f64.powf((budget_db - reference_loss_db) / (10.0 * exponent)),
+        }
+    }
+
+    /// Returns `true` if a transmission at `tx` over distance `d` is
+    /// audible to a receiver with the given `sensitivity`.
+    pub fn audible(&self, tx: Dbm, sensitivity: Dbm, d: f64) -> bool {
+        self.received_power(tx, d).value() >= sensitivity.value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn free_space_reference_loss() {
+        // Friis at 2.45 GHz, 1 m ≈ 40.2 dB.
+        let fs = PathLoss::free_space_2_4ghz();
+        let l1 = fs.loss_db(1.0);
+        assert!((l1 - 40.2).abs() < 0.3, "1 m loss {l1}");
+        // +20 dB per decade of distance.
+        assert!((fs.loss_db(10.0) - l1 - 20.0).abs() < 1e-9);
+        assert!((fs.loss_db(100.0) - l1 - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn log_distance_slope() {
+        let m = PathLoss::LogDistance {
+            exponent: 3.0,
+            reference_loss_db: 40.0,
+            reference_m: 1.0,
+        };
+        assert!((m.loss_db(1.0) - 40.0).abs() < 1e-12);
+        assert!((m.loss_db(10.0) - 70.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn max_range_inverts_loss() {
+        for model in [PathLoss::free_space_2_4ghz(), PathLoss::indoor_2_4ghz()] {
+            for (tx, sens) in [(-9.0, -72.0), (3.0, -90.0)] {
+                let tx = Dbm::new(tx);
+                let sens = Dbm::new(sens);
+                let r = model.max_range(tx, sens);
+                // At the range boundary, received power == sensitivity.
+                let at_edge = model.received_power(tx, r);
+                assert!(
+                    (at_edge.value() - sens.value()).abs() < 1e-6,
+                    "model {model:?}: edge power {at_edge}"
+                );
+                assert!(model.audible(tx, sens, r * 0.999));
+                assert!(!model.audible(tx, sens, r * 1.001));
+            }
+        }
+    }
+
+    #[test]
+    fn testbed_parameter_ranges_are_ordered() {
+        // The star configuration (3 dBm / −90 dBm) must reach farther
+        // than the tree configuration (−9 dBm / −72 dBm).
+        let m = PathLoss::indoor_2_4ghz();
+        let tree = m.max_range(Dbm::new(-9.0), Dbm::new(-72.0));
+        let star = m.max_range(Dbm::new(3.0), Dbm::new(-90.0));
+        assert!(star > tree * 2.0, "tree {tree} star {star}");
+    }
+
+    #[test]
+    fn received_power_monotone_in_distance() {
+        let m = PathLoss::indoor_2_4ghz();
+        let tx = Dbm::new(0.0);
+        let mut last = f64::INFINITY;
+        for d in [0.5, 1.0, 2.0, 5.0, 20.0, 100.0] {
+            let p = m.received_power(tx, d).value();
+            assert!(p < last);
+            last = p;
+        }
+    }
+
+    #[test]
+    fn near_field_clamped() {
+        let m = PathLoss::free_space_2_4ghz();
+        assert!(m.loss_db(0.0).is_finite());
+    }
+}

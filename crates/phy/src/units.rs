@@ -1,0 +1,148 @@
+//! Radio power units.
+
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// A power level in dBm (decibels relative to one milliwatt).
+///
+/// # Examples
+///
+/// ```
+/// use qma_phy::{Dbm, MilliWatts};
+///
+/// let p = Dbm::new(0.0);
+/// assert!((p.to_milliwatts().value() - 1.0).abs() < 1e-12);
+/// assert_eq!(Dbm::new(3.0) - Dbm::new(-9.0), 12.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Dbm(f64);
+
+impl Dbm {
+    /// Creates a power level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is NaN.
+    pub fn new(value: f64) -> Self {
+        assert!(!value.is_nan(), "dBm value must not be NaN");
+        Dbm(value)
+    }
+
+    /// The raw dBm value.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Converts to linear milliwatts.
+    pub fn to_milliwatts(self) -> MilliWatts {
+        MilliWatts(10f64.powf(self.0 / 10.0))
+    }
+}
+
+/// A linear power in milliwatts.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct MilliWatts(f64);
+
+impl MilliWatts {
+    /// Creates a linear power value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is negative or NaN.
+    pub fn new(value: f64) -> Self {
+        assert!(value >= 0.0, "power must be non-negative");
+        MilliWatts(value)
+    }
+
+    /// The raw milliwatt value.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Converts to dBm. Zero power maps to −∞ dBm.
+    pub fn to_dbm(self) -> Dbm {
+        Dbm(10.0 * self.0.log10())
+    }
+}
+
+impl Add<f64> for Dbm {
+    type Output = Dbm;
+    /// Adds a gain/loss in dB.
+    fn add(self, db: f64) -> Dbm {
+        Dbm(self.0 + db)
+    }
+}
+
+impl Sub<f64> for Dbm {
+    type Output = Dbm;
+    /// Subtracts a loss in dB.
+    fn sub(self, db: f64) -> Dbm {
+        Dbm(self.0 - db)
+    }
+}
+
+impl Sub for Dbm {
+    type Output = f64;
+    /// Difference of two levels, in dB.
+    fn sub(self, rhs: Dbm) -> f64 {
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Display for Dbm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1} dBm", self.0)
+    }
+}
+
+impl fmt::Display for MilliWatts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.4} mW", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dbm_milliwatt_roundtrip() {
+        for v in [-90.0, -72.0, -9.0, 0.0, 3.0, 20.0] {
+            let d = Dbm::new(v);
+            let back = d.to_milliwatts().to_dbm();
+            assert!((back.value() - v).abs() < 1e-9, "{v}");
+        }
+    }
+
+    #[test]
+    fn reference_points() {
+        assert!((Dbm::new(0.0).to_milliwatts().value() - 1.0).abs() < 1e-12);
+        assert!((Dbm::new(10.0).to_milliwatts().value() - 10.0).abs() < 1e-12);
+        assert!((Dbm::new(-30.0).to_milliwatts().value() - 0.001).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gain_arithmetic() {
+        let p = Dbm::new(-9.0) + 6.0;
+        assert_eq!(p.value(), -3.0);
+        let q = p - 10.0;
+        assert_eq!(q.value(), -13.0);
+    }
+
+    #[test]
+    fn zero_power_is_negative_infinity_dbm() {
+        assert_eq!(MilliWatts::new(0.0).to_dbm().value(), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_power_rejected() {
+        let _ = MilliWatts::new(-1.0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Dbm::new(-72.0).to_string(), "-72.0 dBm");
+        assert_eq!(MilliWatts::new(1.0).to_string(), "1.0000 mW");
+    }
+}

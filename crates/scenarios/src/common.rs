@@ -1,0 +1,230 @@
+//! Shared machinery: MAC selection, management background traffic,
+//! replication across threads.
+
+use qma_des::{SimDuration, SimTime};
+use qma_mac::{CsmaConfig, CsmaMac, QmaMac, QmaMacConfig};
+use qma_netsim::{
+    Frame, FrameClock, MacProtocol, NodeId, TxResult, UpperCtx, UpperLayer,
+};
+
+/// Which channel-access scheme a scenario runs — the three columns of
+/// every comparison in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MacKind {
+    /// The paper's contribution.
+    Qma,
+    /// IEEE 802.15.4 slotted CSMA/CA.
+    SlottedCsma,
+    /// IEEE 802.15.4 unslotted CSMA/CA.
+    UnslottedCsma,
+}
+
+impl MacKind {
+    /// All three schemes, in the paper's legend order.
+    pub const ALL: [MacKind; 3] = [MacKind::Qma, MacKind::SlottedCsma, MacKind::UnslottedCsma];
+
+    /// Display name used in tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            MacKind::Qma => "QMA",
+            MacKind::SlottedCsma => "slotted CSMA/CA",
+            MacKind::UnslottedCsma => "unslotted CSMA/CA",
+        }
+    }
+
+    /// Builds the MAC instance for one node.
+    pub fn build(self, clock: &FrameClock) -> Box<dyn MacProtocol> {
+        match self {
+            MacKind::Qma => Box::new(QmaMac::new(QmaMacConfig::default(), *clock)),
+            MacKind::SlottedCsma => Box::new(CsmaMac::new(CsmaConfig::slotted(), *clock)),
+            MacKind::UnslottedCsma => Box::new(CsmaMac::new(CsmaConfig::unslotted(), *clock)),
+        }
+    }
+}
+
+impl std::fmt::Display for MacKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// Wraps an upper layer and adds low-rate periodic management
+/// traffic — the paper's association/management exchange that
+/// precedes data generation ("Generation of data packets starts
+/// after 100 s to allow the MAC protocol to associate with the
+/// network and exchange management information"). This is what QMA
+/// first learns from in Fig. 10.
+///
+/// Management frames are **unicast to the node's parent and
+/// acknowledged**, like DSME association requests: the coordinator's
+/// ACKs carry its (empty) queue level, which seeds the queue-level
+/// piggybacking that parameter-based exploration needs (§4.2).
+pub struct WithManagement<U> {
+    inner: U,
+    target: Option<NodeId>,
+    period: SimDuration,
+    octets: u16,
+    seq: u32,
+}
+
+const TAG_MGMT: u64 = u64::MAX; // disjoint from inner tags by convention
+
+/// Management-frame discriminator for background chatter.
+pub const MGMT_BACKGROUND: u8 = 0x01;
+
+impl<U> WithManagement<U> {
+    /// Adds `period`-spaced management unicasts toward `target`
+    /// (broadcasts when `None`) to `inner`.
+    pub fn new_towards(inner: U, target: Option<NodeId>, period: SimDuration) -> Self {
+        WithManagement {
+            inner,
+            target,
+            period,
+            octets: 12,
+            seq: 0,
+        }
+    }
+
+    /// Adds `period`-spaced management broadcasts to `inner`.
+    pub fn new(inner: U, period: SimDuration) -> Self {
+        Self::new_towards(inner, None, period)
+    }
+}
+
+impl<U: UpperLayer> UpperLayer for WithManagement<U> {
+    fn start(&mut self, ctx: &mut UpperCtx<'_>) {
+        use rand::Rng;
+        self.inner.start(ctx);
+        let jitter = ctx.rng().gen_range(0..self.period.as_micros().max(1));
+        ctx.schedule(SimDuration::from_micros(jitter), TAG_MGMT);
+    }
+
+    fn on_timer(&mut self, ctx: &mut UpperCtx<'_>, tag: u64) {
+        if tag == TAG_MGMT {
+            self.seq = self.seq.wrapping_add(1);
+            let (dst, ack) = match self.target {
+                Some(t) => (qma_netsim::Address::Node(t), true),
+                None => (qma_netsim::Address::Broadcast, false),
+            };
+            let f = Frame::management(
+                ctx.node,
+                dst,
+                MGMT_BACKGROUND,
+                self.seq,
+                self.octets,
+                ack,
+            );
+            ctx.enqueue_mac(f);
+            ctx.schedule(self.period, TAG_MGMT);
+        } else {
+            self.inner.on_timer(ctx, tag);
+        }
+    }
+
+    fn on_deliver(&mut self, ctx: &mut UpperCtx<'_>, frame: &Frame) {
+        self.inner.on_deliver(ctx, frame);
+    }
+
+    fn on_tx_result(&mut self, ctx: &mut UpperCtx<'_>, frame: &Frame, result: TxResult) {
+        self.inner.on_tx_result(ctx, frame, result);
+    }
+
+    fn on_phy_tx_end(&mut self, ctx: &mut UpperCtx<'_>, frame: &Frame, delivered: &[NodeId]) {
+        self.inner.on_phy_tx_end(ctx, frame, delivered);
+    }
+}
+
+/// Wraps a collection app for a node: sources get the management
+/// background chatter, the sink does not — its management traffic
+/// (beacons, association responses) rides in the beacon slot in DSME,
+/// not in the CAP. Giving the sink CAP chatter would also poison the
+/// queue-level piggyback: a sink has no exploration pressure, its
+/// queue would back up and its advertised level would suppress the
+/// sources' exploration (§4.2 assumes the sink's queue is empty).
+pub fn collection_upper(
+    app: qma_net::CollectionApp,
+    is_sink: bool,
+    mgmt_period: SimDuration,
+) -> Box<dyn UpperLayer> {
+    let target = app.config().next_hop;
+    if is_sink {
+        Box::new(app)
+    } else {
+        Box::new(WithManagement::new_towards(app, target, mgmt_period))
+    }
+}
+
+/// Runs `reps` independent replications of `run` (seeded 0..reps) on
+/// worker threads and collects the results in seed order.
+pub fn replicate<T, F>(reps: u64, run: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(u64) -> T + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(reps.max(1) as usize);
+    let mut results: Vec<Option<T>> = (0..reps).map(|_| None).collect();
+    let next = std::sync::atomic::AtomicU64::new(0);
+    let results_mutex = std::sync::Mutex::new(&mut results);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let rep = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if rep >= reps {
+                    break;
+                }
+                let value = run(rep);
+                let mut guard = results_mutex.lock().expect("no poisoned replication");
+                guard[rep as usize] = Some(value);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every replication filled"))
+        .collect()
+}
+
+/// The paper's standard simulation horizon for a δ-rate hidden-node
+/// run: 100 s of management, 1000 packets at δ, plus drain time.
+pub fn hidden_node_horizon(delta: f64, packets: u64) -> SimTime {
+    let gen_time = packets as f64 / delta;
+    SimTime::from_secs_f64(100.0 + gen_time + 30.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mac_kinds_build() {
+        let clock = FrameClock::dsme_so3();
+        for kind in MacKind::ALL {
+            let _mac = kind.build(&clock);
+            assert!(!kind.name().is_empty());
+        }
+        assert_eq!(MacKind::Qma.to_string(), "QMA");
+    }
+
+    #[test]
+    fn replicate_preserves_order_and_count() {
+        let out = replicate(16, |seed| seed * 2);
+        assert_eq!(out.len(), 16);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i as u64 * 2);
+        }
+    }
+
+    #[test]
+    fn replicate_single() {
+        assert_eq!(replicate(1, |s| s + 7), vec![7]);
+    }
+
+    #[test]
+    fn horizon_scales_with_rate() {
+        assert!(hidden_node_horizon(1.0, 1000) > SimTime::from_secs(1100));
+        assert!(hidden_node_horizon(100.0, 1000) < SimTime::from_secs(150));
+    }
+}

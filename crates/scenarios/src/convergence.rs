@@ -1,0 +1,207 @@
+//! Convergence and exploration dynamics (§6.1.2) — Fig. 10
+//! (cumulative Q-values per frame) and Fig. 11 (exploration
+//! probability ρ, rolling 10-frame average).
+
+use qma_des::{SimDuration, SimTime};
+use qma_net::{CollectionApp, CollectionConfig, TrafficPattern};
+use qma_netsim::{FrameClock, NodeId, SimBuilder};
+use qma_stats::TimeSeries;
+
+use crate::common::{collection_upper, MacKind};
+
+/// The rates plotted in Fig. 10/11.
+pub const PAPER_DELTAS: [f64; 3] = [1.0, 10.0, 100.0];
+
+/// Result of one convergence run.
+#[derive(Debug, Clone)]
+pub struct ConvergenceRun {
+    /// δ in pkt/s.
+    pub delta: f64,
+    /// Per-frame Σₘ Q(m, π(m)) of node A (Fig. 10).
+    pub q_sum: TimeSeries,
+    /// ρ of node A, smoothed over 10 frames (Fig. 11).
+    pub rho: TimeSeries,
+    /// Time at which the cumulative Q stabilised (first instant after
+    /// which it changes by < 1 % of its final range), seconds.
+    pub settle_time: Option<f64>,
+}
+
+/// Runs QMA in the hidden-node topology at rate `delta`, recording
+/// the learning traces of node A.
+pub fn run(delta: f64, duration_s: u64, seed: u64) -> ConvergenceRun {
+    let topo = qma_topo::hidden_node();
+    let sink = NodeId(topo.sink as u32);
+    let mut sim = SimBuilder::new(topo.connectivity.clone(), seed)
+        .clock(FrameClock::dsme_so3())
+        .mac_factory(|_, clock| MacKind::Qma.build(clock))
+        .upper_factory(move |node, _| {
+            let pattern = if node == sink {
+                TrafficPattern::Silent
+            } else {
+                TrafficPattern::Poisson {
+                    rate: delta,
+                    start: SimTime::from_secs(100),
+                    limit: None,
+                }
+            };
+            let app = CollectionApp::new(CollectionConfig {
+                pattern,
+                next_hop: (node != sink).then_some(sink),
+                sink,
+                payload_octets: 60,
+            });
+            collection_upper(app, node == sink, SimDuration::from_secs(5))
+        })
+        .build();
+    sim.run_until(SimTime::from_secs(duration_s));
+
+    let q_sum = sim.metrics().q_sum_series(NodeId(0)).clone();
+    let rho = sim.metrics().rho_series(NodeId(0)).rolling_average(10);
+    let settle_time = settle_time(&q_sum);
+    ConvergenceRun {
+        delta,
+        q_sum,
+        rho,
+        settle_time,
+    }
+}
+
+/// First time after which the series stays within 1 % of its final
+/// range.
+pub fn settle_time(series: &TimeSeries) -> Option<f64> {
+    let values = series.values();
+    if values.len() < 2 {
+        return None;
+    }
+    let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let tol = (max - min).abs() * 0.01;
+    let last = *values.last().expect("non-empty");
+    let mut settle_idx = values.len() - 1;
+    for i in (0..values.len()).rev() {
+        if (values[i] - last).abs() <= tol {
+            settle_idx = i;
+        } else {
+            break;
+        }
+    }
+    Some(series.times()[settle_idx])
+}
+
+/// Formats a series for plotting: `time<TAB>value` rows, thinned.
+pub fn format_series(series: &TimeSeries, max_points: usize) -> String {
+    let mut out = String::from("time_s\tvalue\n");
+    for (t, v) in series.thin(max_points).iter() {
+        out.push_str(&format!("{t:.2}\t{v:.3}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learning_raises_cumulative_q() {
+        let r = run(10.0, 200, 3);
+        let first = r.q_sum.values()[0];
+        let last = *r.q_sum.values().last().unwrap();
+        assert!(last > first + 50.0, "no visible learning: {first} → {last}");
+    }
+
+    #[test]
+    fn management_traffic_starts_learning_before_data() {
+        // Fig. 10: "QMA immediately reacts to the first transmitted
+        // management packets" — the Q-sum must move before t = 100 s.
+        let r = run(10.0, 150, 5);
+        let early = r.q_sum.value_at(90.0).unwrap();
+        assert!(
+            early > -540.0 + 10.0,
+            "no learning from management traffic: {early}"
+        );
+    }
+
+    #[test]
+    fn rho_rises_with_saturation() {
+        // Fig. 11: δ=100 oversaturates the CAP → queues fill → the
+        // exploration probability climbs well above the δ=1 trace.
+        let high = run(100.0, 200, 7);
+        let low = run(1.0, 200, 7);
+        let max_high = high.rho.values().iter().cloned().fold(0.0, f64::max);
+        let max_low = low.rho.values().iter().cloned().fold(0.0, f64::max);
+        assert!(
+            max_high > max_low,
+            "ρ(δ=100)={max_high} should exceed ρ(δ=1)={max_low}"
+        );
+        assert!(max_high >= 0.02, "saturated ρ {max_high} too small");
+    }
+
+    #[test]
+    fn settle_time_detects_constant_tail() {
+        let mut s = TimeSeries::new();
+        for i in 0..50 {
+            s.push(i as f64, if i < 20 { i as f64 } else { 20.0 });
+        }
+        let t = settle_time(&s).unwrap();
+        assert!((t - 20.0).abs() <= 1.0, "settle at {t}");
+    }
+
+    #[test]
+    fn format_series_shape() {
+        let s: TimeSeries = [(0.0, 1.0), (1.0, 2.0)].into_iter().collect();
+        let f = format_series(&s, 10);
+        assert!(f.starts_with("time_s\tvalue\n"));
+        assert_eq!(f.lines().count(), 3);
+    }
+}
+
+#[cfg(test)]
+mod probe {
+    use super::*;
+
+    #[test]
+    #[ignore]
+    fn probe_rho_dynamics() {
+        let topo = qma_topo::hidden_node();
+        let sink = NodeId(topo.sink as u32);
+        let delta = 100.0;
+        let mut sim = SimBuilder::new(topo.connectivity.clone(), 7)
+            .clock(FrameClock::dsme_so3())
+            .mac_factory(|_, clock| MacKind::Qma.build(clock))
+            .upper_factory(move |node, _| {
+                let pattern = if node == sink {
+                    TrafficPattern::Silent
+                } else {
+                    TrafficPattern::Poisson {
+                        rate: delta,
+                        start: SimTime::from_secs(100),
+                        limit: None,
+                    }
+                };
+                let app = CollectionApp::new(CollectionConfig {
+                    pattern,
+                    next_hop: (node != sink).then_some(sink),
+                    sink,
+                    payload_octets: 60,
+                });
+                collection_upper(app, node == sink, SimDuration::from_secs(5))
+            })
+            .build();
+        sim.run_until(SimTime::from_secs(200));
+        let m = sim.metrics();
+        let a = NodeId(0);
+        println!(
+            "A: generated={} delivered={} queue_drops={} retry_drops={} avg_queue={:.2} attempts={}",
+            m.generated(a),
+            m.delivered(a),
+            sim.world().queue(a).drops(),
+            m.mac(a).drops_retry,
+            m.avg_queue_level(a),
+            m.mac(a).tx_attempts,
+        );
+        println!(
+            "PDR(A,C)={:.3}",
+            m.pdr_of([NodeId(0), NodeId(2)]).unwrap_or(0.0)
+        );
+    }
+}

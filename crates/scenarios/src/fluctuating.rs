@@ -1,0 +1,109 @@
+//! Adaptability under fluctuating traffic (§6.1.2, Fig. 12).
+//!
+//! Node A alternates between δ = 10 and δ = 100 pkt/s every 100 s;
+//! node C generates a constant δ = 25 pkt/s but joins the network
+//! 100 s after node A. The cumulative Q-values of both nodes track
+//! the traffic switches.
+
+use qma_des::{SimDuration, SimTime};
+use qma_net::{CollectionApp, CollectionConfig, TrafficPattern};
+use qma_netsim::{FrameClock, NodeId, SimBuilder};
+use qma_stats::TimeSeries;
+
+use crate::common::{collection_upper, MacKind};
+
+/// Result of the fluctuating-traffic run.
+#[derive(Debug, Clone)]
+pub struct FluctuatingRun {
+    /// Node A's per-frame cumulative Q (Fig. 12, "node A").
+    pub q_sum_a: TimeSeries,
+    /// Node C's per-frame cumulative Q (Fig. 12, "node C").
+    pub q_sum_c: TimeSeries,
+    /// Overall PDR of both sources.
+    pub pdr: f64,
+}
+
+/// Runs the Fig. 12 scenario for `duration_s` seconds (the paper
+/// shows 1400 s).
+pub fn run(duration_s: u64, seed: u64) -> FluctuatingRun {
+    let topo = qma_topo::hidden_node();
+    let sink = NodeId(topo.sink as u32);
+    let mut sim = SimBuilder::new(topo.connectivity.clone(), seed)
+        .clock(FrameClock::dsme_so3())
+        .mac_factory(|_, clock| MacKind::Qma.build(clock))
+        .upper_factory(move |node, _| {
+            let pattern = match node.0 {
+                0 => TrafficPattern::Alternating {
+                    rates: (10.0, 100.0),
+                    period: SimDuration::from_secs(100),
+                    start: SimTime::ZERO,
+                    limit: None,
+                },
+                2 => TrafficPattern::Poisson {
+                    rate: 25.0,
+                    start: SimTime::from_secs(100), // C joins 100 s later
+                    limit: None,
+                },
+                _ => TrafficPattern::Silent,
+            };
+            let app = CollectionApp::new(CollectionConfig {
+                pattern,
+                next_hop: (node != sink).then_some(sink),
+                sink,
+                payload_octets: 60,
+            });
+            collection_upper(app, node == sink, SimDuration::from_secs(5))
+        })
+        // Node C physically joins late (Fig. 12: "joining the network
+        // late does not influence the performance of node C").
+        .node_start(NodeId(2), SimTime::from_secs(100))
+        .build();
+    sim.run_until(SimTime::from_secs(duration_s));
+
+    let m = sim.metrics();
+    FluctuatingRun {
+        q_sum_a: m.q_sum_series(NodeId(0)).clone(),
+        q_sum_c: m.q_sum_series(NodeId(2)).clone(),
+        pdr: m.pdr_of([NodeId(0), NodeId(2)]).unwrap_or(0.0),
+    }
+}
+
+/// Mean of a series within a time window (`None` when empty).
+pub fn window_mean(series: &TimeSeries, from_s: f64, to_s: f64) -> Option<f64> {
+    let vals: Vec<f64> = series
+        .iter()
+        .filter(|(t, _)| *t >= from_s && *t < to_s)
+        .map(|(_, v)| v)
+        .collect();
+    (!vals.is_empty()).then(|| vals.iter().sum::<f64>() / vals.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_a_reacts_to_traffic_switches() {
+        // Fig. 12: "node A immediately reacts to changes in its packet
+        // generation pattern with increasing and decreasing Q-values".
+        let r = run(400, 11);
+        // Phase 1 (δ=10, settled): 50–100 s. Phase 2 (δ=100): 100–200.
+        let slow = window_mean(&r.q_sum_a, 60.0, 100.0).unwrap();
+        let fast = window_mean(&r.q_sum_a, 160.0, 200.0).unwrap();
+        assert!(
+            (slow - fast).abs() > 20.0,
+            "Q-sum did not react to the rate switch: {slow} vs {fast}"
+        );
+    }
+
+    #[test]
+    fn late_joiner_still_learns() {
+        let r = run(400, 13);
+        // C starts at −540 (54 × −10) and must have risen by the end.
+        let first = r.q_sum_c.values().first().copied().unwrap_or(-540.0);
+        let last = *r.q_sum_c.values().last().expect("C recorded");
+        assert!(last > first, "node C never learned: {first} → {last}");
+        // And the network still delivers.
+        assert!(r.pdr > 0.3, "pdr {}", r.pdr);
+    }
+}

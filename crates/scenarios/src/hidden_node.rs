@@ -1,0 +1,218 @@
+//! The hidden-node experiment of §6.1 — Fig. 7 (PDR), Fig. 8 (queue
+//! level), Fig. 9 (end-to-end delay).
+//!
+//! Topology Fig. 6: A — B — C with A, C mutually hidden; B is the
+//! sink. A and C generate 1000 Poisson packets at δ ∈
+//! {1, 2, 4, 6, 8, 10, 25, 50, 100} pkt/s starting at t = 100 s;
+//! management broadcasts run from t = 0. 15 repetitions per scheme,
+//! 95 % confidence intervals.
+
+use qma_des::SimDuration;
+use qma_net::{CollectionApp, CollectionConfig, TrafficPattern};
+use qma_netsim::{FrameClock, NodeId, SimBuilder};
+use qma_stats::{mean_ci95, ConfidenceInterval};
+
+use crate::common::{collection_upper, hidden_node_horizon, replicate, MacKind};
+
+/// The paper's δ sweep (packets per second).
+pub const PAPER_DELTAS: [f64; 9] = [1.0, 2.0, 4.0, 6.0, 8.0, 10.0, 25.0, 50.0, 100.0];
+
+/// Number of packets each source generates.
+pub const PACKETS_PER_SOURCE: u64 = 1000;
+
+/// Raw metrics of one replication.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HiddenNodeRun {
+    /// PDR over nodes A and C.
+    pub pdr: f64,
+    /// Average queue level over A and C (time-weighted).
+    pub queue: f64,
+    /// Mean end-to-end delay over A and C, seconds.
+    pub delay: f64,
+    /// Retry drops at A and C (loss-cause analysis, §6.1.1).
+    pub retry_drops: u64,
+    /// Queue-overflow drops at A and C.
+    pub queue_drops: u64,
+}
+
+/// One `(δ, scheme)` cell of Fig. 7/8/9 with confidence intervals.
+#[derive(Debug, Clone)]
+pub struct HiddenNodeCell {
+    /// Packet generation rate δ.
+    pub delta: f64,
+    /// Channel-access scheme.
+    pub mac: MacKind,
+    /// PDR (Fig. 7).
+    pub pdr: ConfidenceInterval,
+    /// Average queue level (Fig. 8).
+    pub queue: ConfidenceInterval,
+    /// Average end-to-end delay in seconds (Fig. 9).
+    pub delay: ConfidenceInterval,
+}
+
+/// Runs one replication.
+pub fn run_once(mac: MacKind, delta: f64, packets: u64, seed: u64) -> HiddenNodeRun {
+    let topo = qma_topo::hidden_node();
+    let sink = NodeId(topo.sink as u32);
+    let mut sim = SimBuilder::new(topo.connectivity.clone(), seed)
+        .clock(FrameClock::dsme_so3())
+        .mac_factory(move |_, clock| mac.build(clock))
+        .upper_factory(move |node, _| {
+            let pattern = if node == sink {
+                TrafficPattern::Silent
+            } else {
+                TrafficPattern::Poisson {
+                    rate: delta,
+                    start: qma_des::SimTime::from_secs(100),
+                    limit: Some(packets),
+                }
+            };
+            let app = CollectionApp::new(CollectionConfig {
+                pattern,
+                next_hop: (node != sink).then_some(sink),
+                sink,
+                payload_octets: 60,
+            });
+            collection_upper(app, node == sink, SimDuration::from_secs(5))
+        })
+        .build();
+    // The queue metric (Fig. 8) characterises the data phase: exclude
+    // the 100 s management warmup and the post-traffic drain tail.
+    sim.run_until(qma_des::SimTime::from_secs(100));
+    sim.reset_queue_accounting();
+    let traffic_end =
+        qma_des::SimTime::from_secs_f64(100.0 + packets as f64 / delta);
+    sim.run_until(hidden_node_horizon(delta, packets));
+
+    let m = sim.metrics();
+    let a = NodeId(0);
+    let c = NodeId(2);
+    HiddenNodeRun {
+        pdr: m.pdr_of([a, c]).unwrap_or(0.0),
+        queue: (m.avg_queue_level_until(a, traffic_end)
+            + m.avg_queue_level_until(c, traffic_end))
+            / 2.0,
+        delay: m.mean_delay_of([a, c]).unwrap_or(0.0),
+        retry_drops: m.mac(a).drops_retry + m.mac(c).drops_retry,
+        queue_drops: m.get("app_mac_ca_drop") as u64
+            + (sim.world().queue(a).drops() + sim.world().queue(c).drops()),
+    }
+}
+
+/// Runs the full sweep for Fig. 7/8/9.
+///
+/// `quick` reduces the sweep to 4 rates, 3 replications and 150
+/// packets — same shape, minutes instead of hours.
+pub fn sweep(quick: bool, master_seed: u64) -> Vec<HiddenNodeCell> {
+    let deltas: Vec<f64> = if quick {
+        vec![2.0, 10.0, 25.0, 50.0]
+    } else {
+        PAPER_DELTAS.to_vec()
+    };
+    let reps = if quick { 3 } else { 15 };
+    let packets = if quick { 150 } else { PACKETS_PER_SOURCE };
+
+    let mut cells = Vec::new();
+    for &delta in &deltas {
+        for mac in MacKind::ALL {
+            let runs = replicate(reps, |rep| {
+                run_once(mac, delta, packets, master_seed ^ (rep * 7919 + 13))
+            });
+            let pdr: Vec<f64> = runs.iter().map(|r| r.pdr).collect();
+            let queue: Vec<f64> = runs.iter().map(|r| r.queue).collect();
+            let delay: Vec<f64> = runs.iter().map(|r| r.delay).collect();
+            cells.push(HiddenNodeCell {
+                delta,
+                mac,
+                pdr: mean_ci95(&pdr),
+                queue: mean_ci95(&queue),
+                delay: mean_ci95(&delay),
+            });
+        }
+    }
+    cells
+}
+
+/// Formats a sweep as a markdown table with one row per δ and one
+/// metric column per scheme (`metric` selects pdr/queue/delay).
+pub fn format_table(cells: &[HiddenNodeCell], metric: &str) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "| delta [pkt/s] | {} | {} | {} |\n|---|---|---|---|\n",
+        MacKind::Qma.name(),
+        MacKind::SlottedCsma.name(),
+        MacKind::UnslottedCsma.name()
+    ));
+    let mut deltas: Vec<f64> = cells.iter().map(|c| c.delta).collect();
+    deltas.dedup();
+    for delta in deltas {
+        let get = |mac: MacKind| -> String {
+            cells
+                .iter()
+                .find(|c| c.delta == delta && c.mac == mac)
+                .map(|c| {
+                    let ci = match metric {
+                        "pdr" => c.pdr,
+                        "queue" => c.queue,
+                        "delay" => c.delay,
+                        other => panic!("unknown metric {other}"),
+                    };
+                    format!("{ci}")
+                })
+                .unwrap_or_else(|| "-".into())
+        };
+        out.push_str(&format!(
+            "| {} | {} | {} | {} |\n",
+            delta,
+            get(MacKind::Qma),
+            get(MacKind::SlottedCsma),
+            get(MacKind::UnslottedCsma)
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qma_beats_csma_at_high_rate() {
+        // The paper's headline (Fig. 7): at δ = 25 pkt/s QMA keeps a
+        // high PDR while CSMA/CA collapses under hidden-node
+        // collisions.
+        let qma = run_once(MacKind::Qma, 25.0, 250, 42);
+        let csma = run_once(MacKind::UnslottedCsma, 25.0, 250, 42);
+        assert!(
+            qma.pdr > csma.pdr + 0.2,
+            "QMA {:.3} vs CSMA {:.3}",
+            qma.pdr,
+            csma.pdr
+        );
+        assert!(qma.pdr > 0.8, "QMA pdr {:.3}", qma.pdr);
+    }
+
+    #[test]
+    fn low_rate_closes_the_gap() {
+        // Fig. 7: "the performance difference becomes smaller for
+        // lower rates".
+        let qma = run_once(MacKind::Qma, 2.0, 60, 7);
+        let csma = run_once(MacKind::UnslottedCsma, 2.0, 60, 7);
+        assert!(qma.pdr > 0.85);
+        assert!(csma.pdr > 0.5, "CSMA should work at low rate: {}", csma.pdr);
+    }
+
+    #[test]
+    fn format_table_has_all_rows() {
+        let cells = vec![HiddenNodeCell {
+            delta: 1.0,
+            mac: MacKind::Qma,
+            pdr: qma_stats::mean_ci95(&[0.9, 0.92]),
+            queue: qma_stats::mean_ci95(&[0.5]),
+            delay: qma_stats::mean_ci95(&[0.01]),
+        }];
+        let t = format_table(&cells, "pdr");
+        assert!(t.contains("| 1 |"));
+        assert!(t.contains("0.91"));
+    }
+}

@@ -1,0 +1,126 @@
+//! The handshake Markov analysis (Appendix A.1, Fig. 26): expected
+//! number of sent messages per completed GTS 3-way handshake as a
+//! function of the per-transmission success probability p.
+
+use qma_des::SeedSequence;
+use qma_markov::handshake::{simulate_expected_messages, HandshakeChain};
+
+/// The p values annotated in Fig. 26 with the paper's numbers.
+pub const PAPER_POINTS: [(f64, f64); 10] = [
+    (0.1, 41.79),
+    (0.2, 15.91),
+    (0.3, 9.91),
+    (0.4, 7.33),
+    (0.5, 5.88),
+    (0.6, 4.94),
+    (0.7, 4.26),
+    (0.8, 3.74),
+    (0.9, 3.33),
+    (1.0, 3.0),
+];
+
+/// One row of the Fig. 26 reproduction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MarkovRow {
+    /// Per-transmission success probability.
+    pub p: f64,
+    /// Expected messages from the fundamental matrix of the Fig. 25
+    /// chain (S = N·1, Eq. 12).
+    pub expected: f64,
+    /// Closed-form cross-check (renewal argument).
+    pub closed_form: f64,
+    /// Monte-Carlo cross-check.
+    pub simulated: f64,
+    /// The paper's annotated value.
+    pub paper: f64,
+}
+
+/// Computes the full Fig. 26 series with all three methods.
+pub fn rows(mc_runs: u64, seed: u64) -> Vec<MarkovRow> {
+    PAPER_POINTS
+        .iter()
+        .map(|&(p, paper)| {
+            let model = HandshakeChain::paper(p);
+            let expected = model.expected_messages().expect("valid chain");
+            let closed_form = model.closed_form_expected_messages();
+            let mut rng = SeedSequence::new(seed)
+                .derive((p * 1000.0) as u64)
+                .rng();
+            let simulated = simulate_expected_messages(&model, mc_runs, &mut rng);
+            MarkovRow {
+                p,
+                expected,
+                closed_form,
+                simulated,
+                paper,
+            }
+        })
+        .collect()
+}
+
+/// Formats the series as a markdown table.
+pub fn format_table(rows: &[MarkovRow]) -> String {
+    let mut out = String::from(
+        "| p | expected (N·1) | closed form | Monte-Carlo | paper Fig. 26 |\n|---|---|---|---|---|\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "| {:.1} | {:.2} | {:.2} | {:.2} | {:.2} |\n",
+            r.p, r.expected, r.closed_form, r.simulated, r.paper
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_methods_agree() {
+        for r in rows(100_000, 1) {
+            assert!(
+                (r.expected - r.closed_form).abs() < 1e-8,
+                "p={}: algebra {} vs closed {}",
+                r.p,
+                r.expected,
+                r.closed_form
+            );
+            let tol = r.expected * 0.03;
+            assert!(
+                (r.expected - r.simulated).abs() < tol,
+                "p={}: algebra {} vs MC {}",
+                r.p,
+                r.expected,
+                r.simulated
+            );
+        }
+    }
+
+    #[test]
+    fn matches_paper_for_high_p() {
+        // For p ≥ 0.7 drops are rare and all models agree with the
+        // paper's annotations; for small p the paper's own Eq. 10
+        // matrix diverges from its Fig. 26 values (see EXPERIMENTS.md).
+        for r in rows(10_000, 2) {
+            if r.p >= 0.7 {
+                assert!(
+                    (r.expected - r.paper).abs() < 0.1,
+                    "p={}: {} vs paper {}",
+                    r.p,
+                    r.expected,
+                    r.paper
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shape_is_monotone_decreasing() {
+        let rs = rows(1_000, 3);
+        for w in rs.windows(2) {
+            assert!(w[0].expected > w[1].expected);
+            assert!(w[0].paper > w[1].paper);
+        }
+    }
+}

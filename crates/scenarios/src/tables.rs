@@ -1,0 +1,151 @@
+//! Reproduction of the conceptual tables of §3–4: the cooperative
+//! Q-learning examples (Tables 1–3) and the local/global reward table
+//! (Table 4).
+
+use qma_core::interaction::{global_reward, local_rewards};
+use qma_core::lauer::{CooperativeAgent, MatrixGame};
+use qma_core::QmaAction::{self, Backoff as B, Cca as C, Send as S};
+use qma_core::RewardTable;
+use rand::SeedableRng;
+
+/// One learned local Q-table of a 2-agent game (Tables 1–3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocalTable {
+    /// Q-value of a'.
+    pub q_a1: f64,
+    /// Q-value of a''.
+    pub q_a2: f64,
+    /// The learned policy action (0 = a', 1 = a'').
+    pub policy: usize,
+}
+
+/// Plays one of the paper's 2-agent games to convergence and returns
+/// both agents' local tables.
+pub fn play_game(game: &MatrixGame, xi: f64, rounds: usize, seed: u64) -> Vec<LocalTable> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut agents = vec![
+        CooperativeAgent::new(2, -100.0, xi),
+        CooperativeAgent::new(2, -100.0, xi),
+    ];
+    for _ in 0..rounds {
+        game.play_round(&mut agents, 0.3, &mut rng);
+    }
+    agents
+        .iter()
+        .map(|a| LocalTable {
+            q_a1: a.q(0),
+            q_a2: a.q(1),
+            policy: a.policy(),
+        })
+        .collect()
+}
+
+/// One row of Table 4.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table4Row {
+    /// The three agents' actions.
+    pub actions: [QmaAction; 3],
+    /// Their local rewards.
+    pub local: Vec<f32>,
+    /// The conceptual global reward (sum).
+    pub global: f32,
+}
+
+/// All rows of Table 4 in the paper's order.
+pub fn table4() -> Vec<Table4Row> {
+    let combos: [[QmaAction; 3]; 9] = [
+        [B, S, B],
+        [B, C, B],
+        [C, S, C],
+        [B, B, B],
+        [C, B, C],
+        [S, B, S],
+        [C, C, C],
+        [S, C, S],
+        [S, S, S],
+    ];
+    let t = RewardTable::paper();
+    combos
+        .iter()
+        .map(|&actions| Table4Row {
+            actions,
+            local: local_rewards(&actions, &t),
+            global: global_reward(&actions, &t),
+        })
+        .collect()
+}
+
+/// Formats Table 4 as markdown.
+pub fn format_table4(rows: &[Table4Row]) -> String {
+    let mut out =
+        String::from("| a0 a1 a2 | r0 / r1 / r2 | global R |\n|---|---|---|\n");
+    for r in rows {
+        let acts: String = r
+            .actions
+            .iter()
+            .map(|a| a.code())
+            .collect::<Vec<char>>()
+            .iter()
+            .map(|c| format!("{c} "))
+            .collect();
+        let locals: Vec<String> = r.local.iter().map(|v| format!("{v}")).collect();
+        out.push_str(&format!(
+            "| {} | {} | {} |\n",
+            acts.trim(),
+            locals.join(" / "),
+            r.global
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_reproduced() {
+        // Local tables converge to [1, 10] (paper Table 1, right).
+        let tables = play_game(&MatrixGame::table1(), 0.0, 500, 1);
+        for t in &tables {
+            assert_eq!(t.q_a1, 1.0);
+            assert_eq!(t.q_a2, 10.0);
+            assert_eq!(t.policy, 1);
+        }
+    }
+
+    #[test]
+    fn table2_reproduced() {
+        // Local tables converge to [10, 10]; policies agree.
+        let tables = play_game(&MatrixGame::table2(), 0.0, 500, 2);
+        for t in &tables {
+            assert_eq!(t.q_a1, 10.0);
+            assert_eq!(t.q_a2, 10.0);
+        }
+        assert_eq!(tables[0].policy, tables[1].policy, "duplicate-optimum split");
+    }
+
+    #[test]
+    fn table3_reproduced() {
+        // Local tables converge to [1, 1] (both actions once paid 1).
+        let tables = play_game(&MatrixGame::table3(), 0.0, 500, 3);
+        for t in &tables {
+            assert_eq!(t.q_a1, 1.0);
+            assert_eq!(t.q_a2, 1.0);
+        }
+    }
+
+    #[test]
+    fn table4_matches_paper_rows() {
+        let rows = table4();
+        assert_eq!(rows.len(), 9);
+        // Spot-check the paper's numbers.
+        assert_eq!(rows[0].local, vec![2.0, 4.0, 2.0]); // B S B
+        assert_eq!(rows[0].global, 8.0);
+        assert_eq!(rows[8].local, vec![-3.0, -3.0, -3.0]); // S S S
+        assert_eq!(rows[8].global, -9.0);
+        let f = format_table4(&rows);
+        assert!(f.contains("| B S B |"));
+        assert!(f.contains("| 8 |"));
+    }
+}

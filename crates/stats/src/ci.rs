@@ -1,0 +1,154 @@
+//! Student-t 95 % confidence intervals.
+//!
+//! Every aggregated result in the paper is reported "with a 95 %
+//! confidence interval" over 10–15 replications, so the relevant t
+//! quantiles live in the small-sample regime where the normal
+//! approximation is noticeably wrong. We ship an exact table for
+//! 1–30 degrees of freedom and fall back to the asymptotic value
+//! beyond that.
+
+use crate::welford::Welford;
+
+/// Two-sided 97.5 % Student-t quantiles for ν = 1..=30 degrees of
+/// freedom (i.e. the multiplier for a 95 % confidence interval).
+const T_975: [f64; 30] = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+    2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+    2.052, 2.048, 2.045, 2.042,
+];
+
+/// Asymptotic (normal) 97.5 % quantile used for ν > 30.
+const Z_975: f64 = 1.96;
+
+/// Returns the two-sided 95 % Student-t multiplier for the given
+/// degrees of freedom.
+///
+/// # Examples
+///
+/// ```
+/// // 15 replications → 14 degrees of freedom, t ≈ 2.145.
+/// assert!((qma_stats::ci::t_multiplier_95(14) - 2.145).abs() < 1e-9);
+/// ```
+pub fn t_multiplier_95(degrees_of_freedom: u64) -> f64 {
+    match degrees_of_freedom {
+        0 => f64::INFINITY,
+        v @ 1..=30 => T_975[(v - 1) as usize],
+        _ => Z_975,
+    }
+}
+
+/// A symmetric confidence interval around a sample mean.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Sample mean.
+    pub mean: f64,
+    /// Half-width of the interval (the "±" term).
+    pub half_width: f64,
+    /// Number of observations the interval is based on.
+    pub count: u64,
+}
+
+impl ConfidenceInterval {
+    /// Lower bound of the interval.
+    pub fn lower(&self) -> f64 {
+        self.mean - self.half_width
+    }
+
+    /// Upper bound of the interval.
+    pub fn upper(&self) -> f64 {
+        self.mean + self.half_width
+    }
+
+    /// Returns `true` if `value` lies inside the interval (inclusive).
+    pub fn contains(&self, value: f64) -> bool {
+        value >= self.lower() && value <= self.upper()
+    }
+}
+
+impl std::fmt::Display for ConfidenceInterval {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.4} ± {:.4}", self.mean, self.half_width)
+    }
+}
+
+/// Computes the mean and 95 % confidence half-width of a sample.
+///
+/// With fewer than two observations the half-width is zero (a single
+/// replication carries no spread information; the caller decides how
+/// to present that).
+///
+/// # Examples
+///
+/// ```
+/// let ci = qma_stats::mean_ci95(&[10.0, 12.0, 11.0, 13.0, 9.0]);
+/// assert!((ci.mean - 11.0).abs() < 1e-12);
+/// assert!(ci.half_width > 0.0);
+/// ```
+pub fn mean_ci95(samples: &[f64]) -> ConfidenceInterval {
+    let w: Welford = samples.iter().copied().collect();
+    ci95_of(&w)
+}
+
+/// Computes the 95 % confidence interval from an existing accumulator.
+pub fn ci95_of(w: &Welford) -> ConfidenceInterval {
+    let n = w.count();
+    let half_width = if n < 2 {
+        0.0
+    } else {
+        t_multiplier_95(n - 1) * w.std_error()
+    };
+    ConfidenceInterval {
+        mean: w.mean(),
+        half_width,
+        count: n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t_table_boundaries() {
+        assert_eq!(t_multiplier_95(0), f64::INFINITY);
+        assert!((t_multiplier_95(1) - 12.706).abs() < 1e-9);
+        assert!((t_multiplier_95(30) - 2.042).abs() < 1e-9);
+        assert!((t_multiplier_95(31) - 1.96).abs() < 1e-9);
+        assert!((t_multiplier_95(10_000) - 1.96).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_sample_has_zero_width() {
+        let ci = mean_ci95(&[3.5]);
+        assert_eq!(ci.mean, 3.5);
+        assert_eq!(ci.half_width, 0.0);
+        assert_eq!(ci.count, 1);
+    }
+
+    #[test]
+    fn known_interval() {
+        // 5 samples, mean 11, sample std dev sqrt(2.5), se = sqrt(0.5),
+        // t(4) = 2.776 → half width = 2.776 * 0.7071...
+        let ci = mean_ci95(&[10.0, 12.0, 11.0, 13.0, 9.0]);
+        let expected = 2.776 * (2.5f64 / 5.0).sqrt();
+        assert!((ci.half_width - expected).abs() < 1e-9);
+        assert!(ci.contains(11.0));
+        assert!(!ci.contains(20.0));
+    }
+
+    #[test]
+    fn interval_bounds_are_symmetric() {
+        let ci = mean_ci95(&[1.0, 2.0, 3.0]);
+        assert!((ci.upper() - ci.mean - (ci.mean - ci.lower())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_format() {
+        let ci = ConfidenceInterval {
+            mean: 0.5,
+            half_width: 0.05,
+            count: 15,
+        };
+        assert_eq!(ci.to_string(), "0.5000 ± 0.0500");
+    }
+}

@@ -1,0 +1,214 @@
+//! Distribution sampling built directly on [`rand`].
+//!
+//! The paper's workloads are Poisson packet-generation processes
+//! ("nodes A and C generate 1000 data packets according to a Poisson
+//! distribution with mean λ = δ"), which we realise as exponential
+//! inter-arrival times. Implemented here (inverse transform / Knuth)
+//! so the workspace does not need `rand_distr`.
+
+use rand::Rng;
+
+/// Exponential distribution with rate `lambda` (mean `1/lambda`).
+///
+/// Sampling uses the inverse transform `-ln(U)/λ`.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use qma_stats::Exponential;
+///
+/// let exp = Exponential::new(10.0).unwrap();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let x = exp.sample(&mut rng);
+/// assert!(x >= 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    lambda: f64,
+}
+
+/// Error returned when constructing a distribution with an invalid
+/// parameter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidRateError;
+
+impl std::fmt::Display for InvalidRateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "rate parameter must be finite and strictly positive")
+    }
+}
+
+impl std::error::Error for InvalidRateError {}
+
+impl Exponential {
+    /// Creates an exponential distribution with rate `lambda`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidRateError`] if `lambda` is not finite and
+    /// strictly positive.
+    pub fn new(lambda: f64) -> Result<Self, InvalidRateError> {
+        if lambda.is_finite() && lambda > 0.0 {
+            Ok(Exponential { lambda })
+        } else {
+            Err(InvalidRateError)
+        }
+    }
+
+    /// The rate parameter λ.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Mean of the distribution, `1/λ`.
+    pub fn mean(&self) -> f64 {
+        1.0 / self.lambda
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // gen::<f64>() ∈ [0, 1); use 1-u ∈ (0, 1] so ln() is finite.
+        let u: f64 = 1.0 - rng.gen::<f64>();
+        -u.ln() / self.lambda
+    }
+}
+
+/// Poisson distribution with mean `lambda`.
+///
+/// Uses Knuth's multiplication method for small means and a normal
+/// approximation for large means (λ > 64), which is sufficient for the
+/// workloads in this repository (λ ≤ 100 events per drawing window).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Poisson {
+    lambda: f64,
+}
+
+impl Poisson {
+    /// Creates a Poisson distribution with mean `lambda`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidRateError`] if `lambda` is not finite and
+    /// strictly positive.
+    pub fn new(lambda: f64) -> Result<Self, InvalidRateError> {
+        if lambda.is_finite() && lambda > 0.0 {
+            Ok(Poisson { lambda })
+        } else {
+            Err(InvalidRateError)
+        }
+    }
+
+    /// The mean λ.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        if self.lambda > 64.0 {
+            // Normal approximation with continuity correction; clamped
+            // at zero. Relative error is negligible for λ this large.
+            let (z, _) = gauss_pair(rng);
+            let x = self.lambda + self.lambda.sqrt() * z;
+            return x.max(0.0).round() as u64;
+        }
+        let l = (-self.lambda).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= rng.gen::<f64>();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+        }
+    }
+}
+
+/// Draws a pair of independent standard normal variates (Box–Muller).
+pub fn gauss_pair<R: Rng + ?Sized>(rng: &mut R) -> (f64, f64) {
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    let r = (-2.0 * u1.ln()).sqrt();
+    let theta = 2.0 * std::f64::consts::PI * u2;
+    (r * theta.cos(), r * theta.sin())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::welford::Welford;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exponential_rejects_bad_rates() {
+        assert!(Exponential::new(0.0).is_err());
+        assert!(Exponential::new(-1.0).is_err());
+        assert!(Exponential::new(f64::NAN).is_err());
+        assert!(Exponential::new(f64::INFINITY).is_err());
+        assert!(Exponential::new(2.5).is_ok());
+    }
+
+    #[test]
+    fn exponential_mean_matches() {
+        let exp = Exponential::new(25.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(42);
+        let w: Welford = (0..200_000).map(|_| exp.sample(&mut rng)).collect();
+        // Mean 1/25 = 0.04; allow 2 % tolerance at this sample size.
+        assert!((w.mean() - 0.04).abs() < 0.04 * 0.02, "mean {}", w.mean());
+        assert!(w.min() >= 0.0);
+    }
+
+    #[test]
+    fn exponential_memoryless_tail() {
+        // P(X > t) = exp(-λ t); check at one point.
+        let exp = Exponential::new(1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 100_000;
+        let over = (0..n).filter(|_| exp.sample(&mut rng) > 1.0).count();
+        let p = over as f64 / n as f64;
+        assert!((p - (-1.0f64).exp()).abs() < 0.01, "tail prob {p}");
+    }
+
+    #[test]
+    fn poisson_small_lambda_moments() {
+        let poi = Poisson::new(3.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let w: Welford = (0..100_000).map(|_| poi.sample(&mut rng) as f64).collect();
+        assert!((w.mean() - 3.5).abs() < 0.05, "mean {}", w.mean());
+        // Var = λ for Poisson.
+        assert!(
+            (w.sample_variance() - 3.5).abs() < 0.1,
+            "var {}",
+            w.sample_variance()
+        );
+    }
+
+    #[test]
+    fn poisson_large_lambda_uses_normal_branch() {
+        let poi = Poisson::new(100.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let w: Welford = (0..50_000).map(|_| poi.sample(&mut rng) as f64).collect();
+        assert!((w.mean() - 100.0).abs() < 0.5, "mean {}", w.mean());
+        assert!(
+            (w.sample_variance() - 100.0).abs() < 3.0,
+            "var {}",
+            w.sample_variance()
+        );
+    }
+
+    #[test]
+    fn gauss_pair_is_standard_normal() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut w = Welford::new();
+        for _ in 0..50_000 {
+            let (a, b) = gauss_pair(&mut rng);
+            w.push(a);
+            w.push(b);
+        }
+        assert!(w.mean().abs() < 0.01, "mean {}", w.mean());
+        assert!((w.sample_variance() - 1.0).abs() < 0.02);
+    }
+}

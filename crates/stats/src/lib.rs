@@ -1,0 +1,44 @@
+//! Statistics substrate for the QMA reproduction.
+//!
+//! This crate collects the numerical building blocks shared by the
+//! simulator and the experiment harness:
+//!
+//! * [`dist`] — sampling from exponential and Poisson distributions
+//!   (implemented locally so the workspace only depends on [`rand`]),
+//! * [`welford`] — numerically stable online mean/variance,
+//! * [`ci`] — Student-t 95 % confidence intervals as used for every
+//!   aggregated result in the paper ("All results are presented with a
+//!   95 % confidence interval"),
+//! * [`timeavg`] — time-weighted averages (queue levels),
+//! * [`series`] — time series and rolling averages (Fig. 10–12 use a
+//!   rolling 10-frame average),
+//! * [`hist`] — fixed-bin histograms (delay distributions).
+//!
+//! # Examples
+//!
+//! ```
+//! use qma_stats::Welford;
+//!
+//! let mut w = Welford::new();
+//! for x in [1.0, 2.0, 3.0] {
+//!     w.push(x);
+//! }
+//! assert_eq!(w.mean(), 2.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ci;
+pub mod dist;
+pub mod hist;
+pub mod series;
+pub mod timeavg;
+pub mod welford;
+
+pub use ci::{mean_ci95, ConfidenceInterval};
+pub use dist::{Exponential, Poisson};
+pub use hist::Histogram;
+pub use series::{RollingAverage, TimeSeries};
+pub use timeavg::TimeWeighted;
+pub use welford::Welford;

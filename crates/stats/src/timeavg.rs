@@ -1,0 +1,126 @@
+//! Time-weighted averaging of piecewise-constant signals.
+//!
+//! The paper reports "average # packets in queue" (Fig. 8); a queue
+//! level is a step function of time, so its average must weight each
+//! level by how long it was held, not by how often it changed.
+
+/// Accumulates the time-weighted average of a piecewise-constant
+/// signal such as a queue level.
+///
+/// The signal is described by calls to [`TimeWeighted::record`] at
+/// strictly non-decreasing timestamps; the value passed becomes the
+/// signal level *from that timestamp on*.
+///
+/// # Examples
+///
+/// ```
+/// use qma_stats::TimeWeighted;
+///
+/// let mut q = TimeWeighted::new(0.0, 0.0);
+/// q.record(2.0, 4.0); // level 0 for 2 s, then level 4
+/// q.record(4.0, 0.0); // level 4 for 2 s, then level 0
+/// assert_eq!(q.average_until(4.0), 2.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimeWeighted {
+    start: f64,
+    last_time: f64,
+    last_value: f64,
+    weighted_sum: f64,
+    max: f64,
+}
+
+impl TimeWeighted {
+    /// Starts accumulation at time `start` with initial level `value`.
+    pub fn new(start: f64, value: f64) -> Self {
+        TimeWeighted {
+            start,
+            last_time: start,
+            last_value: value,
+            weighted_sum: 0.0,
+            max: value,
+        }
+    }
+
+    /// Records that the signal changed to `value` at time `time`.
+    ///
+    /// Timestamps earlier than the previous one are clamped (the
+    /// elapsed interval is treated as zero) so replayed events cannot
+    /// corrupt the integral.
+    pub fn record(&mut self, time: f64, value: f64) {
+        let dt = (time - self.last_time).max(0.0);
+        self.weighted_sum += dt * self.last_value;
+        self.last_time = self.last_time.max(time);
+        self.last_value = value;
+        self.max = self.max.max(value);
+    }
+
+    /// The current level of the signal.
+    pub fn current(&self) -> f64 {
+        self.last_value
+    }
+
+    /// Largest level seen so far.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Time-weighted average over `[start, until]`.
+    ///
+    /// Returns `0.0` when the window has zero length.
+    pub fn average_until(&self, until: f64) -> f64 {
+        let span = until - self.start;
+        if span <= 0.0 {
+            return 0.0;
+        }
+        let tail = (until - self.last_time).max(0.0) * self.last_value;
+        (self.weighted_sum + tail) / span
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_signal_averages_to_itself() {
+        let q = TimeWeighted::new(0.0, 3.0);
+        assert_eq!(q.average_until(10.0), 3.0);
+    }
+
+    #[test]
+    fn step_function_integral() {
+        let mut q = TimeWeighted::new(0.0, 0.0);
+        q.record(1.0, 2.0);
+        q.record(3.0, 6.0);
+        // 0*1 + 2*2 + 6*1 over 4 s = 10/4.
+        assert_eq!(q.average_until(4.0), 2.5);
+        assert_eq!(q.max(), 6.0);
+        assert_eq!(q.current(), 6.0);
+    }
+
+    #[test]
+    fn zero_window_is_zero() {
+        let q = TimeWeighted::new(5.0, 7.0);
+        assert_eq!(q.average_until(5.0), 0.0);
+        assert_eq!(q.average_until(4.0), 0.0);
+    }
+
+    #[test]
+    fn out_of_order_timestamps_do_not_go_negative() {
+        let mut q = TimeWeighted::new(0.0, 1.0);
+        q.record(2.0, 5.0);
+        q.record(1.0, 0.0); // replayed/late event: no negative interval
+        let avg = q.average_until(2.0);
+        assert!(avg >= 0.0);
+        assert_eq!(avg, 1.0); // 1.0 held for the full 2 s window
+    }
+
+    #[test]
+    fn tail_extends_last_value() {
+        let mut q = TimeWeighted::new(0.0, 0.0);
+        q.record(1.0, 8.0);
+        assert_eq!(q.average_until(2.0), 4.0);
+        assert_eq!(q.average_until(9.0), 8.0 * 8.0 / 9.0);
+    }
+}

@@ -1,0 +1,282 @@
+//! Property-based tests (proptest) over the core data structures and
+//! invariants, spanning the workspace crates through the façade.
+
+use proptest::prelude::*;
+
+use qma::core::qtable::{QTable, UpdateParams};
+use qma::core::{ActionOutcome, Fixed16, QValue, QmaAction, QmaAgent, QmaConfig};
+use qma::des::{Scheduler, SimTime};
+use qma::dsme::{GtsSlot, MsfConfig, SlotBitmap};
+use qma::markov::Matrix;
+use qma::netsim::{Frame, NodeId, TxQueue};
+use qma::phy::{Connectivity, Medium, PhyNodeId};
+
+fn arb_action() -> impl Strategy<Value = QmaAction> {
+    prop_oneof![
+        Just(QmaAction::Backoff),
+        Just(QmaAction::Cca),
+        Just(QmaAction::Send),
+    ]
+}
+
+fn arb_outcome() -> impl Strategy<Value = ActionOutcome> {
+    prop_oneof![
+        any::<bool>().prop_map(|overheard| ActionOutcome::Backoff { overheard }),
+        Just(ActionOutcome::CcaBusy),
+        any::<bool>().prop_map(|acked| ActionOutcome::CcaTx { acked }),
+        any::<bool>().prop_map(|acked| ActionOutcome::SendTx { acked }),
+    ]
+}
+
+proptest! {
+    /// Q-values stay bounded under arbitrary update sequences: above
+    /// `init − ξ·steps` trivially, and below the theoretical maximum
+    /// `R_max / (1 − γ)`.
+    #[test]
+    fn qtable_values_stay_bounded(
+        updates in prop::collection::vec(
+            (0u16..8, arb_action(), -3.0f32..=4.0, 0u16..8),
+            1..200
+        )
+    ) {
+        let p = UpdateParams { alpha: 0.5, gamma: 0.9, xi: 1.0 };
+        let mut t: QTable<f32> = QTable::new(8, -10.0);
+        for (m, a, r, next) in updates {
+            t.update(m, a, r, next, &p);
+        }
+        let upper = 4.0 / (1.0 - 0.9) + 1e-3;
+        for m in 0..8u16 {
+            for a in QmaAction::ALL {
+                let q = t.q(m, a);
+                prop_assert!(q <= upper, "Q({m},{a}) = {q} exceeds {upper}");
+                prop_assert!(q.is_finite());
+            }
+        }
+    }
+
+    /// The policy always points at a maximal action (ties may keep an
+    /// older argmax, but never a strictly dominated one).
+    #[test]
+    fn policy_never_strictly_dominated(
+        updates in prop::collection::vec(
+            (0u16..4, arb_action(), -3.0f32..=4.0, 0u16..4),
+            1..100
+        )
+    ) {
+        let p = UpdateParams::default();
+        let mut t: QTable<f32> = QTable::new(4, -10.0);
+        for (m, a, r, next) in updates {
+            t.update(m, a, r, next, &p);
+        }
+        for m in 0..4u16 {
+            let chosen = t.q(m, t.policy(m));
+            for a in QmaAction::ALL {
+                prop_assert!(
+                    t.q(m, a) <= chosen,
+                    "policy {:?} dominated by {a} at subslot {m}",
+                    t.policy(m)
+                );
+            }
+        }
+    }
+
+    /// Fixed-point and float Q-tables agree within quantisation error
+    /// over arbitrary (identical) update sequences.
+    #[test]
+    fn fixed_point_tracks_float(
+        updates in prop::collection::vec(
+            (0u16..4, arb_action(), -3i8..=4, 0u16..4),
+            1..100
+        )
+    ) {
+        let p = UpdateParams { alpha: 0.5, gamma: 0.9, xi: 1.0 };
+        let mut tf: QTable<f32> = QTable::new(4, -10.0);
+        let mut tx: QTable<Fixed16> = QTable::new(4, -10.0);
+        for (m, a, r, next) in updates {
+            tf.update(m, a, r as f32, next, &p);
+            tx.update(m, a, r as f32, next, &p);
+        }
+        for m in 0..4u16 {
+            for a in QmaAction::ALL {
+                let d = (tf.q(m, a) - tx.q(m, a).to_f32()).abs();
+                prop_assert!(d < 0.6, "divergence {d} at ({m},{a})");
+            }
+        }
+    }
+
+    /// The agent never keeps a pending decision after `complete`, and
+    /// `decide`/`complete` alternate freely for any outcome sequence.
+    #[test]
+    fn agent_lifecycle_is_clean(
+        seed in 0u64..1000,
+        outcomes in prop::collection::vec(arb_outcome(), 1..80)
+    ) {
+        use rand::SeedableRng;
+        let cfg = QmaConfig { startup_subslots: 0, subslots: 8, ..QmaConfig::default() };
+        let mut agent: QmaAgent = QmaAgent::new(cfg);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for (i, wanted) in outcomes.into_iter().enumerate() {
+            let m = (i % 8) as u16;
+            let d = agent.decide(m, 4, &mut rng);
+            // Coerce the sampled outcome to match the chosen action.
+            let outcome = match d.action {
+                QmaAction::Backoff => ActionOutcome::Backoff {
+                    overheard: matches!(wanted, ActionOutcome::Backoff { overheard: true }),
+                },
+                QmaAction::Cca => match wanted {
+                    ActionOutcome::CcaBusy => ActionOutcome::CcaBusy,
+                    _ => ActionOutcome::CcaTx { acked: i % 2 == 0 },
+                },
+                QmaAction::Send => ActionOutcome::SendTx { acked: i % 2 == 0 },
+            };
+            agent.complete(outcome, (m + 1) % 8);
+            prop_assert!(!agent.has_pending());
+        }
+    }
+
+    /// Medium conservation: any interleaving of start/end keeps
+    /// energy non-negative and ends all-idle once every transmission
+    /// has ended.
+    #[test]
+    fn medium_conserves_energy(
+        ops in prop::collection::vec((0u32..6, any::<bool>()), 1..60)
+    ) {
+        let mut medium = Medium::new(Connectivity::full(6));
+        let mut active: Vec<(u32, qma::phy::TxToken)> = Vec::new();
+        for (node, start) in ops {
+            if start {
+                if !active.iter().any(|(n, _)| *n == node) {
+                    let t = medium.start_tx(PhyNodeId(node));
+                    active.push((node, t));
+                }
+            } else if let Some(pos) = active.iter().position(|(n, _)| *n == node) {
+                let (_, token) = active.swap_remove(pos);
+                medium.end_tx(token);
+            }
+        }
+        for (_, token) in active.drain(..) {
+            medium.end_tx(token);
+        }
+        for n in 0..6 {
+            prop_assert!(!medium.is_busy(PhyNodeId(n)), "node {n} stuck busy");
+        }
+        prop_assert_eq!(medium.active_count(), 0);
+    }
+
+    /// The transmit queue never exceeds capacity and accounts every
+    /// rejected frame.
+    #[test]
+    fn queue_capacity_invariant(
+        cap in 1usize..16,
+        pushes in prop::collection::vec(any::<bool>(), 1..100)
+    ) {
+        let mut q = TxQueue::new(cap);
+        let mut accepted = 0u64;
+        let mut rejected = 0u64;
+        for (i, push) in pushes.iter().enumerate() {
+            if *push {
+                let f = Frame::data(NodeId(0), NodeId(1).into(), i as u32, 10, false);
+                if q.push(f, SimTime::from_micros(i as u64)) {
+                    accepted += 1;
+                } else {
+                    rejected += 1;
+                }
+            } else {
+                q.pop();
+            }
+            prop_assert!(q.len() <= cap);
+        }
+        prop_assert_eq!(q.drops(), rejected);
+        prop_assert_eq!(q.enqueued_total(), accepted);
+    }
+
+    /// Scheduler delivers every non-cancelled event exactly once, in
+    /// non-decreasing time order.
+    #[test]
+    fn scheduler_orders_and_counts(
+        times in prop::collection::vec(0u64..10_000, 1..100)
+    ) {
+        let mut s: Scheduler<usize> = Scheduler::new();
+        for (i, &t) in times.iter().enumerate() {
+            s.schedule_at(SimTime::from_micros(t), i);
+        }
+        let mut seen = vec![false; times.len()];
+        let mut last = SimTime::ZERO;
+        while let Some(e) = s.pop() {
+            prop_assert!(e.time >= last);
+            last = e.time;
+            prop_assert!(!seen[e.event], "event {} delivered twice", e.event);
+            seen[e.event] = true;
+        }
+        prop_assert!(seen.iter().all(|&b| b));
+    }
+
+    /// SAB word round-trips for arbitrary busy sets.
+    #[test]
+    fn sab_word_roundtrip(bits in prop::collection::vec(any::<bool>(), 56)) {
+        let cfg = MsfConfig::default();
+        let mut s = SlotBitmap::new(&cfg);
+        for (i, &b) in bits.iter().enumerate() {
+            if b {
+                s.mark(GtsSlot {
+                    index: (i / cfg.channels as usize) as u16,
+                    channel: (i % cfg.channels as usize) as u8,
+                });
+            }
+        }
+        let back = SlotBitmap::from_word(&cfg, s.to_word());
+        prop_assert_eq!(&back, &s);
+        prop_assert_eq!(back.busy_count(), bits.iter().filter(|&&b| b).count());
+    }
+
+    /// Matrix inversion: A · A⁻¹ ≈ I for random diagonally dominant
+    /// (hence well-conditioned) matrices.
+    #[test]
+    fn matrix_inverse_roundtrip(
+        entries in prop::collection::vec(-1.0f64..=1.0, 16)
+    ) {
+        let n = 4;
+        let mut a = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                a[(i, j)] = entries[i * n + j];
+            }
+            a[(i, i)] += 8.0; // diagonal dominance
+        }
+        let inv = a.inverse().expect("dominant matrices invert");
+        let prod = inv.mul(&a).expect("dimensions match");
+        let diff = prod.sub(&Matrix::identity(n)).expect("same shape");
+        prop_assert!(diff.max_abs() < 1e-8, "residual {}", diff.max_abs());
+    }
+
+    /// Welford matches the two-pass mean/variance computation.
+    #[test]
+    fn welford_matches_two_pass(xs in prop::collection::vec(-1e3f64..1e3, 2..200)) {
+        let w: qma::stats::Welford = xs.iter().copied().collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+        prop_assert!((w.mean() - mean).abs() < 1e-6);
+        let tol = (var * 1e-9).max(1e-4);
+        prop_assert!((w.sample_variance() - var).abs() < tol);
+    }
+
+    /// The handshake chain's expected messages match its closed form
+    /// for arbitrary parameters.
+    #[test]
+    fn handshake_algebra_matches_closed_form(
+        p in 0.05f64..1.0,
+        messages in 1usize..5,
+        attempts in 1usize..6
+    ) {
+        use qma::markov::handshake::{DropPolicy, HandshakeChain};
+        for policy in [DropPolicy::RestartHandshake, DropPolicy::Abandon] {
+            let model = HandshakeChain::parametric(p, messages, attempts, policy);
+            let algebra = model.expected_messages().expect("valid chain");
+            let closed = model.closed_form_expected_messages();
+            prop_assert!(
+                (algebra - closed).abs() < 1e-6 * algebra.max(1.0),
+                "{policy:?} p={p} k={messages} a={attempts}: {algebra} vs {closed}"
+            );
+        }
+    }
+}
