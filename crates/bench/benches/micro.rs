@@ -73,7 +73,7 @@ fn bench_scheduler(c: &mut Criterion) {
 }
 
 fn bench_medium(c: &mut Criterion) {
-    use qma_phy::{Connectivity, Medium, PhyNodeId};
+    use qma_phy::{Medium, PhyNodeId};
     c.bench_function("medium_tx_roundtrip_91_nodes", |b| {
         let topo = qma_topo::concentric_rings(4, 20.0);
         let mut medium = Medium::new(topo.connectivity.clone());

@@ -6,7 +6,10 @@ use qma_bench::{header, quick, seed};
 use qma_scenarios::ablation;
 
 fn main() {
-    header("ablations", "QMA design-choice ablations (DESIGN.md section 9)");
+    header(
+        "ablations",
+        "QMA design-choice ablations (DESIGN.md section 9)",
+    );
     let packets = if quick() { 250 } else { 1000 };
     for delta in [10.0, 50.0] {
         println!("## delta = {delta} pkt/s");

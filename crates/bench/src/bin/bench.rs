@@ -1,0 +1,162 @@
+//! Machine-readable performance baseline for the perf trajectory.
+//!
+//! Measures the paper-relevant hot paths and writes a flat JSON
+//! report (default `BENCH_pr1.json`, override with `QMA_BENCH_OUT`):
+//!
+//! * `q_update_f32_ns` / `q_update_fixed16_ns` — one Q-table update,
+//!   the operation the paper bounds at "two multiplications, three
+//!   additions and |A|+1 array lookups",
+//! * `sched_schedule_pop_ns` — one schedule+pop pair on the DES
+//!   scheduler at depth 16,
+//! * `sched_cancel_ns` — one schedule+cancel pair at depth 16
+//!   (O(log n) true removal on the indexed heap),
+//! * `replications_per_sec` — end-to-end hidden-node replications
+//!   per wall-clock second through the parallel runner,
+//! * `replications_per_sec_serial` — the same with one worker.
+//!
+//! ```text
+//! cargo run --release -p qma-bench --bin bench
+//! ```
+
+use std::time::Duration;
+
+use qma_bench::runner::{run_seeds, Parallelism};
+use qma_bench::timing::{ns_per_call, time_once, JsonReport};
+use qma_core::qtable::UpdateParams;
+use qma_core::{Fixed16, QTable, QmaAction};
+use qma_des::{Scheduler, SimTime};
+use qma_scenarios::{hidden_node, MacKind};
+
+fn bench_q_update_f32(budget: Duration) -> f64 {
+    let params = UpdateParams::default();
+    let mut t: QTable<f32> = QTable::new(54, -10.0);
+    let mut m = 0u16;
+    ns_per_call(budget, || {
+        t.update(
+            std::hint::black_box(m),
+            QmaAction::Send,
+            4.0,
+            m + 1,
+            &params,
+        );
+        m = (m + 1) % 54;
+    })
+}
+
+fn bench_q_update_fixed16(budget: Duration) -> f64 {
+    let params = UpdateParams::default();
+    let mut t: QTable<Fixed16> = QTable::new(54, -10.0);
+    let mut m = 0u16;
+    ns_per_call(budget, || {
+        t.update(
+            std::hint::black_box(m),
+            QmaAction::Send,
+            4.0,
+            m + 1,
+            &params,
+        );
+        m = (m + 1) % 54;
+    })
+}
+
+/// One schedule+pop pair, measured over batches of 16 to exercise a
+/// realistic heap depth.
+fn bench_sched_schedule_pop(budget: Duration) -> f64 {
+    let mut s: Scheduler<u32> = Scheduler::new();
+    let mut t = 0u64;
+    ns_per_call(budget, || {
+        for k in 0..16u64 {
+            s.schedule_at(
+                SimTime::from_micros(t + k * 7),
+                std::hint::black_box(k as u32),
+            );
+        }
+        for _ in 0..16 {
+            std::hint::black_box(s.pop());
+        }
+        t += 200;
+    }) / 16.0
+}
+
+/// One schedule+cancel pair at depth 16: cancellation must be a true
+/// O(log n) removal, not a deferred tombstone.
+fn bench_sched_cancel(budget: Duration) -> f64 {
+    let mut s: Scheduler<u32> = Scheduler::new();
+    let mut t = 1u64;
+
+    ns_per_call(budget, || {
+        let keys: Vec<_> = (0..16u64)
+            .map(|k| s.schedule_at(SimTime::from_micros(t + k * 7), k as u32))
+            .collect();
+        // Cancel from the middle out — the expensive positions.
+        for k in keys {
+            s.cancel(std::hint::black_box(k));
+        }
+        assert!(s.is_empty());
+        t += 200;
+    }) / 16.0
+}
+
+fn replication() -> impl Fn(u64, qma_des::SeedSequence) -> f64 + Sync {
+    |_rep, seeds| hidden_node::run_once(MacKind::Qma, 25.0, 100, seeds.seed()).pdr
+}
+
+fn bench_replication_throughput(reps: u64, mode: Parallelism) -> (f64, f64) {
+    let (pdrs, elapsed) = time_once(|| run_seeds(reps, qma_bench::seed(), mode, replication()));
+    let mean_pdr = pdrs.iter().sum::<f64>() / pdrs.len() as f64;
+    (reps as f64 / elapsed.as_secs_f64(), mean_pdr)
+}
+
+fn main() {
+    let out_path = std::env::var("QMA_BENCH_OUT").unwrap_or_else(|_| "BENCH_pr1.json".to_string());
+    let budget = if std::env::var("QMA_BENCH_FAST")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+    {
+        Duration::from_millis(20)
+    } else {
+        Duration::from_millis(300)
+    };
+    let reps: u64 = std::env::var("QMA_BENCH_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&r| r > 0) // 0 would make the mean PDR NaN
+        .unwrap_or(12);
+
+    println!("# bench — hot-path baseline (budget {budget:?}, {reps} replications)");
+
+    let q32 = bench_q_update_f32(budget);
+    println!("q_update/f32            {q32:>10.2} ns/op");
+    let q16 = bench_q_update_fixed16(budget);
+    println!("q_update/fixed16        {q16:>10.2} ns/op");
+    let sp = bench_sched_schedule_pop(budget);
+    println!("sched/schedule+pop      {sp:>10.2} ns/op");
+    let ca = bench_sched_cancel(budget);
+    println!("sched/schedule+cancel   {ca:>10.2} ns/op");
+
+    let (rps_par, pdr_par) = bench_replication_throughput(reps, Parallelism::Rayon);
+    println!("replications/sec (par)  {rps_par:>10.2}  (mean PDR {pdr_par:.3})");
+    let (rps_ser, pdr_ser) = bench_replication_throughput(reps, Parallelism::Serial);
+    println!("replications/sec (ser)  {rps_ser:>10.2}  (mean PDR {pdr_ser:.3})");
+    assert_eq!(
+        pdr_par.to_bits(),
+        pdr_ser.to_bits(),
+        "parallel and serial replication aggregates must be bit-identical"
+    );
+
+    let mut report = JsonReport::new();
+    report
+        .string("bench", "qma hot paths")
+        .string("pr", "1")
+        .integer("threads", rayon::current_num_threads() as u64)
+        .integer("replications", reps)
+        .number("q_update_f32_ns", q32)
+        .number("q_update_fixed16_ns", q16)
+        .number("sched_schedule_pop_ns", sp)
+        .number("sched_cancel_ns", ca)
+        .number("replications_per_sec", rps_par)
+        .number("replications_per_sec_serial", rps_ser)
+        .number("replication_mean_pdr", pdr_par);
+    std::fs::write(&out_path, report.render()).expect("write benchmark report");
+    println!("# wrote {out_path}");
+}

@@ -4,7 +4,10 @@ use qma_bench::{header, quick, seed};
 use qma_scenarios::hidden_node;
 
 fn main() {
-    header("fig08", "hidden-node average queue level vs delta (paper Fig. 8)");
+    header(
+        "fig08",
+        "hidden-node average queue level vs delta (paper Fig. 8)",
+    );
     let cells = hidden_node::sweep(quick(), seed());
     print!("{}", hidden_node::format_table(&cells, "queue"));
 }

@@ -4,7 +4,10 @@ use qma_bench::{header, quick, seed};
 use qma_scenarios::hidden_node;
 
 fn main() {
-    header("fig09", "hidden-node end-to-end delay vs delta (paper Fig. 9)");
+    header(
+        "fig09",
+        "hidden-node end-to-end delay vs delta (paper Fig. 9)",
+    );
     let cells = hidden_node::sweep(quick(), seed());
     print!("{}", hidden_node::format_table(&cells, "delay"));
 }

@@ -9,7 +9,10 @@ fn main() {
     let duration = if quick() { 200 } else { 450 };
     for delta in convergence::PAPER_DELTAS {
         let r = convergence::run(delta, duration, seed());
-        println!("## delta = {delta} pkt/s (settles at {:?} s)", r.settle_time);
+        println!(
+            "## delta = {delta} pkt/s (settles at {:?} s)",
+            r.settle_time
+        );
         print!("{}", convergence::format_series(&r.q_sum, 40));
     }
 }

@@ -5,7 +5,10 @@ use qma_bench::{header, quick, seed};
 use qma_scenarios::convergence;
 
 fn main() {
-    header("fig11", "exploration probability rho over time (paper Fig. 11)");
+    header(
+        "fig11",
+        "exploration probability rho over time (paper Fig. 11)",
+    );
     let duration = if quick() { 200 } else { 450 };
     for delta in convergence::PAPER_DELTAS {
         let r = convergence::run(delta, duration, seed());

@@ -6,7 +6,10 @@ use qma_bench::{header, quick, seed};
 use qma_scenarios::{convergence, fluctuating};
 
 fn main() {
-    header("fig12", "adaptability under fluctuating traffic (paper Fig. 12)");
+    header(
+        "fig12",
+        "adaptability under fluctuating traffic (paper Fig. 12)",
+    );
     let duration = if quick() { 600 } else { 1_400 };
     let r = fluctuating::run(duration, seed());
     println!("## node A");

@@ -6,11 +6,17 @@ use qma_bench::{header, quick, seed};
 use qma_scenarios::slots;
 
 fn main() {
-    header("fig14", "subslot utilization at delta = 10.0 (paper Fig. 14)");
+    header(
+        "fig14",
+        "subslot utilization at delta = 10.0 (paper Fig. 14)",
+    );
     let total = if quick() { 420 } else { 600 };
     let u = slots::run(10.0, total, seed());
     println!("(legend: . = QBackoff/unused, C = QCCA, T = QSend)");
-    println!("after first exploration (t = {} s):", slots::paper_checkpoint(10.0));
+    println!(
+        "after first exploration (t = {} s):",
+        slots::paper_checkpoint(10.0)
+    );
     println!("  A: {}", slots::format_strip(&u.early_a));
     println!("  C: {}", slots::format_strip(&u.early_c));
     println!("final policy:");

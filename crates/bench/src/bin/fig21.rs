@@ -5,7 +5,10 @@ use qma_bench::{header, quick, seed};
 use qma_scenarios::dsme_scale;
 
 fn main() {
-    header("fig21", "DSME secondary-traffic PDR vs network size (paper Fig. 21)");
+    header(
+        "fig21",
+        "DSME secondary-traffic PDR vs network size (paper Fig. 21)",
+    );
     let cells = dsme_scale::sweep(quick(), seed());
     print!("{}", dsme_scale::format_table(&cells, "secondary_pdr"));
     println!("\nGTS (de)allocations per second:");

@@ -5,7 +5,13 @@ use qma_bench::{header, quick, seed};
 use qma_scenarios::dsme_scale;
 
 fn main() {
-    header("fig22", "successful GTS-requests vs network size (paper Fig. 22)");
+    header(
+        "fig22",
+        "successful GTS-requests vs network size (paper Fig. 22)",
+    );
     let cells = dsme_scale::sweep(quick(), seed());
-    print!("{}", dsme_scale::format_table(&cells, "gts_request_success"));
+    print!(
+        "{}",
+        dsme_scale::format_table(&cells, "gts_request_success")
+    );
 }

@@ -12,11 +12,7 @@ fn main() {
     let rows = markov::rows(runs, seed());
     print!("{}", markov::format_table(&rows));
     println!();
-    println!(
-        "note: for p >= 0.7 all methods match the paper; below that the"
-    );
-    println!(
-        "paper's Fig. 26 annotations are inconsistent with its own Eq. 10"
-    );
-    println!("matrix (see EXPERIMENTS.md)." );
+    println!("note: for p >= 0.7 all methods match the paper; below that the");
+    println!("paper's Fig. 26 annotations are inconsistent with its own Eq. 10");
+    println!("matrix (see EXPERIMENTS.md).");
 }

@@ -3,17 +3,39 @@
 //! behind EXPERIMENTS.md.
 //!
 //! ```text
-//! cargo run --release -p qma-bench --bin reproduce            # quick
-//! QMA_FULL=1 cargo run --release -p qma-bench --bin reproduce # paper scale
+//! cargo run --release -p qma-bench --bin reproduce             # quick, all cores
+//! cargo run --release -p qma-bench --bin reproduce -- --serial # one thread
+//! QMA_FULL=1 cargo run --release -p qma-bench --bin reproduce  # paper scale
 //! ```
+//!
+//! Independent experiment units (δ-rates, testbed × scheme sweeps)
+//! fan out over the replication runner; `--serial` runs the same
+//! jobs on one thread and produces **bit-identical** output, because
+//! every job's randomness is a pure function of the master seed and
+//! results are always collected in job order.
 
+use qma_bench::runner::{run_replications, Parallelism};
 use qma_bench::{header, quick, seed};
 use qma_scenarios::{
     convergence, dsme_scale, fluctuating, hidden_node, markov, slots, tables, testbed, MacKind,
 };
 
 fn main() {
+    let mode = Parallelism::from_args(std::env::args().skip(1));
+    if mode == Parallelism::Serial {
+        // Also degrades the scenario-internal replication fan-outs
+        // (hidden-node, DSME sweeps) to one thread; ordering — and
+        // therefore every printed aggregate — is unchanged.
+        std::env::set_var("RAYON_NUM_THREADS", "1");
+    }
     header("reproduce", "all tables and figures of the QMA evaluation");
+    println!(
+        "# parallelism: {}",
+        match mode {
+            Parallelism::Serial => "serial (--serial)".to_string(),
+            Parallelism::Rayon => format!("{} threads", rayon::current_num_threads()),
+        }
+    );
     let q = quick();
     let s = seed();
 
@@ -31,13 +53,22 @@ fn main() {
 
     println!("\n================ Fig. 10/11 — convergence ================");
     let duration = if q { 200 } else { 450 };
-    for delta in convergence::PAPER_DELTAS {
-        let r = convergence::run(delta, duration, s);
+    let runs = run_replications(
+        convergence::PAPER_DELTAS.to_vec(),
+        1,
+        s,
+        mode,
+        // Scenarios derive their own per-node streams from the master
+        // seed, so the fan-out passes it through unchanged.
+        |&delta, _rep, _seeds| convergence::run(delta, duration, s),
+    );
+    for group in &runs {
+        let r = &group.runs[0];
         let last_q = r.q_sum.values().last().copied().unwrap_or(f64::NAN);
         let max_rho = r.rho.values().iter().cloned().fold(0.0, f64::max);
         println!(
             "delta {:>5}: final cumulative Q = {:8.1}, settle at {:?} s, max rho = {:.4}",
-            delta, last_q, r.settle_time, max_rho
+            group.config, last_q, r.settle_time, max_rho
         );
     }
 
@@ -50,8 +81,17 @@ fn main() {
     }
 
     println!("\n================ Fig. 13–15 — subslot utilization ================");
-    for delta in [1.0, 10.0, 100.0] {
-        let u = slots::run(delta, if q { 420 } else { 600 }, s);
+    let horizon = if q { 420 } else { 600 };
+    let utilizations = run_replications(
+        vec![1.0, 10.0, 100.0],
+        1,
+        s,
+        mode,
+        |&delta, _rep, _seeds| slots::run(delta, horizon, s),
+    );
+    for group in &utilizations {
+        let delta = group.config;
+        let u = &group.runs[0];
         println!("delta {delta}: final policies (.=QBackoff C=QCCA T=QSend)");
         println!("  A: {}", slots::format_strip(&u.final_a));
         println!("  C: {}", slots::format_strip(&u.final_c));
@@ -64,15 +104,33 @@ fn main() {
     }
 
     println!("\n================ Fig. 18/19 + §6.2.1 — testbed ================");
-    for tb in [testbed::Testbed::Tree, testbed::Testbed::Star] {
-        let qma = testbed::sweep(tb, MacKind::Qma, q, s);
-        let csma = testbed::sweep(tb, MacKind::UnslottedCsma, q, s);
-        println!("-- {tb:?}");
+    // Outer fan-out stays serial here: each sweep already parallelises
+    // its replications internally via replicate(), and nesting two
+    // full-width pools would only oversubscribe the CPU.
+    let sweeps = run_replications(
+        vec![
+            (testbed::Testbed::Tree, MacKind::Qma),
+            (testbed::Testbed::Tree, MacKind::UnslottedCsma),
+            (testbed::Testbed::Star, MacKind::Qma),
+            (testbed::Testbed::Star, MacKind::UnslottedCsma),
+        ],
+        1,
+        s,
+        Parallelism::Serial,
+        |&(tb, mac), _rep, _seeds| testbed::sweep(tb, mac, q, s),
+    );
+    for pair in sweeps.chunks(2) {
+        let qma = &pair[0].runs[0];
+        let csma = &pair[1].runs[0];
+        println!("-- {:?}", pair[0].config.0);
         print!("{}", testbed::format_table(&[qma.clone(), csma.clone()]));
         println!("total: QMA {} vs CSMA {}", qma.total_pdr, csma.total_pdr);
         println!(
             "energy: QMA {:.1} mJ / {} attempts vs CSMA {:.1} mJ / {} attempts",
-            qma.energy.mean_mj, qma.energy.tx_attempts, csma.energy.mean_mj, csma.energy.tx_attempts
+            qma.energy.mean_mj,
+            qma.energy.tx_attempts,
+            csma.energy.mean_mj,
+            csma.energy.tx_attempts
         );
     }
 
@@ -81,7 +139,10 @@ fn main() {
     println!("-- secondary-traffic PDR (Fig. 21)");
     print!("{}", dsme_scale::format_table(&cells, "secondary_pdr"));
     println!("-- successful GTS-requests (Fig. 22)");
-    print!("{}", dsme_scale::format_table(&cells, "gts_request_success"));
+    print!(
+        "{}",
+        dsme_scale::format_table(&cells, "gts_request_success")
+    );
     println!("-- GTS (de)allocations per second");
     print!("{}", dsme_scale::format_table(&cells, "gts_rate"));
 

@@ -3,15 +3,27 @@
 //! Every figure of the paper's evaluation has a binary
 //! (`fig07` … `fig26`, plus `table04`, `energy` and the `reproduce`
 //! driver) that regenerates the corresponding rows/series. Binaries
-//! honour two environment variables:
+//! honour these environment variables:
 //!
 //! * `QMA_QUICK=1` — shrink replication counts/durations (same shape,
 //!   minutes instead of hours); this is the default,
 //! * `QMA_FULL=1` — run the paper-scale configuration,
-//! * `QMA_SEED=n` — master seed (default 2021, the paper's year).
+//! * `QMA_SEED=n` — master seed (default 2021, the paper's year),
+//! * `RAYON_NUM_THREADS=n` — cap the replication fan-out (`1`
+//!   degenerates to a serial run with identical results).
+//!
+//! The [`runner`] module is the workspace's parallel replication
+//! engine: a rayon fan-out over `configs × replications` where each
+//! replication draws an independent RNG stream derived from the
+//! master seed via [`qma_des::SeedSequence`], and results are
+//! collected in `(config, replication)` order — so aggregates are
+//! **bit-identical** between serial and parallel runs.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod runner;
+pub mod timing;
 
 /// Master seed for experiment binaries.
 pub fn seed() -> u64 {
@@ -31,7 +43,11 @@ pub fn header(id: &str, what: &str) {
     println!("# {id} — {what}");
     println!(
         "# mode: {}, seed: {}",
-        if quick() { "quick (set QMA_FULL=1 for paper scale)" } else { "full" },
+        if quick() {
+            "quick (set QMA_FULL=1 for paper scale)"
+        } else {
+            "full"
+        },
         seed()
     );
 }

@@ -1,0 +1,106 @@
+//! Wall-clock measurement helpers for the `bench` binary.
+//!
+//! The measurement core (batch calibration + median sampling) lives
+//! in the criterion shim and is shared with `Bencher::iter`; this
+//! module re-exposes it plus the JSON report writer for
+//! `BENCH_pr1.json`.
+
+use std::time::{Duration, Instant};
+
+/// Measures `f`, returning median nanoseconds per call (see
+/// [`criterion::measure_ns_per_call`]).
+pub fn ns_per_call<O>(budget: Duration, f: impl FnMut() -> O) -> f64 {
+    criterion::measure_ns_per_call(budget, f)
+}
+
+/// Times one execution of `f`, returning `(result, elapsed)`.
+pub fn time_once<O>(f: impl FnOnce() -> O) -> (O, Duration) {
+    let t = Instant::now();
+    let out = f();
+    (out, t.elapsed())
+}
+
+/// A minimal flat-JSON object writer for benchmark reports (the
+/// workspace has no serde; the report is a flat map of numbers and
+/// strings, which this covers).
+#[derive(Debug, Default)]
+pub struct JsonReport {
+    fields: Vec<(String, String)>,
+}
+
+impl JsonReport {
+    /// Creates an empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a numeric field (serialized with 3 decimal places).
+    pub fn number(&mut self, key: &str, value: f64) -> &mut Self {
+        self.fields.push((key.to_string(), format!("{value:.3}")));
+        self
+    }
+
+    /// Adds an integer field.
+    pub fn integer(&mut self, key: &str, value: u64) -> &mut Self {
+        self.fields.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Adds a string field (quotes and backslashes escaped).
+    pub fn string(&mut self, key: &str, value: &str) -> &mut Self {
+        let escaped = value.replace('\\', "\\\\").replace('"', "\\\"");
+        self.fields
+            .push((key.to_string(), format!("\"{escaped}\"")));
+        self
+    }
+
+    /// Renders the report as a pretty-printed JSON object.
+    pub fn render(&self) -> String {
+        let mut out = String::from("{\n");
+        for (i, (k, v)) in self.fields.iter().enumerate() {
+            out.push_str(&format!("  \"{k}\": {v}"));
+            out.push_str(if i + 1 < self.fields.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push('}');
+        out.push('\n');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ns_per_call_is_finite_and_positive() {
+        let mut acc = 0u64;
+        let ns = ns_per_call(Duration::from_millis(5), || {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            acc
+        });
+        assert!(ns.is_finite() && ns >= 0.0);
+    }
+
+    #[test]
+    fn json_report_renders_valid_flat_object() {
+        let mut r = JsonReport::new();
+        r.number("a", 1.5).integer("b", 7).string("c", "x\"y");
+        let s = r.render();
+        assert!(s.starts_with("{\n"));
+        assert!(s.contains("\"a\": 1.500,"));
+        assert!(s.contains("\"b\": 7,"));
+        assert!(s.contains("\"c\": \"x\\\"y\"\n"));
+        assert!(s.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn time_once_returns_result() {
+        let (v, d) = time_once(|| 41 + 1);
+        assert_eq!(v, 42);
+        assert!(d.as_nanos() < 1_000_000_000);
+    }
+}

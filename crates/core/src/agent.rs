@@ -359,8 +359,10 @@ mod tests {
 
     #[test]
     fn startup_forces_backoff_and_punishes() {
-        let mut cfg = QmaConfig::default();
-        cfg.startup_subslots = 3;
+        let cfg = QmaConfig {
+            startup_subslots: 3,
+            ..QmaConfig::default()
+        };
         let mut agent: QmaAgent = QmaAgent::new(cfg);
         let mut rng = StdRng::seed_from_u64(3);
 
@@ -388,9 +390,11 @@ mod tests {
 
     #[test]
     fn startup_without_punishments() {
-        let mut cfg = QmaConfig::default();
-        cfg.startup_subslots = 1;
-        cfg.startup_punishments = false;
+        let cfg = QmaConfig {
+            startup_subslots: 1,
+            startup_punishments: false,
+            ..QmaConfig::default()
+        };
         let mut agent: QmaAgent = QmaAgent::new(cfg);
         let mut rng = StdRng::seed_from_u64(4);
         agent.decide(0, 8, &mut rng);

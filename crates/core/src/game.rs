@@ -160,8 +160,7 @@ impl<Q: QValue> SlotGame<Q> {
     pub fn policies_collision_free(&self) -> bool {
         let subslots = self.config.agent.subslots;
         for m in 0..subslots {
-            let actions: Vec<QmaAction> =
-                self.agents.iter().map(|a| a.table().policy(m)).collect();
+            let actions: Vec<QmaAction> = self.agents.iter().map(|a| a.table().policy(m)).collect();
             if resolve(&actions).collided() {
                 return false;
             }
@@ -251,8 +250,10 @@ mod tests {
     use rand::SeedableRng;
 
     fn saturated_game(agents: usize, subslots: u16) -> SlotGame {
-        let mut cfg = GameConfig::default();
-        cfg.agents = agents;
+        let mut cfg = GameConfig {
+            agents,
+            ..GameConfig::default()
+        };
         cfg.agent.subslots = subslots;
         SlotGame::new(cfg)
     }
@@ -346,10 +347,12 @@ mod tests {
 
     #[test]
     fn light_traffic_single_agent_uses_channel_freely() {
-        let mut cfg = GameConfig::default();
-        cfg.agents = 1;
+        let mut cfg = GameConfig {
+            agents: 1,
+            arrival_prob: Some(0.5),
+            ..GameConfig::default()
+        };
         cfg.agent.subslots = 4;
-        cfg.arrival_prob = Some(0.5);
         let mut game: SlotGame = SlotGame::new(cfg);
         let mut rng = StdRng::seed_from_u64(11);
         let stats = game.run_frames(2000, &mut rng);
@@ -360,11 +363,13 @@ mod tests {
 
     #[test]
     fn queue_levels_bounded() {
-        let mut cfg = GameConfig::default();
-        cfg.agents = 2;
+        let mut cfg = GameConfig {
+            agents: 2,
+            queue_capacity: 8,
+            arrival_prob: Some(0.9),
+            ..GameConfig::default()
+        };
         cfg.agent.subslots = 4;
-        cfg.queue_capacity = 8;
-        cfg.arrival_prob = Some(0.9);
         let mut game: SlotGame = SlotGame::new(cfg);
         let mut rng = StdRng::seed_from_u64(13);
         for _ in 0..200 {

@@ -60,7 +60,7 @@ impl SlotInteraction {
 /// assert_eq!(i.winner, Some(1));
 /// ```
 pub fn resolve(actions: &[QmaAction]) -> SlotInteraction {
-    let any_send = actions.iter().any(|&a| a == QmaAction::Send);
+    let any_send = actions.contains(&QmaAction::Send);
 
     // Who transmits? Every QSend; every QCCA if no QSend occupies the
     // channel from the subslot start.
@@ -190,9 +190,15 @@ mod tests {
         let ok = resolve(&[B, S]);
         assert_eq!(ok.outcomes[0], ActionOutcome::Backoff { overheard: true });
         let fail = resolve(&[B, S, S]);
-        assert_eq!(fail.outcomes[0], ActionOutcome::Backoff { overheard: false });
+        assert_eq!(
+            fail.outcomes[0],
+            ActionOutcome::Backoff { overheard: false }
+        );
         let idle = resolve(&[B, B]);
-        assert_eq!(idle.outcomes[0], ActionOutcome::Backoff { overheard: false });
+        assert_eq!(
+            idle.outcomes[0],
+            ActionOutcome::Backoff { overheard: false }
+        );
     }
 
     #[test]
@@ -209,7 +215,10 @@ mod tests {
             let actions = vec![S; n];
             let i = resolve(&actions);
             assert!(i.collided());
-            assert!(i.outcomes.iter().all(|&o| o == ActionOutcome::SendTx { acked: false }));
+            assert!(i
+                .outcomes
+                .iter()
+                .all(|&o| o == ActionOutcome::SendTx { acked: false }));
         }
     }
 

@@ -240,7 +240,13 @@ mod tests {
         // max is −6 after the earlier QSend update → Q = 2 − 6 = −4.
         let mut t: QTable<f32> = QTable::new(4, -10.0);
         t.update(0, QmaAction::Send, 4.0, 1, &fig5_params());
-        let q = t.update(3, QmaAction::Backoff, 2.0, 4 /* wraps to 0 */, &fig5_params());
+        let q = t.update(
+            3,
+            QmaAction::Backoff,
+            2.0,
+            4, /* wraps to 0 */
+            &fig5_params(),
+        );
         assert_eq!(q, -4.0);
     }
 

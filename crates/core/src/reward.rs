@@ -176,8 +176,14 @@ mod tests {
             QmaAction::Backoff
         );
         assert_eq!(ActionOutcome::CcaBusy.action(), QmaAction::Cca);
-        assert_eq!(ActionOutcome::CcaTx { acked: false }.action(), QmaAction::Cca);
-        assert_eq!(ActionOutcome::SendTx { acked: true }.action(), QmaAction::Send);
+        assert_eq!(
+            ActionOutcome::CcaTx { acked: false }.action(),
+            QmaAction::Cca
+        );
+        assert_eq!(
+            ActionOutcome::SendTx { acked: true }.action(),
+            QmaAction::Send
+        );
     }
 
     #[test]

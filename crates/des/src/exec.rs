@@ -72,12 +72,14 @@ impl Executor {
             if processed >= self.max_events {
                 return (StopReason::EventBudgetExhausted, sched.now());
             }
+            // peek_time is non-mutating O(1) on the indexed heap, so
+            // the horizon check costs one slot read per event.
             match sched.peek_time() {
                 None => return (StopReason::QueueEmpty, sched.now()),
                 Some(t) if t > horizon => return (StopReason::HorizonReached, horizon),
                 Some(_) => {}
             }
-            let entry = sched.pop().expect("peeked event must pop");
+            let entry = sched.pop().expect("non-empty queue must pop");
             handler.handle(entry.time, entry.event, sched);
             processed += 1;
         }
@@ -155,9 +157,11 @@ mod tests {
                 s.schedule_in(SimDuration::from_micros(1), e);
             }
         }
-        let (reason, _) = Executor::new()
-            .with_event_budget(1000)
-            .run_until(&mut Forever, &mut sched, SimTime::MAX);
+        let (reason, _) = Executor::new().with_event_budget(1000).run_until(
+            &mut Forever,
+            &mut sched,
+            SimTime::MAX,
+        );
         assert_eq!(reason, StopReason::EventBudgetExhausted);
     }
 

@@ -1,15 +1,34 @@
-//! The event scheduler: a timestamped priority queue with
-//! deterministic tie-breaking and logical cancellation.
-
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+//! The event scheduler: a slab-backed indexed binary heap with
+//! deterministic tie-breaking and true O(log n) cancellation.
+//!
+//! ## Design
+//!
+//! Events live in a **slab** (`Vec<Slot<E>>` plus a free list); the
+//! **heap** is a `Vec` of slot indices ordered by `(time, seq)`, and
+//! every slot records its current heap position, so any event can be
+//! located and removed without scanning. [`EventKey`]s carry the slot
+//! index plus a **generation counter** bumped on each reuse, so a key
+//! held across the event's firing can never alias a later event in
+//! the same slot.
+//!
+//! Compared to the previous `BinaryHeap + HashSet` lazy-cancellation
+//! design this makes [`Scheduler::cancel`] physically remove the
+//! entry (O(log n), no tombstones accumulating in high-cancel
+//! workloads like ACK timers), [`Scheduler::pop`] hash-lookup-free,
+//! and [`Scheduler::is_empty`]/[`Scheduler::len`] exact in O(1).
 
 use crate::time::SimTime;
+
+/// Sentinel heap position marking a free slot.
+const FREE: u32 = u32::MAX;
 
 /// Opaque handle identifying a scheduled event, usable for
 /// cancellation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct EventKey(u64);
+pub struct EventKey {
+    idx: u32,
+    gen: u32,
+}
 
 /// An event popped from the scheduler.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -23,41 +42,24 @@ pub struct EventEntry<E> {
 }
 
 #[derive(Debug)]
-struct HeapItem<E> {
+struct Slot<E> {
+    gen: u32,
+    /// Position in `heap`, or [`FREE`] when the slot is on the free
+    /// list.
+    heap_pos: u32,
     time: SimTime,
+    /// Insertion sequence number: the FIFO tie-breaker among equal
+    /// timestamps.
     seq: u64,
-    event: E,
-}
-
-impl<E> PartialEq for HeapItem<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl<E> Eq for HeapItem<E> {}
-
-impl<E> Ord for HeapItem<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed: BinaryHeap is a max-heap, we want earliest first,
-        // FIFO among equal timestamps.
-        other
-            .time
-            .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
-impl<E> PartialOrd for HeapItem<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
+    event: Option<E>,
 }
 
 /// A deterministic future-event list.
 ///
 /// Events with equal timestamps are delivered in insertion order.
-/// Cancellation is *logical*: [`Scheduler::cancel`] marks the key and
-/// the entry is dropped when it reaches the head of the heap, so
-/// cancelling is O(1) and never disturbs heap order.
+/// Cancellation physically removes the entry, so [`Scheduler::len`]
+/// and [`Scheduler::is_empty`] are exact O(1) counters and a
+/// cancel-heavy workload never bloats the queue.
 ///
 /// # Examples
 ///
@@ -73,11 +75,14 @@ impl<E> PartialOrd for HeapItem<E> {
 /// ```
 #[derive(Debug)]
 pub struct Scheduler<E> {
-    heap: BinaryHeap<HeapItem<E>>,
-    cancelled: std::collections::HashSet<u64>,
+    slots: Vec<Slot<E>>,
+    free: Vec<u32>,
+    /// Min-heap of slot indices ordered by `(time, seq)`.
+    heap: Vec<u32>,
     now: SimTime,
     next_seq: u64,
     scheduled_total: u64,
+    past_clamps: u64,
 }
 
 impl<E> Default for Scheduler<E> {
@@ -90,11 +95,27 @@ impl<E> Scheduler<E> {
     /// Creates an empty scheduler at time zero.
     pub fn new() -> Self {
         Scheduler {
-            heap: BinaryHeap::new(),
-            cancelled: std::collections::HashSet::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            heap: Vec::new(),
             now: SimTime::ZERO,
             next_seq: 0,
             scheduled_total: 0,
+            past_clamps: 0,
+        }
+    }
+
+    /// Creates an empty scheduler with room for `capacity` concurrent
+    /// events before reallocating.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Scheduler {
+            slots: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            heap: Vec::with_capacity(capacity),
+            now: SimTime::ZERO,
+            next_seq: 0,
+            scheduled_total: 0,
+            past_clamps: 0,
         }
     }
 
@@ -106,17 +127,60 @@ impl<E> Scheduler<E> {
 
     /// Schedules `event` at the absolute instant `time`.
     ///
-    /// Scheduling in the past is a logic error; the event is clamped
-    /// to `now` (and a debug assertion fires) so release builds remain
-    /// monotone rather than travelling back in time.
+    /// Scheduling in the past is a logic error; debug builds panic,
+    /// release builds clamp the event to `now` (counted in
+    /// [`Scheduler::past_clamps`]) so simulated time stays monotone.
     pub fn schedule_at(&mut self, time: SimTime, event: E) -> EventKey {
-        debug_assert!(time >= self.now, "scheduling into the past: {time} < {}", self.now);
-        let time = time.max(self.now);
+        let time = if time < self.now {
+            self.clamp_past(time)
+        } else {
+            time
+        };
         let seq = self.next_seq;
         self.next_seq += 1;
         self.scheduled_total += 1;
-        self.heap.push(HeapItem { time, seq, event });
-        EventKey(seq)
+
+        let pos = self.heap.len() as u32;
+        let idx = match self.free.pop() {
+            Some(idx) => {
+                let slot = &mut self.slots[idx as usize];
+                debug_assert!(slot.heap_pos == FREE && slot.event.is_none());
+                slot.heap_pos = pos;
+                slot.time = time;
+                slot.seq = seq;
+                slot.event = Some(event);
+                idx
+            }
+            None => {
+                let idx = u32::try_from(self.slots.len()).expect("more than u32::MAX live events");
+                self.slots.push(Slot {
+                    gen: 0,
+                    heap_pos: pos,
+                    time,
+                    seq,
+                    event: Some(event),
+                });
+                idx
+            }
+        };
+        self.heap.push(idx);
+        self.sift_up(pos as usize);
+        EventKey {
+            idx,
+            gen: self.slots[idx as usize].gen,
+        }
+    }
+
+    /// Cold path for past-time scheduling: debug builds panic (the
+    /// message formatting lives here, off the hot path), release
+    /// builds count the clamp and pin the event to `now`.
+    #[cold]
+    fn clamp_past(&mut self, time: SimTime) -> SimTime {
+        if cfg!(debug_assertions) {
+            panic!("scheduling into the past: {time} < {}", self.now);
+        }
+        self.past_clamps += 1;
+        self.now
     }
 
     /// Schedules `event` after the relative delay `delay`.
@@ -124,64 +188,149 @@ impl<E> Scheduler<E> {
         self.schedule_at(self.now + delay, event)
     }
 
-    /// Cancels a previously scheduled event. Cancelling an already
-    /// fired or already cancelled key is a no-op.
+    /// Cancels a previously scheduled event in O(log n), removing it
+    /// from the queue immediately. Cancelling an already fired or
+    /// already cancelled key is a no-op (generation counters make
+    /// stale keys harmless even after the slot is reused).
     pub fn cancel(&mut self, key: EventKey) {
-        self.cancelled.insert(key.0);
+        let Some(slot) = self.slots.get(key.idx as usize) else {
+            return;
+        };
+        if slot.gen != key.gen || slot.heap_pos == FREE {
+            return;
+        }
+        let pos = slot.heap_pos as usize;
+        self.remove_heap_entry(pos);
+        self.release(key.idx);
     }
 
     /// Removes and returns the earliest pending event, advancing
-    /// `now`. Skips cancelled entries. Returns `None` when empty.
+    /// `now`. Returns `None` when empty.
     pub fn pop(&mut self) -> Option<EventEntry<E>> {
-        while let Some(item) = self.heap.pop() {
-            if self.cancelled.remove(&item.seq) {
-                continue;
-            }
-            debug_assert!(item.time >= self.now);
-            self.now = item.time;
-            return Some(EventEntry {
-                time: item.time,
-                key: EventKey(item.seq),
-                event: item.event,
-            });
-        }
-        None
+        let idx = *self.heap.first()?;
+        self.remove_heap_entry(0);
+        let slot = &mut self.slots[idx as usize];
+        let entry = EventEntry {
+            time: slot.time,
+            key: EventKey { idx, gen: slot.gen },
+            event: slot.event.take().expect("scheduled slot holds an event"),
+        };
+        debug_assert!(entry.time >= self.now);
+        self.now = entry.time;
+        self.release_taken(idx);
+        Some(entry)
     }
 
-    /// Timestamp of the next non-cancelled event, without popping it.
-    pub fn peek_time(&mut self) -> Option<SimTime> {
-        loop {
-            let seq = self.heap.peek()?.seq;
-            if self.cancelled.contains(&seq) {
-                self.cancelled.remove(&seq);
-                self.heap.pop();
-            } else {
-                return Some(self.heap.peek().map(|i| i.time)?);
-            }
-        }
+    /// Timestamp of the next pending event, without popping it. O(1)
+    /// and non-mutating.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.first().map(|&idx| self.slots[idx as usize].time)
     }
 
-    /// Number of pending entries (including not-yet-skipped cancelled
-    /// ones).
+    /// Number of pending events, exact in O(1).
     pub fn len(&self) -> usize {
         self.heap.len()
     }
 
-    /// Returns `true` when no events are pending.
+    /// Returns `true` when no events are pending, exact in O(1).
     pub fn is_empty(&self) -> bool {
-        self.heap.len() <= self.cancelled.len() && {
-            // Cheap path first; exact check requires scanning, so fall
-            // back to comparing against live cancellations present in
-            // the heap.
-            self.heap
-                .iter()
-                .all(|item| self.cancelled.contains(&item.seq))
-        }
+        self.heap.is_empty()
     }
 
     /// Total number of events ever scheduled (for throughput metrics).
     pub fn scheduled_total(&self) -> u64 {
         self.scheduled_total
+    }
+
+    /// Number of events whose timestamp lay in the past and was
+    /// clamped to `now` (always zero in debug builds, which panic
+    /// instead).
+    pub fn past_clamps(&self) -> u64 {
+        self.past_clamps
+    }
+
+    /// Detaches the heap entry at `pos`, restoring the heap property.
+    /// The slot itself is left to the caller (`release`/
+    /// `release_taken`).
+    fn remove_heap_entry(&mut self, pos: usize) {
+        let last = self.heap.len() - 1;
+        self.heap.swap_remove(pos);
+        if pos < last {
+            let moved = self.heap[pos] as usize;
+            self.slots[moved].heap_pos = pos as u32;
+            // The element moved into `pos` came from the bottom; it
+            // may need to travel either direction.
+            if !self.sift_down(pos) {
+                self.sift_up(pos);
+            }
+        }
+    }
+
+    /// Frees a slot whose event is still present (cancellation).
+    fn release(&mut self, idx: u32) {
+        let slot = &mut self.slots[idx as usize];
+        slot.event = None;
+        self.release_taken(idx);
+    }
+
+    /// Frees a slot whose event has already been taken out.
+    fn release_taken(&mut self, idx: u32) {
+        let slot = &mut self.slots[idx as usize];
+        debug_assert!(slot.event.is_none());
+        slot.heap_pos = FREE;
+        slot.gen = slot.gen.wrapping_add(1);
+        self.free.push(idx);
+    }
+
+    /// `true` when the event in heap position `a` must fire before
+    /// the one in `b`.
+    #[inline]
+    fn fires_before(&self, a: usize, b: usize) -> bool {
+        let sa = &self.slots[self.heap[a] as usize];
+        let sb = &self.slots[self.heap[b] as usize];
+        (sa.time, sa.seq) < (sb.time, sb.seq)
+    }
+
+    #[inline]
+    fn heap_swap(&mut self, a: usize, b: usize) {
+        self.heap.swap(a, b);
+        self.slots[self.heap[a] as usize].heap_pos = a as u32;
+        self.slots[self.heap[b] as usize].heap_pos = b as u32;
+    }
+
+    fn sift_up(&mut self, mut pos: usize) {
+        while pos > 0 {
+            let parent = (pos - 1) / 2;
+            if !self.fires_before(pos, parent) {
+                break;
+            }
+            self.heap_swap(pos, parent);
+            pos = parent;
+        }
+    }
+
+    /// Returns `true` if the element moved.
+    fn sift_down(&mut self, mut pos: usize) -> bool {
+        let start = pos;
+        let len = self.heap.len();
+        loop {
+            let left = 2 * pos + 1;
+            if left >= len {
+                break;
+            }
+            let right = left + 1;
+            let best = if right < len && self.fires_before(right, left) {
+                right
+            } else {
+                left
+            };
+            if !self.fires_before(best, pos) {
+                break;
+            }
+            self.heap_swap(pos, best);
+            pos = best;
+        }
+        pos != start
     }
 }
 
@@ -225,9 +374,25 @@ mod tests {
         let mut s = Scheduler::new();
         let a = s.schedule_at(SimTime::from_secs(1), "a");
         assert_eq!(s.pop().unwrap().event, "a");
-        s.cancel(a); // must not poison a later event with same seq logic
+        s.cancel(a); // must not poison a later event reusing the slot
         s.schedule_at(SimTime::from_secs(2), "b");
         assert_eq!(s.pop().unwrap().event, "b");
+    }
+
+    #[test]
+    fn stale_key_does_not_cancel_slot_reuse() {
+        let mut s = Scheduler::new();
+        let a = s.schedule_at(SimTime::from_secs(1), 1);
+        s.cancel(a);
+        // The slot is reused for a new event; the stale key must not
+        // touch it, not even after many reuse cycles.
+        let b = s.schedule_at(SimTime::from_secs(2), 2);
+        s.cancel(a);
+        s.cancel(a);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.pop().unwrap().event, 2);
+        s.cancel(b); // now stale as well
+        assert!(s.is_empty());
     }
 
     #[test]
@@ -243,28 +408,127 @@ mod tests {
     }
 
     #[test]
-    fn peek_skips_cancelled() {
+    fn peek_is_non_mutating_and_skips_nothing() {
         let mut s = Scheduler::new();
         let a = s.schedule_at(SimTime::from_secs(1), 1);
         s.schedule_at(SimTime::from_secs(2), 2);
         s.cancel(a);
-        assert_eq!(s.peek_time(), Some(SimTime::from_secs(2)));
+        let s_ref: &Scheduler<i32> = &s; // peeking needs only &self
+        assert_eq!(s_ref.peek_time(), Some(SimTime::from_secs(2)));
         assert_eq!(s.pop().unwrap().event, 2);
+        assert_eq!(s.peek_time(), None);
     }
 
     #[test]
-    fn is_empty_accounts_for_cancellations() {
-        let mut s: Scheduler<()> = Scheduler::new();
+    fn len_and_is_empty_are_exact_under_cancellation() {
+        let mut s: Scheduler<u32> = Scheduler::new();
         assert!(s.is_empty());
-        let k = s.schedule_at(SimTime::from_secs(1), ());
-        assert!(!s.is_empty());
-        s.cancel(k);
+        let keys: Vec<EventKey> = (0..10)
+            .map(|i| s.schedule_at(SimTime::from_secs(i), i as u32))
+            .collect();
+        assert_eq!(s.len(), 10);
+        for (n, k) in keys.iter().enumerate() {
+            s.cancel(*k);
+            assert_eq!(s.len(), 10 - n - 1, "cancel must shrink len immediately");
+        }
         assert!(s.is_empty());
+        assert!(s.pop().is_none());
+    }
+
+    #[test]
+    fn cancel_middle_preserves_order() {
+        let mut s = Scheduler::new();
+        let keys: Vec<EventKey> = (0..64)
+            .map(|i| s.schedule_at(SimTime::from_micros(i * 13 % 40), i as u32))
+            .collect();
+        // Cancel every third event.
+        for k in keys.iter().step_by(3) {
+            s.cancel(*k);
+        }
+        let mut last = (SimTime::ZERO, 0u64);
+        let mut popped = 0;
+        while let Some(e) = s.pop() {
+            let this = (e.time, u64::from(e.event));
+            assert!(e.time >= last.0, "time order violated");
+            if e.time == last.0 {
+                assert!(this.1 > last.1, "FIFO violated among equal times");
+            }
+            last = this;
+            popped += 1;
+        }
+        assert_eq!(popped, 64 - 22);
+    }
+
+    #[test]
+    fn randomized_against_reference_model() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+
+        // Reference: a sorted map keyed by (time, seq), mirroring the
+        // FIFO-among-equals contract.
+        let mut reference: std::collections::BTreeMap<(SimTime, u64), u32> = Default::default();
+        let mut live: Vec<(EventKey, (SimTime, u64))> = Vec::new();
+        let mut s: Scheduler<u32> = Scheduler::new();
+        let mut rng = StdRng::seed_from_u64(0xDE5);
+        let mut seq = 0u64;
+        for step in 0..20_000u32 {
+            match rng.gen_range(0u32..10) {
+                // 60 % schedule
+                0..=5 => {
+                    let t =
+                        s.now() + crate::time::SimDuration::from_micros(rng.gen_range(0u64..50));
+                    let key = s.schedule_at(t, step);
+                    reference.insert((t, seq), step);
+                    live.push((key, (t, seq)));
+                    seq += 1;
+                }
+                // 20 % cancel a random live key
+                6..=7 => {
+                    if !live.is_empty() {
+                        let i = rng.gen_range(0..live.len());
+                        let (key, refkey) = live.swap_remove(i);
+                        s.cancel(key);
+                        reference.remove(&refkey);
+                    }
+                }
+                // 20 % pop
+                _ => {
+                    let expected = reference.pop_first();
+                    let got = s.pop();
+                    match (expected, got) {
+                        (None, None) => {}
+                        (Some(((t, _), v)), Some(e)) => {
+                            assert_eq!(e.time, t, "time mismatch at step {step}");
+                            assert_eq!(e.event, v, "payload mismatch at step {step}");
+                            live.retain(|(k, _)| *k != e.key);
+                        }
+                        (e, g) => panic!("model mismatch at step {step}: {e:?} vs {g:?}"),
+                    }
+                }
+            }
+            assert_eq!(s.len(), reference.len());
+            assert_eq!(s.is_empty(), reference.is_empty());
+        }
+    }
+
+    #[test]
+    fn slab_reuses_slots() {
+        let mut s: Scheduler<u32> = Scheduler::new();
+        for round in 0..100u64 {
+            for i in 0..8 {
+                s.schedule_at(SimTime::from_micros(round * 10 + i), i as u32);
+            }
+            while s.pop().is_some() {}
+        }
+        // Churning 800 events through must not grow the slab past the
+        // high-water mark of concurrently live events.
+        assert!(s.slots.len() <= 8, "slab grew to {}", s.slots.len());
+        assert_eq!(s.scheduled_total(), 800);
     }
 
     #[test]
     fn past_scheduling_is_clamped_in_release() {
-        // In debug builds this would assert, so only exercise the
+        // In debug builds this would panic, so only exercise the
         // clamping branch when debug assertions are off.
         if cfg!(debug_assertions) {
             return;
@@ -273,7 +537,26 @@ mod tests {
         s.schedule_at(SimTime::from_secs(10), "late");
         s.pop();
         s.schedule_at(SimTime::from_secs(1), "past");
+        assert_eq!(s.past_clamps(), 1);
         let e = s.pop().unwrap();
         assert_eq!(e.time, SimTime::from_secs(10));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "scheduling into the past")]
+    fn past_scheduling_panics_in_debug() {
+        let mut s = Scheduler::new();
+        s.schedule_at(SimTime::from_secs(10), ());
+        s.pop();
+        s.schedule_at(SimTime::from_secs(1), ());
+    }
+
+    #[test]
+    fn with_capacity_behaves_like_new() {
+        let mut s = Scheduler::with_capacity(32);
+        s.schedule_at(SimTime::from_secs(1), 1);
+        assert_eq!(s.pop().unwrap().event, 1);
+        assert_eq!(s.past_clamps(), 0);
     }
 }

@@ -118,6 +118,9 @@ mod tests {
     #[test]
     fn label_order_matters() {
         let root = SeedSequence::new(11);
-        assert_ne!(root.derive(1).derive(2).seed(), root.derive(2).derive(1).seed());
+        assert_ne!(
+            root.derive(1).derive(2).seed(),
+            root.derive(2).derive(1).seed()
+        );
     }
 }

@@ -129,11 +129,7 @@ impl SimDuration {
     /// Checked integer division into another duration (how many `rhs`
     /// fit into `self`). Returns `None` if `rhs` is zero.
     pub const fn checked_div_duration(self, rhs: SimDuration) -> Option<u64> {
-        if rhs.0 == 0 {
-            None
-        } else {
-            Some(self.0 / rhs.0)
-        }
+        self.0.checked_div(rhs.0)
     }
 }
 
@@ -233,9 +229,15 @@ mod tests {
     fn arithmetic() {
         let t = SimTime::from_secs(1) + SimDuration::from_millis(500);
         assert_eq!(t.as_micros(), 1_500_000);
-        assert_eq!(t.since(SimTime::from_secs(1)), SimDuration::from_millis(500));
+        assert_eq!(
+            t.since(SimTime::from_secs(1)),
+            SimDuration::from_millis(500)
+        );
         assert_eq!(SimDuration::from_secs(1) * 3, SimDuration::from_secs(3));
-        assert_eq!(SimDuration::from_secs(3) / 2, SimDuration::from_micros(1_500_000));
+        assert_eq!(
+            SimDuration::from_secs(3) / 2,
+            SimDuration::from_micros(1_500_000)
+        );
         assert_eq!(
             SimTime::from_micros(12) % SimDuration::from_micros(5),
             SimDuration::from_micros(2)

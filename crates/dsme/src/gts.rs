@@ -124,7 +124,10 @@ mod tests {
     use super::*;
 
     fn slot(i: u16, c: u8) -> GtsSlot {
-        GtsSlot { index: i, channel: c }
+        GtsSlot {
+            index: i,
+            channel: c,
+        }
     }
 
     #[test]

@@ -111,8 +111,16 @@ pub enum HandshakeAction {
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum InitiatorState {
-    AwaitRequestAck { peer: NodeId, op: GtsOp, gts: Option<GtsSlot> },
-    AwaitResponse { peer: NodeId, op: GtsOp, gts: Option<GtsSlot> },
+    AwaitRequestAck {
+        peer: NodeId,
+        op: GtsOp,
+        gts: Option<GtsSlot>,
+    },
+    AwaitResponse {
+        peer: NodeId,
+        op: GtsOp,
+        gts: Option<GtsSlot>,
+    },
 }
 
 /// The per-node handshake engine.
@@ -266,8 +274,16 @@ impl HandshakeEngine {
             // A failed *deallocation* still releases the slot locally:
             // the peer will clean up via its own idle tracking, and a
             // stuck slot is worse than a stale one.
-            InitiatorState::AwaitRequestAck { peer, op: GtsOp::Deallocate, gts: Some(gts) }
-            | InitiatorState::AwaitResponse { peer, op: GtsOp::Deallocate, gts: Some(gts) } => {
+            InitiatorState::AwaitRequestAck {
+                peer,
+                op: GtsOp::Deallocate,
+                gts: Some(gts),
+            }
+            | InitiatorState::AwaitResponse {
+                peer,
+                op: GtsOp::Deallocate,
+                gts: Some(gts),
+            } => {
                 vec![
                     HandshakeAction::Deallocated { gts, peer },
                     HandshakeAction::Failed { id },
@@ -292,8 +308,7 @@ impl HandshakeEngine {
                 match msg.op {
                     GtsOp::Allocate => {
                         let theirs = sab.word_with_same_geometry(msg.sab_busy);
-                        let offset = (self.me.0.wrapping_mul(7))
-                            .wrapping_add(msg.handshake_id)
+                        let offset = (self.me.0.wrapping_mul(7)).wrapping_add(msg.handshake_id)
                             % sab.capacity() as u32;
                         let choice = sab.first_common_free(&theirs, offset);
                         let response = GtsMessage {
@@ -442,10 +457,7 @@ mod tests {
     fn full_allocation(a: &mut HandshakeEngine, b: &mut HandshakeEngine) -> GtsSlot {
         let sab_a = empty_sab();
         let sab_b = empty_sab();
-        let actions = a.handle(
-            HandshakeEvent::StartAllocate { peer: NodeId(1) },
-            &sab_a,
-        );
+        let actions = a.handle(HandshakeEvent::StartAllocate { peer: NodeId(1) }, &sab_a);
         let request = extract_sent(&actions)[0];
         assert!(actions.contains(&HandshakeAction::StartTimer {
             id: request.handshake_id
@@ -547,7 +559,10 @@ mod tests {
         let request = extract_sent(&actions)[0];
         a.handle(HandshakeEvent::RequestDelivered, &sab_a);
         let b_actions = b.handle(
-            HandshakeEvent::Message { msg: request, src: NodeId(0) },
+            HandshakeEvent::Message {
+                msg: request,
+                src: NodeId(0),
+            },
             &sab_b,
         );
         let response = extract_sent(&b_actions)[0];
@@ -556,7 +571,10 @@ mod tests {
             .iter()
             .any(|x| matches!(x, HandshakeAction::Allocated { .. })));
         let a_actions = a.handle(
-            HandshakeEvent::Message { msg: response, src: NodeId(1) },
+            HandshakeEvent::Message {
+                msg: response,
+                src: NodeId(1),
+            },
             &sab_a,
         );
         assert!(matches!(a_actions[0], HandshakeAction::Failed { .. }));
@@ -567,7 +585,10 @@ mod tests {
         let mut b = engine(1);
         let mut sab_a = empty_sab();
         // The initiator's view: everything busy except one slot.
-        let keep = GtsSlot { index: 9, channel: 2 };
+        let keep = GtsSlot {
+            index: 9,
+            channel: 2,
+        };
         for g in sab_a.clone().free_iter().collect::<Vec<_>>() {
             if g != keep {
                 sab_a.mark(g);
@@ -582,7 +603,10 @@ mod tests {
             peer: NodeId(1),
         };
         let actions = b.handle(
-            HandshakeEvent::Message { msg: request, src: NodeId(0) },
+            HandshakeEvent::Message {
+                msg: request,
+                src: NodeId(0),
+            },
             &empty_sab(),
         );
         let response = extract_sent(&actions)[0];
@@ -596,7 +620,10 @@ mod tests {
         let gts = full_allocation(&mut a, &mut b);
         let sab = empty_sab();
         let actions = a.handle(
-            HandshakeEvent::StartDeallocate { peer: NodeId(1), gts },
+            HandshakeEvent::StartDeallocate {
+                peer: NodeId(1),
+                gts,
+            },
             &sab,
         );
         let request = extract_sent(&actions)[0];
@@ -604,16 +631,28 @@ mod tests {
         assert_eq!(request.gts, Some(gts));
         a.handle(HandshakeEvent::RequestDelivered, &sab);
         let b_actions = b.handle(
-            HandshakeEvent::Message { msg: request, src: NodeId(0) },
+            HandshakeEvent::Message {
+                msg: request,
+                src: NodeId(0),
+            },
             &sab,
         );
-        assert!(b_actions.contains(&HandshakeAction::Deallocated { gts, peer: NodeId(0) }));
+        assert!(b_actions.contains(&HandshakeAction::Deallocated {
+            gts,
+            peer: NodeId(0)
+        }));
         let response = extract_sent(&b_actions)[0];
         let a_actions = a.handle(
-            HandshakeEvent::Message { msg: response, src: NodeId(1) },
+            HandshakeEvent::Message {
+                msg: response,
+                src: NodeId(1),
+            },
             &sab,
         );
-        assert!(a_actions.contains(&HandshakeAction::Deallocated { gts, peer: NodeId(1) }));
+        assert!(a_actions.contains(&HandshakeAction::Deallocated {
+            gts,
+            peer: NodeId(1)
+        }));
         assert_eq!(a.completed_deallocations(), 1);
         assert_eq!(b.completed_deallocations(), 1);
     }
@@ -622,13 +661,22 @@ mod tests {
     fn failed_deallocation_still_releases_locally() {
         let mut a = engine(0);
         let sab = empty_sab();
-        let gts = GtsSlot { index: 2, channel: 1 };
+        let gts = GtsSlot {
+            index: 2,
+            channel: 1,
+        };
         a.handle(
-            HandshakeEvent::StartDeallocate { peer: NodeId(1), gts },
+            HandshakeEvent::StartDeallocate {
+                peer: NodeId(1),
+                gts,
+            },
             &sab,
         );
         let actions = a.handle(HandshakeEvent::RequestFailed, &sab);
-        assert!(actions.contains(&HandshakeAction::Deallocated { gts, peer: NodeId(1) }));
+        assert!(actions.contains(&HandshakeAction::Deallocated {
+            gts,
+            peer: NodeId(1)
+        }));
     }
 
     #[test]
@@ -648,13 +696,19 @@ mod tests {
         let response = GtsMessage {
             kind: GtsMessageKind::Response,
             op: GtsOp::Allocate,
-            gts: Some(GtsSlot { index: 0, channel: 0 }),
+            gts: Some(GtsSlot {
+                index: 0,
+                channel: 0,
+            }),
             sab_busy: 0,
             handshake_id: 1,
             peer: NodeId(0), // addressed to node 0, not us
         };
         let actions = c.handle(
-            HandshakeEvent::Message { msg: response, src: NodeId(1) },
+            HandshakeEvent::Message {
+                msg: response,
+                src: NodeId(1),
+            },
             &sab,
         );
         assert!(actions.is_empty());
@@ -670,13 +724,19 @@ mod tests {
         let response = GtsMessage {
             kind: GtsMessageKind::Response,
             op: GtsOp::Allocate,
-            gts: Some(GtsSlot { index: 1, channel: 1 }),
+            gts: Some(GtsSlot {
+                index: 1,
+                channel: 1,
+            }),
             sab_busy: 0,
             handshake_id: id,
             peer: NodeId(0),
         };
         let late = a.handle(
-            HandshakeEvent::Message { msg: response, src: NodeId(1) },
+            HandshakeEvent::Message {
+                msg: response,
+                src: NodeId(1),
+            },
             &sab,
         );
         assert!(late.is_empty(), "late responses must not resurrect state");

@@ -104,7 +104,7 @@ impl MsfConfig {
         let frame = clock.frame_index(t);
         let in_frame = t.since(clock.frame_start(frame));
         let slot = (in_frame.as_micros() / self.slot_duration(clock).as_micros()) as u16;
-        if slot < CFP_FIRST_SLOT || slot >= SUPERFRAME_SLOTS {
+        if !(CFP_FIRST_SLOT..SUPERFRAME_SLOTS).contains(&slot) {
             return None;
         }
         let sf_in_msf = (frame % self.sf_per_msf as u64) as u16;

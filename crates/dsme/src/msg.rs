@@ -74,12 +74,13 @@ impl GtsMessage {
                 REQUEST_OCTETS,
                 true,
             ),
-            GtsMessageKind::Response => {
-                (MGMT_GTS_RESPONSE, Address::Broadcast, RESPONSE_OCTETS, false)
-            }
-            GtsMessageKind::Notify => {
-                (MGMT_GTS_NOTIFY, Address::Broadcast, NOTIFY_OCTETS, false)
-            }
+            GtsMessageKind::Response => (
+                MGMT_GTS_RESPONSE,
+                Address::Broadcast,
+                RESPONSE_OCTETS,
+                false,
+            ),
+            GtsMessageKind::Notify => (MGMT_GTS_NOTIFY, Address::Broadcast, NOTIFY_OCTETS, false),
         };
         let op_bit = match self.op {
             GtsOp::Allocate => 0u64,
@@ -90,8 +91,12 @@ impl GtsMessage {
             Some(g) => ((g.index as u64) << 8) | g.channel as u64,
         };
         let meta = op_bit | ((self.handshake_id as u64) << 1) | ((self.peer.0 as u64) << 33);
-        Frame::management(src, dst, disc, seq, octets, ack)
-            .with_payload(Payload::Words([meta, gts_word, self.sab_busy, 0]))
+        Frame::management(src, dst, disc, seq, octets, ack).with_payload(Payload::Words([
+            meta,
+            gts_word,
+            self.sab_busy,
+            0,
+        ]))
     }
 
     /// Decodes a management frame; `None` if it is not a handshake
@@ -161,7 +166,10 @@ mod tests {
 
     #[test]
     fn response_and_notify_are_broadcast() {
-        let g = Some(GtsSlot { index: 5, channel: 3 });
+        let g = Some(GtsSlot {
+            index: 5,
+            channel: 3,
+        });
         for kind in [GtsMessageKind::Response, GtsMessageKind::Notify] {
             let m = sample(kind, g);
             let f = m.encode(NodeId(1), 5);
@@ -173,7 +181,13 @@ mod tests {
 
     #[test]
     fn deallocate_flag_roundtrip() {
-        let mut m = sample(GtsMessageKind::Notify, Some(GtsSlot { index: 1, channel: 0 }));
+        let mut m = sample(
+            GtsMessageKind::Notify,
+            Some(GtsSlot {
+                index: 1,
+                channel: 0,
+            }),
+        );
         m.op = GtsOp::Deallocate;
         let f = m.encode(NodeId(3), 1);
         assert_eq!(GtsMessage::decode(&f).unwrap().op, GtsOp::Deallocate);
@@ -192,7 +206,10 @@ mod tests {
         let m = GtsMessage {
             kind: GtsMessageKind::Response,
             op: GtsOp::Allocate,
-            gts: Some(GtsSlot { index: 13, channel: 1 }),
+            gts: Some(GtsSlot {
+                index: 13,
+                channel: 1,
+            }),
             sab_busy: u64::MAX >> 8,
             handshake_id: u32::MAX,
             peer: NodeId(90),

@@ -20,9 +20,7 @@ use std::collections::VecDeque;
 
 use qma_des::{SimDuration, SimTime};
 use qma_net::{Gpsr, GpsrConfig, TrafficPattern};
-use qma_netsim::{
-    Address, AppInfo, Frame, FrameClock, NodeId, TxResult, UpperCtx, UpperLayer,
-};
+use qma_netsim::{Address, AppInfo, Frame, FrameClock, NodeId, TxResult, UpperCtx, UpperLayer};
 use qma_phy::Position;
 
 use crate::gts::{GtsDirection, GtsTable};
@@ -208,7 +206,11 @@ impl DsmeNode {
                     ctx.schedule(self.cfg.handshake_timeout, hs_notify_tag(id));
                 }
                 HandshakeAction::Allocated { gts, peer, tx } => {
-                    let dir = if tx { GtsDirection::Tx } else { GtsDirection::Rx };
+                    let dir = if tx {
+                        GtsDirection::Tx
+                    } else {
+                        GtsDirection::Rx
+                    };
                     self.table.add(gts, dir, peer);
                     self.sab.mark(gts);
                     ctx.metrics().count("gts_allocated", 1.0);
@@ -338,10 +340,7 @@ impl DsmeNode {
                             // receiver's retune (at the slot boundary)
                             // is guaranteed to precede the frame.
                             self.pending_gts_tx = Some((frame, e.gts.channel, e.gts));
-                            ctx.schedule(
-                                SimDuration::from_micros(192),
-                                TAG_GTS_TX,
-                            );
+                            ctx.schedule(SimDuration::from_micros(192), TAG_GTS_TX);
                         }
                         _ => {
                             let streak = self.table.mark_idle(e.gts);
@@ -365,10 +364,7 @@ impl DsmeNode {
                     // before the next slot boundary, so this event can
                     // never clobber the retune of a back-to-back GTS.
                     let slot_dur = self.cfg.msf.slot_duration(&clock);
-                    ctx.schedule(
-                        slot_dur - SimDuration::from_micros(192),
-                        TAG_SLOT_END,
-                    );
+                    ctx.schedule(slot_dur - SimDuration::from_micros(192), TAG_SLOT_END);
                     // Receiver-side idle tracking: an RX GTS whose
                     // peer stopped using it (or whose peer never
                     // learned of it — a lost notify at the initiator)
@@ -418,10 +414,9 @@ impl DsmeNode {
                             if !self.engine.busy() {
                                 let peer = self.table.get(gts).expect("checked").peer;
                                 let sab = self.effective_sab();
-                                let actions = self.engine.handle(
-                                    HandshakeEvent::StartDeallocate { peer, gts },
-                                    &sab,
-                                );
+                                let actions = self
+                                    .engine
+                                    .handle(HandshakeEvent::StartDeallocate { peer, gts }, &sab);
                                 self.process_actions(ctx, actions);
                             }
                         } else {
@@ -438,7 +433,9 @@ impl DsmeNode {
         }
 
         let sab = self.effective_sab();
-        let actions = self.engine.handle(HandshakeEvent::Message { msg, src }, &sab);
+        let actions = self
+            .engine
+            .handle(HandshakeEvent::Message { msg, src }, &sab);
         self.process_actions(ctx, actions);
     }
 
@@ -451,19 +448,29 @@ impl DsmeNode {
             return;
         };
         self.seq = self.seq.wrapping_add(1);
-        let frame = Frame::data(me, Address::Node(next), self.seq, self.cfg.payload_octets, false)
-            .with_app(AppInfo {
-                origin: me,
-                id: self.generated,
-                created_at: now,
-                hops: 0,
-            });
+        let frame = Frame::data(
+            me,
+            Address::Node(next),
+            self.seq,
+            self.cfg.payload_octets,
+            false,
+        )
+        .with_app(AppInfo {
+            origin: me,
+            id: self.generated,
+            created_at: now,
+            hops: 0,
+        });
         self.enqueue_cfp(ctx, frame);
     }
 
     fn schedule_next_arrival(&mut self, ctx: &mut UpperCtx<'_>) {
         let now = ctx.now();
-        if let Some(at) = self.cfg.pattern.next_arrival(now, self.generated, ctx.rng()) {
+        if let Some(at) = self
+            .cfg
+            .pattern
+            .next_arrival(now, self.generated, ctx.rng())
+        {
             ctx.schedule(at.since(now), TAG_ARRIVAL);
         }
     }
@@ -474,7 +481,9 @@ impl UpperLayer for DsmeNode {
         use rand::Rng;
         self.schedule_next_arrival(ctx);
         // Jittered hello start avoids a synchronized broadcast storm.
-        let jitter_us = ctx.rng().gen_range(0..self.cfg.gpsr.hello_period.as_micros());
+        let jitter_us = ctx
+            .rng()
+            .gen_range(0..self.cfg.gpsr.hello_period.as_micros());
         ctx.schedule(SimDuration::from_micros(jitter_us), TAG_HELLO);
         let clock = *ctx.clock();
         let (t, idx) = self.next_cfp_slot(&clock, ctx.now());
@@ -696,7 +705,11 @@ mod tests {
         let mut sim = dsme_sim(&topo, 1.0, 9);
         sim.run_for(SimDuration::from_secs(30));
         let m = sim.metrics();
-        assert!(m.get("hello_sent") >= 9.0, "hello_sent {}", m.get("hello_sent"));
+        assert!(
+            m.get("hello_sent") >= 9.0,
+            "hello_sent {}",
+            m.get("hello_sent")
+        );
         assert!(m.get("hello_rx") >= 6.0, "hello_rx {}", m.get("hello_rx"));
     }
 

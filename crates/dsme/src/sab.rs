@@ -30,7 +30,10 @@ impl SlotBitmap {
     ///
     /// Panics if either dimension is zero.
     pub fn with_geometry(slots: u16, channels: u8) -> Self {
-        assert!(slots > 0 && channels > 0, "bitmap geometry must be positive");
+        assert!(
+            slots > 0 && channels > 0,
+            "bitmap geometry must be positive"
+        );
         SlotBitmap {
             slots,
             channels,
@@ -159,7 +162,10 @@ mod tests {
     #[test]
     fn mark_clear_roundtrip() {
         let mut s = SlotBitmap::new(&cfg());
-        let g = GtsSlot { index: 3, channel: 2 };
+        let g = GtsSlot {
+            index: 3,
+            channel: 2,
+        };
         assert!(s.is_free(g));
         assert!(s.mark(g));
         assert!(!s.is_free(g));
@@ -173,9 +179,18 @@ mod tests {
     fn word_roundtrip() {
         let c = cfg();
         let mut s = SlotBitmap::new(&c);
-        s.mark(GtsSlot { index: 0, channel: 0 });
-        s.mark(GtsSlot { index: 13, channel: 3 });
-        s.mark(GtsSlot { index: 7, channel: 1 });
+        s.mark(GtsSlot {
+            index: 0,
+            channel: 0,
+        });
+        s.mark(GtsSlot {
+            index: 13,
+            channel: 3,
+        });
+        s.mark(GtsSlot {
+            index: 7,
+            channel: 1,
+        });
         let w = s.to_word();
         let back = SlotBitmap::from_word(&c, w);
         assert_eq!(s, back);
@@ -228,6 +243,9 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn bounds_checked() {
         let mut s = SlotBitmap::new(&cfg());
-        s.mark(GtsSlot { index: 99, channel: 0 });
+        s.mark(GtsSlot {
+            index: 99,
+            channel: 0,
+        });
     }
 }

@@ -263,25 +263,26 @@ impl MacProtocol for CsmaMac {
                 }
                 _ => {}
             },
-            MacTimerKind::Cap => {
-                if self.phase == Phase::WaitCap {
-                    self.schedule_backoff(ctx);
+            MacTimerKind::Cap if self.phase == Phase::WaitCap => {
+                self.schedule_backoff(ctx);
+            }
+            MacTimerKind::AckTimeout if self.phase == Phase::WaitAck => {
+                let retries = {
+                    let head = ctx.queue_head_mut().expect("WaitAck without head");
+                    head.retries += 1;
+                    head.retries
+                };
+                if retries > self.cfg.max_retries {
+                    self.complete_head(ctx, TxResult::RetryLimit);
+                } else {
+                    self.begin_attempt(ctx);
                 }
             }
-            MacTimerKind::AckTimeout => {
-                if self.phase == Phase::WaitAck {
-                    let retries = {
-                        let head = ctx.queue_head_mut().expect("WaitAck without head");
-                        head.retries += 1;
-                        head.retries
-                    };
-                    if retries > self.cfg.max_retries {
-                        self.complete_head(ctx, TxResult::RetryLimit);
-                    } else {
-                        self.begin_attempt(ctx);
-                    }
-                }
-            }
+            // Deliberately not a match guard (clippy suggests
+            // collapsing): on_ack_timer mutates receiver state and
+            // must stay in statement position so it visibly runs
+            // exactly when Aux1 fires.
+            #[allow(clippy::collapsible_match)]
             MacTimerKind::Aux1 => {
                 if self.recv.on_ack_timer(ctx) {
                     self.ack_in_flight = true;

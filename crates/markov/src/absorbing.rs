@@ -187,12 +187,7 @@ mod tests {
     /// probability ½. Known results: expected steps from state i is
     /// i(4−i); absorption probability into 4 from state i is i/4.
     fn drunkards_walk() -> AbsorbingChain {
-        let q = Matrix::from_rows(&[
-            &[0.0, 0.5, 0.0],
-            &[0.5, 0.0, 0.5],
-            &[0.0, 0.5, 0.0],
-        ])
-        .unwrap();
+        let q = Matrix::from_rows(&[&[0.0, 0.5, 0.0], &[0.5, 0.0, 0.5], &[0.0, 0.5, 0.0]]).unwrap();
         let r = Matrix::from_rows(&[&[0.5, 0.0], &[0.0, 0.0], &[0.0, 0.5]]).unwrap();
         AbsorbingChain::new(q, r).unwrap()
     }
@@ -224,9 +219,7 @@ mod tests {
         let n = chain.fundamental_matrix().unwrap();
         // From the middle state, expected visits to itself: 2.
         assert!((n[(1, 1)] - 2.0).abs() < 1e-9);
-        assert!(
-            (chain.expected_visits(1, 1).unwrap() - n[(1, 1)]).abs() < 1e-12
-        );
+        assert!((chain.expected_visits(1, 1).unwrap() - n[(1, 1)]).abs() < 1e-12);
     }
 
     #[test]

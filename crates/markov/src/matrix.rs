@@ -367,12 +367,8 @@ mod tests {
 
     #[test]
     fn inverse_times_original_is_identity() {
-        let a = Matrix::from_rows(&[
-            &[3.0, 0.5, -1.0],
-            &[2.0, -4.0, 0.25],
-            &[-1.0, 2.0, 5.0],
-        ])
-        .unwrap();
+        let a =
+            Matrix::from_rows(&[&[3.0, 0.5, -1.0], &[2.0, -4.0, 0.25], &[-1.0, 2.0, 5.0]]).unwrap();
         let prod = a.inverse().unwrap().mul(&a).unwrap();
         let diff = prod.sub(&Matrix::identity(3)).unwrap();
         assert!(diff.max_abs() < 1e-10);
@@ -419,7 +415,10 @@ mod tests {
         let a = Matrix::zeros(2, 3);
         let b = Matrix::zeros(2, 3);
         assert_eq!(a.mul(&b).unwrap_err(), MatrixError::DimensionMismatch);
-        assert_eq!(a.mul_vec(&[1.0]).unwrap_err(), MatrixError::DimensionMismatch);
+        assert_eq!(
+            a.mul_vec(&[1.0]).unwrap_err(),
+            MatrixError::DimensionMismatch
+        );
     }
 
     #[test]

@@ -84,8 +84,9 @@ impl TrafficPattern {
     pub fn start(&self) -> Option<SimTime> {
         match *self {
             TrafficPattern::Silent => None,
-            TrafficPattern::Poisson { start, .. }
-            | TrafficPattern::Alternating { start, .. } => Some(start),
+            TrafficPattern::Poisson { start, .. } | TrafficPattern::Alternating { start, .. } => {
+                Some(start)
+            }
         }
     }
 
@@ -93,8 +94,9 @@ impl TrafficPattern {
     pub fn limit(&self) -> Option<u64> {
         match *self {
             TrafficPattern::Silent => Some(0),
-            TrafficPattern::Poisson { limit, .. }
-            | TrafficPattern::Alternating { limit, .. } => limit,
+            TrafficPattern::Poisson { limit, .. } | TrafficPattern::Alternating { limit, .. } => {
+                limit
+            }
         }
     }
 
@@ -127,9 +129,7 @@ impl TrafficPattern {
             if rate <= 0.0 {
                 return None;
             }
-            let gap = Exponential::new(rate)
-                .expect("positive rate")
-                .sample(rng);
+            let gap = Exponential::new(rate).expect("positive rate").sample(rng);
             let candidate = t + SimDuration::from_secs_f64(gap);
             match *self {
                 TrafficPattern::Alternating { period, start, .. } => {

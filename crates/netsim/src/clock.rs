@@ -141,9 +141,7 @@ impl FrameClock {
     /// Panics if the subslot is out of range.
     pub fn subslot_start(&self, frame_index: u64, subslot: u16) -> SimTime {
         assert!(subslot < self.subslots, "subslot out of range");
-        self.frame_start(frame_index)
-            + self.cap_offset
-            + self.subslot * subslot as u64
+        self.frame_start(frame_index) + self.cap_offset + self.subslot * subslot as u64
     }
 
     /// The first subslot boundary strictly after `t`, as
@@ -178,9 +176,7 @@ impl FrameClock {
     /// transactions must finish before this instant.
     pub fn cap_end(&self, t: SimTime) -> SimTime {
         let f = self.frame_index(t);
-        self.frame_start(f)
-            + self.cap_offset
-            + self.subslot * self.subslots as u64
+        self.frame_start(f) + self.cap_offset + self.subslot * self.subslots as u64
     }
 
     /// How many subslots the interval `[from, to]` spans, i.e. the

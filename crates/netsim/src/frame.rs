@@ -62,18 +62,13 @@ impl FrameKind {
 /// Upper layers pack their fields into up to four 64-bit words —
 /// a compact stand-in for real octet serialisation that keeps the
 /// simulator layering clean.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Payload {
     /// No payload beyond headers.
+    #[default]
     None,
     /// Four words of protocol data.
     Words([u64; 4]),
-}
-
-impl Default for Payload {
-    fn default() -> Self {
-        Payload::None
-    }
 }
 
 /// Provenance of an application packet, for end-to-end accounting.

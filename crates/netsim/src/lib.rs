@@ -67,6 +67,4 @@ pub use clock::FrameClock;
 pub use frame::{Address, AppInfo, Frame, FrameKind, Payload};
 pub use metrics::{LearnerSample, MetricsHub, SlotAction, TxResult};
 pub use queue::TxQueue;
-pub use world::{
-    MacCtx, MacProtocol, MacTimerKind, NodeId, Sim, SimBuilder, UpperCtx, UpperLayer,
-};
+pub use world::{MacCtx, MacProtocol, MacTimerKind, NodeId, Sim, SimBuilder, UpperCtx, UpperLayer};

@@ -203,7 +203,11 @@ impl World {
         let token = self.medium.start_tx_on(node.phy(), channel);
 
         // Nodes mid-CCA on this channel observe the new energy.
-        let listeners: Vec<PhyNodeId> = self.medium.connectivity().listeners_of(node.phy()).collect();
+        let listeners: Vec<PhyNodeId> = self
+            .medium
+            .connectivity()
+            .listeners_of(node.phy())
+            .collect();
         for r in listeners {
             let r_id = NodeId(r.0);
             if self.medium.listen_channel(r) == channel {
@@ -410,8 +414,13 @@ impl<'a> MacCtx<'a> {
         st.energy.count_cca();
         self.world.metrics.mac_mut(self.node).ccas += 1;
         let dur = SimDuration::from_micros(self.world.phy.cca_us());
-        self.sched
-            .schedule_at(now + dur, Event::CcaEnd { node: self.node, gen });
+        self.sched.schedule_at(
+            now + dur,
+            Event::CcaEnd {
+                node: self.node,
+                gen,
+            },
+        );
     }
 
     /// Arms (or re-arms) a MAC timer `delay` from now.
@@ -437,7 +446,9 @@ impl<'a> MacCtx<'a> {
     /// Hands a received frame to the upper layer (after this handler
     /// returns).
     pub fn deliver_to_upper(&mut self, frame: Frame) {
-        self.world.notices.push_back(Notice::DeliverUp(self.node, frame));
+        self.world
+            .notices
+            .push_back(Notice::DeliverUp(self.node, frame));
     }
 
     /// Reports the final outcome of a transmission chain to metrics
@@ -676,7 +687,9 @@ impl SimBuilder {
             .collect();
         let uppers: Vec<Box<dyn UpperLayer>> = match &self.upper_factory {
             Some(f) => (0..n).map(|i| f(NodeId(i as u32), &self.clock)).collect(),
-            None => (0..n).map(|_| Box::new(NullUpper) as Box<dyn UpperLayer>).collect(),
+            None => (0..n)
+                .map(|_| Box::new(NullUpper) as Box<dyn UpperLayer>)
+                .collect(),
         };
 
         let mut sched = Scheduler::new();
@@ -903,11 +916,7 @@ impl Sim {
                     }
                     Event::CcaEnd { node, gen } => {
                         let st = &mut self.world.nodes[node.index()];
-                        let valid = st
-                            .cca
-                            .as_ref()
-                            .map(|c| c.gen == gen)
-                            .unwrap_or(false);
+                        let valid = st.cca.as_ref().map(|c| c.gen == gen).unwrap_or(false);
                         if !valid {
                             return;
                         }

@@ -190,7 +190,7 @@ mod tests {
         m.set_activity(500_000, RadioActivity::Transmit); // 0.5 s listen
         m.set_activity(600_000, RadioActivity::Sleep); // 0.1 s tx
         let r = m.finish(1_000_000); // 0.4 s sleep
-        // 0.5 s·10 mW + 0.1 s·100 mW = 5 + 10 = 15 mJ.
+                                     // 0.5 s·10 mW + 0.1 s·100 mW = 5 + 10 = 15 mJ.
         assert!((r.total_mj - 15.0).abs() < 1e-9);
         assert_eq!(r.listen_us, 500_000);
         assert_eq!(r.transmit_us, 100_000);

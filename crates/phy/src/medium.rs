@@ -573,7 +573,10 @@ mod tests {
         let conn = Connectivity::from_pathloss(&positions, &model, tx, sens);
         assert!(conn.bidirectional(PhyNodeId(0), PhyNodeId(1)));
         assert!(conn.bidirectional(PhyNodeId(1), PhyNodeId(2)));
-        assert!(!conn.hears(PhyNodeId(2), PhyNodeId(0)), "0–2 must be hidden");
+        assert!(
+            !conn.hears(PhyNodeId(2), PhyNodeId(0)),
+            "0–2 must be hidden"
+        );
         assert_eq!(conn.degree(PhyNodeId(1)), 2);
     }
 
@@ -593,7 +596,7 @@ mod tests {
         m.set_listen_channel(PhyNodeId(3), 2);
         let t0 = m.start_tx_on(PhyNodeId(0), 1); // for node 1
         let t2 = m.start_tx_on(PhyNodeId(2), 2); // for node 3
-        // Each receiver hears only its own channel.
+                                                 // Each receiver hears only its own channel.
         assert_eq!(m.end_tx(t0), vec![PhyNodeId(1)]);
         assert_eq!(m.end_tx(t2), vec![PhyNodeId(3)]);
     }

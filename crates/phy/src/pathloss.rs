@@ -58,7 +58,9 @@ impl PathLoss {
         let d = d.max(1e-3);
         match *self {
             PathLoss::FreeSpace { frequency_hz } => {
-                20.0 * d.log10() + 20.0 * frequency_hz.log10() + 20.0 * (4.0 * std::f64::consts::PI / C).log10()
+                20.0 * d.log10()
+                    + 20.0 * frequency_hz.log10()
+                    + 20.0 * (4.0 * std::f64::consts::PI / C).log10()
             }
             PathLoss::LogDistance {
                 exponent,

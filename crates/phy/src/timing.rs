@@ -137,7 +137,11 @@ impl FrameTiming {
     pub fn for_frame(phy: &PhyTiming, psdu_octets: u64, ack_requested: bool) -> FrameTiming {
         FrameTiming {
             data_airtime_us: phy.frame_airtime_us(psdu_octets),
-            ack_airtime_us: if ack_requested { phy.ack_airtime_us() } else { 0 },
+            ack_airtime_us: if ack_requested {
+                phy.ack_airtime_us()
+            } else {
+                0
+            },
             turnaround_us: phy.turnaround_us(),
             ack_wait_us: phy.ack_wait_us(),
         }

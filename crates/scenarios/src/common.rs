@@ -3,9 +3,7 @@
 
 use qma_des::{SimDuration, SimTime};
 use qma_mac::{CsmaConfig, CsmaMac, QmaMac, QmaMacConfig};
-use qma_netsim::{
-    Frame, FrameClock, MacProtocol, NodeId, TxResult, UpperCtx, UpperLayer,
-};
+use qma_netsim::{Frame, FrameClock, MacProtocol, NodeId, TxResult, UpperCtx, UpperLayer};
 
 /// Which channel-access scheme a scenario runs — the three columns of
 /// every comparison in the paper.
@@ -106,14 +104,7 @@ impl<U: UpperLayer> UpperLayer for WithManagement<U> {
                 Some(t) => (qma_netsim::Address::Node(t), true),
                 None => (qma_netsim::Address::Broadcast, false),
             };
-            let f = Frame::management(
-                ctx.node,
-                dst,
-                MGMT_BACKGROUND,
-                self.seq,
-                self.octets,
-                ack,
-            );
+            let f = Frame::management(ctx.node, dst, MGMT_BACKGROUND, self.seq, self.octets, ack);
             ctx.enqueue_mac(f);
             ctx.schedule(self.period, TAG_MGMT);
         } else {
@@ -155,35 +146,19 @@ pub fn collection_upper(
 }
 
 /// Runs `reps` independent replications of `run` (seeded 0..reps) on
-/// worker threads and collects the results in seed order.
+/// the rayon worker pool and collects the results in seed order, so
+/// the aggregate is identical to a serial run
+/// (`RAYON_NUM_THREADS=1` forces one).
 pub fn replicate<T, F>(reps: u64, run: F) -> Vec<T>
 where
     T: Send,
     F: Fn(u64) -> T + Sync,
 {
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(reps.max(1) as usize);
-    let mut results: Vec<Option<T>> = (0..reps).map(|_| None).collect();
-    let next = std::sync::atomic::AtomicU64::new(0);
-    let results_mutex = std::sync::Mutex::new(&mut results);
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let rep = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if rep >= reps {
-                    break;
-                }
-                let value = run(rep);
-                let mut guard = results_mutex.lock().expect("no poisoned replication");
-                guard[rep as usize] = Some(value);
-            });
-        }
-    });
-    results
-        .into_iter()
-        .map(|r| r.expect("every replication filled"))
+    use rayon::prelude::*;
+    (0..reps)
+        .collect::<Vec<u64>>()
+        .into_par_iter()
+        .map(run)
         .collect()
 }
 

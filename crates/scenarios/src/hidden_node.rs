@@ -80,8 +80,7 @@ pub fn run_once(mac: MacKind, delta: f64, packets: u64, seed: u64) -> HiddenNode
     // the 100 s management warmup and the post-traffic drain tail.
     sim.run_until(qma_des::SimTime::from_secs(100));
     sim.reset_queue_accounting();
-    let traffic_end =
-        qma_des::SimTime::from_secs_f64(100.0 + packets as f64 / delta);
+    let traffic_end = qma_des::SimTime::from_secs_f64(100.0 + packets as f64 / delta);
     sim.run_until(hidden_node_horizon(delta, packets));
 
     let m = sim.metrics();
@@ -89,8 +88,7 @@ pub fn run_once(mac: MacKind, delta: f64, packets: u64, seed: u64) -> HiddenNode
     let c = NodeId(2);
     HiddenNodeRun {
         pdr: m.pdr_of([a, c]).unwrap_or(0.0),
-        queue: (m.avg_queue_level_until(a, traffic_end)
-            + m.avg_queue_level_until(c, traffic_end))
+        queue: (m.avg_queue_level_until(a, traffic_end) + m.avg_queue_level_until(c, traffic_end))
             / 2.0,
         delay: m.mean_delay_of([a, c]).unwrap_or(0.0),
         retry_drops: m.mac(a).drops_retry + m.mac(c).drops_retry,

@@ -43,9 +43,7 @@ pub fn rows(mc_runs: u64, seed: u64) -> Vec<MarkovRow> {
             let model = HandshakeChain::paper(p);
             let expected = model.expected_messages().expect("valid chain");
             let closed_form = model.closed_form_expected_messages();
-            let mut rng = SeedSequence::new(seed)
-                .derive((p * 1000.0) as u64)
-                .rng();
+            let mut rng = SeedSequence::new(seed).derive((p * 1000.0) as u64).rng();
             let simulated = simulate_expected_messages(&model, mc_runs, &mut rng);
             MarkovRow {
                 p,

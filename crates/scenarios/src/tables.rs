@@ -77,8 +77,7 @@ pub fn table4() -> Vec<Table4Row> {
 
 /// Formats Table 4 as markdown.
 pub fn format_table4(rows: &[Table4Row]) -> String {
-    let mut out =
-        String::from("| a0 a1 a2 | r0 / r1 / r2 | global R |\n|---|---|---|\n");
+    let mut out = String::from("| a0 a1 a2 | r0 / r1 / r2 | global R |\n|---|---|---|\n");
     for r in rows {
         let acts: String = r
             .actions
@@ -122,7 +121,10 @@ mod tests {
             assert_eq!(t.q_a1, 10.0);
             assert_eq!(t.q_a2, 10.0);
         }
-        assert_eq!(tables[0].policy, tables[1].policy, "duplicate-optimum split");
+        assert_eq!(
+            tables[0].policy, tables[1].policy,
+            "duplicate-optimum split"
+        );
     }
 
     #[test]

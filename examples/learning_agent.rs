@@ -13,8 +13,10 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    let mut cfg = GameConfig::default();
-    cfg.agents = 3;
+    let mut cfg = GameConfig {
+        agents: 3,
+        ..GameConfig::default()
+    };
     cfg.agent.subslots = 8;
     let mut game: SlotGame = SlotGame::new(cfg);
     let mut rng = StdRng::seed_from_u64(1);
@@ -30,16 +32,21 @@ fn main() {
             "| {played} | {:.2} | {:.2} | {} |",
             stats.successes as f64 / chunk as f64,
             stats.collisions as f64 / chunk as f64,
-            if game.policies_collision_free() { "yes" } else { "not yet" },
+            if game.policies_collision_free() {
+                "yes"
+            } else {
+                "not yet"
+            },
         );
     }
 
     println!("\nlearned policies (B=QBackoff, C=QCCA, S=QSend):");
     for (i, agent) in game.agents().iter().enumerate() {
-        let strip: String = (0..8)
-            .map(|m| agent.table().policy(m).code())
-            .collect();
-        println!("  agent {i}: {strip}   Σ Q(m,π(m)) = {:.1}", agent.policy_value_sum());
+        let strip: String = (0..8).map(|m| agent.table().policy(m).code()).collect();
+        println!(
+            "  agent {i}: {strip}   Σ Q(m,π(m)) = {:.1}",
+            agent.policy_value_sum()
+        );
     }
 
     // Count how the medium is shared.

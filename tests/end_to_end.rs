@@ -106,10 +106,22 @@ fn oversaturated_network_keeps_flowing() {
 #[test]
 fn dsme_ring_end_to_end() {
     let r = dsme_scale::run_once(1, MacKind::Qma, 100, 13);
-    assert!(r.gts_request_success > 0.5, "req success {:.3}", r.gts_request_success);
-    assert!(r.secondary_pdr > 0.5, "secondary PDR {:.3}", r.secondary_pdr);
+    assert!(
+        r.gts_request_success > 0.5,
+        "req success {:.3}",
+        r.gts_request_success
+    );
+    assert!(
+        r.secondary_pdr > 0.5,
+        "secondary PDR {:.3}",
+        r.secondary_pdr
+    );
     assert!(r.primary_pdr > 0.3, "primary PDR {:.3}", r.primary_pdr);
-    assert!(r.gts_rate_per_s > 0.05, "handshake rate {:.3}/s", r.gts_rate_per_s);
+    assert!(
+        r.gts_rate_per_s > 0.05,
+        "handshake rate {:.3}/s",
+        r.gts_rate_per_s
+    );
 }
 
 /// Node failure injection: when one hidden-node source dies mid-run,

@@ -41,9 +41,9 @@ fn node_n1_matches_figure() {
     assert_table(
         &t,
         [
-            [-10.0, -10.0, -10.0, -4.0], // B
+            [-10.0, -10.0, -10.0, -4.0],  // B
             [-10.0, -10.0, -10.0, -10.0], // C
-            [-6.0, -10.0, -12.0, -10.0], // S
+            [-6.0, -10.0, -12.0, -10.0],  // S
         ],
         "n1",
         1,

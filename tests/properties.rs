@@ -104,6 +104,44 @@ proptest! {
         }
     }
 
+    /// Policy identity across value backends: over many random update
+    /// sequences, wherever the f32 and `Fixed16` tables disagree on
+    /// the policy action, the f32 Q-values of the two candidates must
+    /// be within the accumulated quantization tolerance — i.e. the
+    /// fixed-point backend never picks a *meaningfully* worse action.
+    /// (Complements `fixed_point_tracks_float`, which bounds the raw
+    /// value divergence.)
+    #[test]
+    fn fixed16_selects_same_policy_as_f32(
+        updates in prop::collection::vec(
+            (0u16..8, arb_action(), -3i8..=4, 0u16..8),
+            200
+        )
+    ) {
+        // Same α/γ/ξ as the paper's evaluation defaults.
+        let p = UpdateParams { alpha: 0.5, gamma: 0.9, xi: 1.0 };
+        let quantization_tol = 0.6; // matches fixed_point_tracks_float
+        let mut tf: QTable<f32> = QTable::new(8, -10.0);
+        let mut tx: QTable<Fixed16> = QTable::new(8, -10.0);
+        for (m, a, r, next) in updates {
+            tf.update(m, a, r as f32, next, &p);
+            tx.update(m, a, r as f32, next, &p);
+            for s in 0..8u16 {
+                let pf = tf.policy(s);
+                let px = tx.policy(s);
+                if pf != px {
+                    let gap = (tf.q(s, pf) - tf.q(s, px)).abs();
+                    prop_assert!(
+                        gap < quantization_tol,
+                        "subslot {s}: f32 picks {pf} ({}), Fixed16 picks {px} ({}), gap {gap}",
+                        tf.q(s, pf),
+                        tf.q(s, px)
+                    );
+                }
+            }
+        }
+    }
+
     /// The agent never keeps a pending decision after `complete`, and
     /// `decide`/`complete` alternate freely for any outcome sequence.
     #[test]

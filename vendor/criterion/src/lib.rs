@@ -1,0 +1,250 @@
+//! Minimal, registry-free stand-in for the `criterion` crate.
+//!
+//! Implements the subset the workspace's micro-benchmarks use:
+//! [`black_box`], [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`], [`Bencher::iter`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros. Measurement is a
+//! warmup to calibrate the per-iteration cost, then several timed
+//! samples; the median ns/op is reported on stdout and, when
+//! `QMA_BENCH_JSON` names a file, appended there as JSON lines so
+//! harnesses can scrape machine-readable results.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting
+/// benchmarked work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// One measured benchmark result.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Fully qualified benchmark id (`group/function`).
+    pub id: String,
+    /// Median nanoseconds per iteration.
+    pub ns_per_iter: f64,
+}
+
+/// The benchmark driver collecting results.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    results: Vec<BenchResult>,
+    measurement: Duration,
+}
+
+impl Criterion {
+    /// Accepted for API compatibility; arguments are ignored.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Runs one benchmark under `id`.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            measurement: self.effective_measurement(),
+            ns_per_iter: f64::NAN,
+        };
+        f(&mut b);
+        let result = BenchResult {
+            id: id.to_string(),
+            ns_per_iter: b.ns_per_iter,
+        };
+        println!("{:<44} {:>12.1} ns/iter", result.id, result.ns_per_iter);
+        emit_json(&result);
+        self.results.push(result);
+        self
+    }
+
+    /// Opens a named group; benchmark ids become `name/function`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+
+    /// All results measured so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    fn effective_measurement(&self) -> Duration {
+        if self.measurement != Duration::ZERO {
+            return self.measurement;
+        }
+        // QMA_BENCH_FAST=1 shrinks sampling for smoke runs (CI).
+        if std::env::var("QMA_BENCH_FAST")
+            .map(|v| v == "1")
+            .unwrap_or(false)
+        {
+            Duration::from_millis(20)
+        } else {
+            Duration::from_millis(150)
+        }
+    }
+}
+
+/// A group of related benchmarks sharing an id prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark under `group/id`.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.bench_function(&full, f);
+        self
+    }
+
+    /// Ends the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; [`Bencher::iter`] does the
+/// measurement.
+#[derive(Debug)]
+pub struct Bencher {
+    measurement: Duration,
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Measures `f`, storing the median ns-per-iteration over several
+    /// samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, f: F) {
+        self.ns_per_iter = measure_ns_per_call(self.measurement, f);
+    }
+}
+
+/// Measures `f`, returning the median nanoseconds per call.
+///
+/// Calibrates a batch size so one batch takes roughly 1/20 of
+/// `budget`, then samples timed batches until the budget is spent
+/// (at least 5, at most 101 samples) and returns the median per-call
+/// time. This is the measurement core shared by [`Bencher::iter`]
+/// and the workspace's standalone `bench` binary.
+pub fn measure_ns_per_call<O>(budget: Duration, mut f: impl FnMut() -> O) -> f64 {
+    let target_batch = (budget.as_nanos() as u64 / 20).max(1);
+    let mut batch = 1u64;
+    loop {
+        let t = Instant::now();
+        for _ in 0..batch {
+            black_box(f());
+        }
+        let elapsed = t.elapsed().as_nanos() as u64;
+        if elapsed >= target_batch || batch >= 1 << 30 {
+            break;
+        }
+        batch = batch.saturating_mul(match target_batch.checked_div(elapsed) {
+            None => 16, // elapsed below timer resolution
+            Some(factor) => (factor + 1).clamp(2, 16),
+        });
+    }
+    // Median over repeated batches damps scheduler noise.
+    let mut samples = Vec::new();
+    let started = Instant::now();
+    while started.elapsed() < budget || samples.len() < 5 {
+        let t = Instant::now();
+        for _ in 0..batch {
+            black_box(f());
+        }
+        samples.push(t.elapsed().as_nanos() as f64 / batch as f64);
+        if samples.len() >= 101 {
+            break;
+        }
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+fn emit_json(result: &BenchResult) {
+    let Ok(path) = std::env::var("QMA_BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let line = format!(
+        "{{\"id\":\"{}\",\"ns_per_iter\":{:.3}}}\n",
+        result.id.replace('"', "'"),
+        result.ns_per_iter
+    );
+    if let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    {
+        let _ = f.write_all(line.as_bytes());
+    }
+}
+
+/// Declares a benchmark group function invoking each target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        #[doc = "Benchmark group (criterion_group!)."]
+        pub fn $name(criterion: &mut $crate::Criterion) {
+            $($target(criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($group(&mut criterion);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_positive() {
+        std::env::remove_var("QMA_BENCH_JSON");
+        let mut c = Criterion {
+            measurement: Duration::from_millis(5),
+            ..Criterion::default()
+        };
+        c.bench_function("noop_add", |b| {
+            let mut x = 0u64;
+            b.iter(|| {
+                x = x.wrapping_add(black_box(3));
+                x
+            });
+        });
+        let r = &c.results()[0];
+        assert_eq!(r.id, "noop_add");
+        assert!(r.ns_per_iter.is_finite() && r.ns_per_iter >= 0.0);
+    }
+
+    #[test]
+    fn groups_prefix_ids() {
+        let mut c = Criterion {
+            measurement: Duration::from_millis(2),
+            ..Criterion::default()
+        };
+        let mut g = c.benchmark_group("grp");
+        g.bench_function("inner", |b| b.iter(|| black_box(1)));
+        g.finish();
+        assert_eq!(c.results()[0].id, "grp/inner");
+    }
+}

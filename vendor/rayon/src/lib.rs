@@ -1,0 +1,176 @@
+//! Minimal, registry-free stand-in for the `rayon` crate.
+//!
+//! Provides the order-preserving `into_par_iter().map(..).collect()`
+//! pipeline the benchmark runner uses, implemented over
+//! `std::thread::scope` with an atomic work queue. Results are
+//! always collected in input order, so a parallel run is
+//! bit-identical to a serial one — the property the replication
+//! runner's determinism contract depends on.
+//!
+//! Thread count comes from `RAYON_NUM_THREADS` when set (a value of
+//! `1` degenerates to a serial loop on the calling thread), otherwise
+//! from `std::thread::available_parallelism()`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+pub mod prelude {
+    //! Glob-import surface mirroring `rayon::prelude`.
+    pub use crate::{IntoParallelIterator, ParallelMap};
+}
+
+/// Number of worker threads a parallel pipeline will use for `n`
+/// work items.
+pub fn current_num_threads() -> usize {
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(hw)
+}
+
+/// Conversion into a parallel iterator (only `Vec<T>` is supported).
+pub trait IntoParallelIterator {
+    /// Element type of the pipeline.
+    type Item: Send;
+
+    /// Starts a parallel pipeline over `self`.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+/// A parallel pipeline over an owned collection of items.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Maps each item through `f` on the worker pool.
+    pub fn map<R: Send, F: Fn(T) -> R + Sync>(self, f: F) -> ParallelMap<T, F> {
+        ParallelMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// A mapped parallel pipeline, consumed by [`ParallelMap::collect`].
+pub struct ParallelMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send, F> ParallelMap<T, F> {
+    /// Runs the pipeline and collects results **in input order**.
+    pub fn collect<C, R>(self) -> C
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+        C: FromParallelIterator<R>,
+    {
+        C::from_ordered_vec(par_map_vec(self.items, &self.f))
+    }
+}
+
+/// Collections constructible from an ordered parallel result set.
+pub trait FromParallelIterator<R> {
+    /// Builds the collection from results already in input order.
+    fn from_ordered_vec(v: Vec<R>) -> Self;
+}
+
+impl<R> FromParallelIterator<R> for Vec<R> {
+    fn from_ordered_vec(v: Vec<R>) -> Self {
+        v
+    }
+}
+
+/// Maps `items` through `f` on a scoped thread pool, preserving input
+/// order in the output.
+fn par_map_vec<T: Send, R: Send>(items: Vec<T>, f: &(impl Fn(T) -> R + Sync)) -> Vec<R> {
+    let n = items.len();
+    let threads = current_num_threads().min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    // Slots hold the inputs (taken exactly once via the atomic work
+    // counter) and the outputs (written back by index), so the final
+    // collection order is the input order regardless of scheduling.
+    let inputs: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let outputs: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = inputs[i]
+                    .lock()
+                    .expect("input slot poisoned")
+                    .take()
+                    .expect("work item taken twice");
+                let out = f(item);
+                *outputs[i].lock().expect("output slot poisoned") = Some(out);
+            });
+        }
+    });
+    outputs
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("output slot poisoned")
+                .expect("work item not completed")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let out: Vec<u64> = (0u64..500)
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .map(|x| x * x)
+            .collect();
+        assert_eq!(out.len(), 500);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, (i as u64) * (i as u64));
+        }
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let empty: Vec<u8> = Vec::<u8>::new().into_par_iter().map(|x| x).collect();
+        assert!(empty.is_empty());
+        let one: Vec<u8> = vec![9u8].into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(one, vec![10]);
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let items: Vec<u64> = (0..200).collect();
+        let serial: Vec<u64> = items.iter().map(|x| x.wrapping_mul(2654435761)).collect();
+        let parallel: Vec<u64> = items
+            .into_par_iter()
+            .map(|x| x.wrapping_mul(2654435761))
+            .collect();
+        assert_eq!(serial, parallel);
+    }
+}
