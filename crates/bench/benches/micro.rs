@@ -79,9 +79,29 @@ fn bench_medium(c: &mut Criterion) {
         let mut medium = Medium::new(topo.connectivity.clone());
         b.iter(|| {
             let t = medium.start_tx(black_box(PhyNodeId(45)));
-            black_box(medium.end_tx(t));
+            black_box(medium.end_tx(t).len());
         });
     });
+}
+
+/// `start_tx_on`/`end_tx` fan-out over the CSR listener table at
+/// n ∈ {4, 16, 64} neighbours (a full collision domain of n+1
+/// nodes) — makes listener-table wins visible at micro scale, not
+/// only end-to-end.
+fn bench_medium_fanout(c: &mut Criterion) {
+    use qma_phy::{Connectivity, Medium, PhyNodeId};
+    let mut group = c.benchmark_group("medium_fanout");
+    for n in [4usize, 16, 64] {
+        let name = format!("start_end_tx_{n}_neighbours");
+        group.bench_function(&name, |b| {
+            let mut medium = Medium::new(Connectivity::full(n + 1));
+            b.iter(|| {
+                let t = medium.start_tx_on(black_box(PhyNodeId(0)), 0);
+                black_box(medium.end_tx(t).len());
+            });
+        });
+    }
+    group.finish();
 }
 
 fn bench_markov(c: &mut Criterion) {
@@ -110,6 +130,7 @@ criterion_group!(
     bench_agent_decision,
     bench_scheduler,
     bench_medium,
+    bench_medium_fanout,
     bench_markov,
     bench_slot_game
 );

@@ -1,7 +1,7 @@
 //! Machine-readable performance baseline for the perf trajectory.
 //!
 //! Measures the paper-relevant hot paths and writes a flat JSON
-//! report (default `BENCH_pr1.json`, override with `QMA_BENCH_OUT`):
+//! report (default `BENCH_pr2.json`, override with `QMA_BENCH_OUT`):
 //!
 //! * `q_update_f32_ns` / `q_update_fixed16_ns` — one Q-table update,
 //!   the operation the paper bounds at "two multiplications, three
@@ -12,10 +12,17 @@
 //!   (O(log n) true removal on the indexed heap),
 //! * `replications_per_sec` — end-to-end hidden-node replications
 //!   per wall-clock second through the parallel runner,
-//! * `replications_per_sec_serial` — the same with one worker.
+//! * `replications_per_sec_serial` — the same with one worker,
+//! * `events_per_sec` / `ns_per_event` — simulation events through
+//!   the whole stack (DES pop → dispatch → MAC → medium) per
+//!   wall-clock second in the serial run,
+//! * `allocs_per_event` — heap allocations per simulation event
+//!   (only with `--features alloc-count`, which installs a counting
+//!   global allocator; the zero-allocation hot path keeps this at
+//!   effectively zero once per-run setup is amortised).
 //!
 //! ```text
-//! cargo run --release -p qma-bench --bin bench
+//! cargo run --release -p qma-bench --features alloc-count --bin bench
 //! ```
 
 use std::time::Duration;
@@ -26,6 +33,52 @@ use qma_core::qtable::UpdateParams;
 use qma_core::{Fixed16, QTable, QmaAction};
 use qma_des::{Scheduler, SimTime};
 use qma_scenarios::{hidden_node, MacKind};
+
+/// A counting global allocator: wraps the system allocator and counts
+/// `alloc`/`realloc` calls, so the macro-benchmark can report heap
+/// allocations per simulation event. Feature-gated because a global
+/// allocator is process-wide; the default build keeps the system
+/// allocator untouched.
+#[cfg(feature = "alloc-count")]
+mod alloc_count {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+    /// System allocator wrapper that counts allocation calls.
+    pub struct CountingAlloc;
+
+    /// Number of allocation calls (alloc + realloc) so far.
+    pub fn allocations() -> u64 {
+        ALLOCS.load(Ordering::Relaxed)
+    }
+
+    // SAFETY: defers entirely to the system allocator; the counter is
+    // a relaxed atomic increment with no further invariants.
+    #[allow(unsafe_code)]
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            // SAFETY: forwarded verbatim to the system allocator.
+            unsafe { System.alloc(layout) }
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            // SAFETY: forwarded verbatim to the system allocator.
+            unsafe { System.dealloc(ptr, layout) }
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            // SAFETY: forwarded verbatim to the system allocator.
+            unsafe { System.realloc(ptr, layout, new_size) }
+        }
+    }
+
+    #[global_allocator]
+    static GLOBAL: CountingAlloc = CountingAlloc;
+}
 
 fn bench_q_update_f32(budget: Duration) -> f64 {
     let params = UpdateParams::default();
@@ -97,18 +150,42 @@ fn bench_sched_cancel(budget: Duration) -> f64 {
     }) / 16.0
 }
 
-fn replication() -> impl Fn(u64, qma_des::SeedSequence) -> f64 + Sync {
-    |_rep, seeds| hidden_node::run_once(MacKind::Qma, 25.0, 100, seeds.seed()).pdr
+fn replication() -> impl Fn(u64, qma_des::SeedSequence) -> (f64, u64) + Sync {
+    |_rep, seeds| {
+        let run = hidden_node::run_once(MacKind::Qma, 25.0, 100, seeds.seed());
+        (run.pdr, run.events)
+    }
 }
 
-fn bench_replication_throughput(reps: u64, mode: Parallelism) -> (f64, f64) {
-    let (pdrs, elapsed) = time_once(|| run_seeds(reps, qma_bench::seed(), mode, replication()));
-    let mean_pdr = pdrs.iter().sum::<f64>() / pdrs.len() as f64;
-    (reps as f64 / elapsed.as_secs_f64(), mean_pdr)
+struct Throughput {
+    replications_per_sec: f64,
+    mean_pdr: f64,
+    events_per_sec: f64,
+    total_events: u64,
+    allocs: u64,
+}
+
+fn bench_replication_throughput(reps: u64, mode: Parallelism) -> Throughput {
+    #[cfg(feature = "alloc-count")]
+    let allocs_before = alloc_count::allocations();
+    let (runs, elapsed) = time_once(|| run_seeds(reps, qma_bench::seed(), mode, replication()));
+    #[cfg(feature = "alloc-count")]
+    let allocs = alloc_count::allocations() - allocs_before;
+    #[cfg(not(feature = "alloc-count"))]
+    let allocs = 0;
+    let mean_pdr = runs.iter().map(|&(pdr, _)| pdr).sum::<f64>() / runs.len() as f64;
+    let total_events: u64 = runs.iter().map(|&(_, ev)| ev).sum();
+    Throughput {
+        replications_per_sec: reps as f64 / elapsed.as_secs_f64(),
+        mean_pdr,
+        events_per_sec: total_events as f64 / elapsed.as_secs_f64(),
+        total_events,
+        allocs,
+    }
 }
 
 fn main() {
-    let out_path = std::env::var("QMA_BENCH_OUT").unwrap_or_else(|_| "BENCH_pr1.json".to_string());
+    let out_path = std::env::var("QMA_BENCH_OUT").unwrap_or_else(|_| "BENCH_pr2.json".to_string());
     let budget = if std::env::var("QMA_BENCH_FAST")
         .map(|v| v == "1")
         .unwrap_or(false)
@@ -134,29 +211,53 @@ fn main() {
     let ca = bench_sched_cancel(budget);
     println!("sched/schedule+cancel   {ca:>10.2} ns/op");
 
-    let (rps_par, pdr_par) = bench_replication_throughput(reps, Parallelism::Rayon);
-    println!("replications/sec (par)  {rps_par:>10.2}  (mean PDR {pdr_par:.3})");
-    let (rps_ser, pdr_ser) = bench_replication_throughput(reps, Parallelism::Serial);
-    println!("replications/sec (ser)  {rps_ser:>10.2}  (mean PDR {pdr_ser:.3})");
+    let par = bench_replication_throughput(reps, Parallelism::Rayon);
+    println!(
+        "replications/sec (par)  {:>10.2}  (mean PDR {:.3})",
+        par.replications_per_sec, par.mean_pdr
+    );
+    let ser = bench_replication_throughput(reps, Parallelism::Serial);
+    println!(
+        "replications/sec (ser)  {:>10.2}  (mean PDR {:.3})",
+        ser.replications_per_sec, ser.mean_pdr
+    );
     assert_eq!(
-        pdr_par.to_bits(),
-        pdr_ser.to_bits(),
+        par.mean_pdr.to_bits(),
+        ser.mean_pdr.to_bits(),
         "parallel and serial replication aggregates must be bit-identical"
     );
+    let ns_per_event = 1e9 / (ser.events_per_sec.max(f64::MIN_POSITIVE));
+    println!(
+        "events/sec (ser)        {:>10.0}  ({ns_per_event:.1} ns/event, {} events)",
+        ser.events_per_sec, ser.total_events
+    );
+    let allocs_per_event = ser.allocs as f64 / ser.total_events.max(1) as f64;
+    if cfg!(feature = "alloc-count") {
+        println!(
+            "allocs/event (ser)      {allocs_per_event:>10.4}  ({} allocations)",
+            ser.allocs
+        );
+    }
 
     let mut report = JsonReport::new();
     report
         .string("bench", "qma hot paths")
-        .string("pr", "1")
+        .string("pr", "2")
         .integer("threads", rayon::current_num_threads() as u64)
         .integer("replications", reps)
         .number("q_update_f32_ns", q32)
         .number("q_update_fixed16_ns", q16)
         .number("sched_schedule_pop_ns", sp)
         .number("sched_cancel_ns", ca)
-        .number("replications_per_sec", rps_par)
-        .number("replications_per_sec_serial", rps_ser)
-        .number("replication_mean_pdr", pdr_par);
+        .number("replications_per_sec", par.replications_per_sec)
+        .number("replications_per_sec_serial", ser.replications_per_sec)
+        .number("replication_mean_pdr", par.mean_pdr)
+        .number("events_per_sec", ser.events_per_sec)
+        .number("ns_per_event", ns_per_event)
+        .integer("events_per_replication", ser.total_events / reps.max(1));
+    if cfg!(feature = "alloc-count") {
+        report.number("allocs_per_event", allocs_per_event);
+    }
     std::fs::write(&out_path, report.render()).expect("write benchmark report");
     println!("# wrote {out_path}");
 }

@@ -22,6 +22,26 @@ use crate::time::SimTime;
 /// Sentinel heap position marking a free slot.
 const FREE: u32 = u32::MAX;
 
+/// One heap element with its ordering key **inline**: sift compares
+/// touch only the contiguous heap array instead of chasing slot
+/// indices through the slab (one cache line per compare, not three).
+#[derive(Debug, Clone, Copy)]
+struct HeapEntry {
+    time: SimTime,
+    /// Insertion sequence number: the FIFO tie-breaker.
+    seq: u64,
+    /// Backing slot in the slab.
+    idx: u32,
+}
+
+impl HeapEntry {
+    /// `true` when this event must fire before `other`.
+    #[inline]
+    fn fires_before(&self, other: &HeapEntry) -> bool {
+        (self.time, self.seq) < (other.time, other.seq)
+    }
+}
+
 /// Opaque handle identifying a scheduled event, usable for
 /// cancellation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -77,11 +97,13 @@ struct Slot<E> {
 pub struct Scheduler<E> {
     slots: Vec<Slot<E>>,
     free: Vec<u32>,
-    /// Min-heap of slot indices ordered by `(time, seq)`.
-    heap: Vec<u32>,
+    /// Min-heap of `(time, seq, slot)` entries ordered by
+    /// `(time, seq)`.
+    heap: Vec<HeapEntry>,
     now: SimTime,
     next_seq: u64,
     scheduled_total: u64,
+    popped_total: u64,
     past_clamps: u64,
 }
 
@@ -101,6 +123,7 @@ impl<E> Scheduler<E> {
             now: SimTime::ZERO,
             next_seq: 0,
             scheduled_total: 0,
+            popped_total: 0,
             past_clamps: 0,
         }
     }
@@ -115,6 +138,7 @@ impl<E> Scheduler<E> {
             now: SimTime::ZERO,
             next_seq: 0,
             scheduled_total: 0,
+            popped_total: 0,
             past_clamps: 0,
         }
     }
@@ -163,7 +187,7 @@ impl<E> Scheduler<E> {
                 idx
             }
         };
-        self.heap.push(idx);
+        self.heap.push(HeapEntry { time, seq, idx });
         self.sift_up(pos as usize);
         EventKey {
             idx,
@@ -207,16 +231,18 @@ impl<E> Scheduler<E> {
     /// Removes and returns the earliest pending event, advancing
     /// `now`. Returns `None` when empty.
     pub fn pop(&mut self) -> Option<EventEntry<E>> {
-        let idx = *self.heap.first()?;
+        let head = *self.heap.first()?;
         self.remove_heap_entry(0);
+        let idx = head.idx;
         let slot = &mut self.slots[idx as usize];
         let entry = EventEntry {
-            time: slot.time,
+            time: head.time,
             key: EventKey { idx, gen: slot.gen },
             event: slot.event.take().expect("scheduled slot holds an event"),
         };
         debug_assert!(entry.time >= self.now);
         self.now = entry.time;
+        self.popped_total += 1;
         self.release_taken(idx);
         Some(entry)
     }
@@ -224,7 +250,7 @@ impl<E> Scheduler<E> {
     /// Timestamp of the next pending event, without popping it. O(1)
     /// and non-mutating.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.first().map(|&idx| self.slots[idx as usize].time)
+        self.heap.first().map(|e| e.time)
     }
 
     /// Number of pending events, exact in O(1).
@@ -242,6 +268,12 @@ impl<E> Scheduler<E> {
         self.scheduled_total
     }
 
+    /// Total number of events ever popped — i.e. delivered to a
+    /// handler (for events/sec throughput metrics).
+    pub fn popped_total(&self) -> u64 {
+        self.popped_total
+    }
+
     /// Number of events whose timestamp lay in the past and was
     /// clamped to `now` (always zero in debug builds, which panic
     /// instead).
@@ -256,7 +288,7 @@ impl<E> Scheduler<E> {
         let last = self.heap.len() - 1;
         self.heap.swap_remove(pos);
         if pos < last {
-            let moved = self.heap[pos] as usize;
+            let moved = self.heap[pos].idx as usize;
             self.slots[moved].heap_pos = pos as u32;
             // The element moved into `pos` came from the bottom; it
             // may need to travel either direction.
@@ -283,19 +315,17 @@ impl<E> Scheduler<E> {
     }
 
     /// `true` when the event in heap position `a` must fire before
-    /// the one in `b`.
+    /// the one in `b` — one contiguous-array read per side.
     #[inline]
     fn fires_before(&self, a: usize, b: usize) -> bool {
-        let sa = &self.slots[self.heap[a] as usize];
-        let sb = &self.slots[self.heap[b] as usize];
-        (sa.time, sa.seq) < (sb.time, sb.seq)
+        self.heap[a].fires_before(&self.heap[b])
     }
 
     #[inline]
     fn heap_swap(&mut self, a: usize, b: usize) {
         self.heap.swap(a, b);
-        self.slots[self.heap[a] as usize].heap_pos = a as u32;
-        self.slots[self.heap[b] as usize].heap_pos = b as u32;
+        self.slots[self.heap[a].idx as usize].heap_pos = a as u32;
+        self.slots[self.heap[b].idx as usize].heap_pos = b as u32;
     }
 
     fn sift_up(&mut self, mut pos: usize) {

@@ -646,7 +646,11 @@ mod tests {
     use qma_netsim::{FrameClock, SimBuilder};
     use qma_topo::Topology;
 
-    fn dsme_sim(topology: &Topology, rate: f64, seed: u64) -> qma_netsim::Sim {
+    fn dsme_sim(
+        topology: &Topology,
+        rate: f64,
+        seed: u64,
+    ) -> qma_netsim::Sim<Box<CsmaMac>, Box<DsmeNode>> {
         let sink = NodeId(topology.sink as u32);
         let sink_pos = topology.positions[topology.sink];
         let positions = topology.positions.clone();

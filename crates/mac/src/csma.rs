@@ -434,7 +434,11 @@ mod tests {
         }
     }
 
-    fn run_pair(cfg: CsmaConfig, count: u32, gap_ms: u64) -> qma_netsim::Sim {
+    fn run_pair(
+        cfg: CsmaConfig,
+        count: u32,
+        gap_ms: u64,
+    ) -> qma_netsim::Sim<Box<CsmaMac>, Box<Source>> {
         let mut sim = SimBuilder::new(Connectivity::full(2), 11)
             .clock(FrameClock::dsme_so3())
             .mac_factory(move |_, clock| Box::new(CsmaMac::new(cfg, *clock)))

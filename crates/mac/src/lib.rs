@@ -13,15 +13,19 @@
 //!   queue-level piggybacking and cautious startup.
 //!
 //! Shared machinery (ACK generation, duplicate suppression, retry
-//! limits) lives in [`recv`] and [`consts`].
+//! limits) lives in [`recv`] and [`consts`]. [`MacImpl`] is a closed
+//! enum over all of them, giving the simulator static dispatch on its
+//! per-event hot path (with a `Custom` trait-object escape hatch).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod consts;
 pub mod csma;
+pub mod dispatch;
 pub mod qma_mac;
 pub mod recv;
 
 pub use csma::{CsmaConfig, CsmaMac};
+pub use dispatch::MacImpl;
 pub use qma_mac::{QmaMac, QmaMacConfig};

@@ -75,6 +75,19 @@ pub struct QmaMac {
     phase: Phase,
     overheard: bool,
     ack_in_flight: bool,
+    /// `(time, frame, subslot)` the armed Subslot timer fires at.
+    /// Ticks fire exactly at the boundary they were armed for, so the
+    /// hot tick path recovers its position from this cache and
+    /// advances it with [`FrameClock::subslot_after`] — no
+    /// division-heavy clock lookups per event.
+    tick_at: (qma_des::SimTime, u64, u16),
+    /// Whether a Subslot tick is currently armed. A fully idle MAC
+    /// (Quiet phase, empty queue, radio not transmitting) parks the
+    /// tick instead of re-arming every boundary; [`Self::on_enqueue`]
+    /// re-arms it at the next boundary — the same one a continuously
+    /// ticking MAC would have acted on, since Algorithm 1 only acts
+    /// with a non-empty queue.
+    tick_armed: bool,
 }
 
 impl QmaMac {
@@ -90,6 +103,8 @@ impl QmaMac {
             phase: Phase::Quiet,
             overheard: false,
             ack_in_flight: false,
+            tick_at: (qma_des::SimTime::ZERO, 0, 0),
+            tick_armed: false,
         }
     }
 
@@ -156,26 +171,48 @@ impl QmaMac {
 
     fn subslot_tick(&mut self, ctx: &mut MacCtx<'_>) {
         let now = ctx.now();
-        let pos = self.clock.position(now);
+        // Hot path: the tick fires exactly at the boundary cached when
+        // the timer was armed, so position and successor come from the
+        // cache (pure adds/multiplies). The clock lookup remains as a
+        // fallback for externally re-armed timers (tests).
+        let (subslot, next) = if now == self.tick_at.0 {
+            (
+                Some(self.tick_at.2),
+                self.clock.subslot_after(self.tick_at.1, self.tick_at.2),
+            )
+        } else {
+            let pos = self.clock.position(now);
+            (pos.subslot, self.clock.next_subslot_start(now))
+        };
 
         // Evaluate a pending QBackoff from the previous subslot.
         if self.phase == Phase::BackoffPending {
-            let next = pos.subslot.unwrap_or(0);
             self.agent.complete(
                 ActionOutcome::Backoff {
                     overheard: self.overheard,
                 },
-                next,
+                subslot.unwrap_or(0),
             );
             self.phase = Phase::Quiet;
         }
         self.overheard = false;
 
-        // Always keep ticking.
-        let (next_tick, _, _) = self.clock.next_subslot_start(now);
-        ctx.set_timer(MacTimerKind::Subslot, next_tick.since(now));
+        // Park while fully idle: with a Quiet phase, an empty queue
+        // and a cold radio a boundary tick does nothing but re-arm
+        // itself, so stop ticking; `on_enqueue` re-arms at the next
+        // boundary (strictly after the enqueue instant — exactly where
+        // a continuously ticking MAC would next act).
+        if self.phase == Phase::Quiet && ctx.queue().is_empty() && !ctx.transmitting() {
+            self.tick_armed = false;
+            return;
+        }
 
-        let Some(m) = pos.subslot else {
+        // Keep ticking while anything is pending.
+        self.tick_at = next;
+        self.tick_armed = true;
+        ctx.set_timer(MacTimerKind::Subslot, next.0.since(now));
+
+        let Some(m) = subslot else {
             return; // outside the CAP (beacon slot)
         };
         if self.phase != Phase::Quiet || ctx.transmitting() {
@@ -210,8 +247,10 @@ impl QmaMac {
 
 impl MacProtocol for QmaMac {
     fn start(&mut self, ctx: &mut MacCtx<'_>) {
-        let (next_tick, _, _) = self.clock.next_subslot_start(ctx.now());
-        ctx.set_timer(MacTimerKind::Subslot, next_tick.since(ctx.now()));
+        let next = self.clock.next_subslot_start(ctx.now());
+        self.tick_at = next;
+        self.tick_armed = true;
+        ctx.set_timer(MacTimerKind::Subslot, next.0.since(ctx.now()));
     }
 
     fn on_timer(&mut self, ctx: &mut MacCtx<'_>, kind: MacTimerKind) {
@@ -331,9 +370,29 @@ impl MacProtocol for QmaMac {
         }
     }
 
-    fn on_enqueue(&mut self, _ctx: &mut MacCtx<'_>) {
-        // Nothing to do: the subslot tick picks the packet up at the
-        // next boundary. (QMA is strictly subslot-synchronous.)
+    fn on_enqueue(&mut self, ctx: &mut MacCtx<'_>) {
+        // The subslot tick picks the packet up at the next boundary
+        // (QMA is strictly subslot-synchronous); if the tick was
+        // parked while idle, re-arm it for that boundary now. An
+        // enqueue landing *exactly on* a boundary still belongs to
+        // that boundary: arrival timers are scheduled at least one
+        // inter-arrival gap ahead, so under continuous ticking the
+        // arrival fires before the boundary tick (older sequence
+        // number) and the tick then acts on the fresh frame — a
+        // zero-delay re-arm reproduces that ordering.
+        if !self.tick_armed {
+            let now = ctx.now();
+            let pos = self.clock.position(now);
+            let next = match pos.subslot {
+                Some(m) if self.clock.subslot_start(pos.frame_index, m) == now => {
+                    (now, pos.frame_index, m)
+                }
+                _ => self.clock.next_subslot_start(now),
+            };
+            self.tick_at = next;
+            self.tick_armed = true;
+            ctx.set_timer(MacTimerKind::Subslot, next.0.since(now));
+        }
     }
 
     fn learner_sample(&self) -> Option<LearnerSample> {

@@ -183,7 +183,12 @@ mod tests {
     use qma_netsim::{FrameClock, SimBuilder};
     use qma_topo::Topology;
 
-    fn collection_sim(topology: &Topology, rate: f64, limit: u64, seed: u64) -> qma_netsim::Sim {
+    fn collection_sim(
+        topology: &Topology,
+        rate: f64,
+        limit: u64,
+        seed: u64,
+    ) -> qma_netsim::Sim<Box<CsmaMac>, Box<CollectionApp>> {
         let sink = NodeId(topology.sink as u32);
         let parents: Vec<Option<NodeId>> = topology
             .parent

@@ -172,6 +172,21 @@ impl FrameClock {
         }
     }
 
+    /// The subslot boundary following subslot `m` of frame
+    /// `frame_index`, as `(time, frame_index, subslot)`.
+    ///
+    /// Equivalent to [`FrameClock::next_subslot_start`] evaluated
+    /// exactly at that subslot's start, but computed from the indices
+    /// with multiplications only — no divisions — so a MAC that ticks
+    /// every subslot can advance its position incrementally.
+    pub fn subslot_after(&self, frame_index: u64, m: u16) -> (SimTime, u64, u16) {
+        if m + 1 < self.subslots {
+            (self.subslot_start(frame_index, m + 1), frame_index, m + 1)
+        } else {
+            (self.subslot_start(frame_index + 1, 0), frame_index + 1, 0)
+        }
+    }
+
     /// End of the usable CAP area in the frame containing `t`:
     /// transactions must finish before this instant.
     pub fn cap_end(&self, t: SimTime) -> SimTime {
@@ -278,6 +293,22 @@ mod tests {
         assert_eq!(c.global_subslot(SimTime::from_micros(122_880 + 7_680)), 54);
         // CFP clamps to the frame's last subslot.
         assert_eq!(c.global_subslot(SimTime::from_micros(90_000)), 53);
+    }
+
+    #[test]
+    fn subslot_after_matches_next_subslot_start() {
+        for c in [FrameClock::dsme_so3(), FrameClock::all_cap(4, 1_000)] {
+            for f in 0..3u64 {
+                for m in 0..c.subslots() {
+                    let t = c.subslot_start(f, m);
+                    assert_eq!(
+                        c.subslot_after(f, m),
+                        c.next_subslot_start(t),
+                        "divergence at frame {f} subslot {m}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -65,6 +65,6 @@ pub mod world;
 
 pub use clock::FrameClock;
 pub use frame::{Address, AppInfo, Frame, FrameKind, Payload};
-pub use metrics::{LearnerSample, MetricsHub, SlotAction, TxResult};
+pub use metrics::{LearnerSample, MacCounters, MetricsHub, SlotAction, TxResult};
 pub use queue::TxQueue;
 pub use world::{MacCtx, MacProtocol, MacTimerKind, NodeId, Sim, SimBuilder, UpperCtx, UpperLayer};

@@ -122,7 +122,13 @@ struct CcaState {
 #[derive(Debug)]
 struct NodeState {
     queue: TxQueue,
-    neighbor_queues: HashMap<u32, (u8, SimTime)>,
+    /// Last piggybacked queue level per neighbour, indexed by
+    /// [`NodeId`] (the node count is fixed at build time): `None`
+    /// until the neighbour's first audible frame. Deliberately dense
+    /// (n entries per node): O(1) hot-path lookups beat the HashMap
+    /// it replaced; at the topology sizes the figures run, n² × 16 B
+    /// is dwarfed by the adjacency matrix the PHY already keeps.
+    neighbor_queues: Vec<Option<(u8, SimTime)>>,
     energy: EnergyMeter,
     in_flight: Option<(TxToken, Frame, TxOrigin)>,
     cca: Option<CcaState>,
@@ -202,16 +208,11 @@ impl World {
         let airtime = SimDuration::from_micros(self.phy.frame_airtime_us(frame.psdu_octets as u64));
         let token = self.medium.start_tx_on(node.phy(), channel);
 
-        // Nodes mid-CCA on this channel observe the new energy.
-        let listeners: Vec<PhyNodeId> = self
-            .medium
-            .connectivity()
-            .listeners_of(node.phy())
-            .collect();
-        for r in listeners {
-            let r_id = NodeId(r.0);
+        // Nodes mid-CCA on this channel observe the new energy. The
+        // listener set is a precomputed CSR slice — no allocation.
+        for &r in self.medium.connectivity().listeners(node.phy()) {
             if self.medium.listen_channel(r) == channel {
-                if let Some(cca) = &mut self.nodes[r_id.index()].cca {
+                if let Some(cca) = &mut self.nodes[r.index()].cca {
                     cca.saw_energy = true;
                 }
             }
@@ -364,9 +365,9 @@ impl<'a> MacCtx<'a> {
         // across saturated siblings.
         if let Some(head) = st.queue.head() {
             if let crate::frame::Address::Node(dst) = head.frame.dst {
-                if let Some(&(level, at)) = st.neighbor_queues.get(&dst.0) {
-                    if now.since(at) <= NEIGHBOR_LEVEL_TTL {
-                        return (local - level as f64).round() as i32;
+                if let Some(Some((level, at))) = st.neighbor_queues.get(dst.index()) {
+                    if now.since(*at) <= NEIGHBOR_LEVEL_TTL {
+                        return (local - *level as f64).round() as i32;
                     }
                 }
                 // Partner unknown or stale: treat as empty (the sink
@@ -376,18 +377,19 @@ impl<'a> MacCtx<'a> {
         }
 
         // Broadcast head or empty queue: fall back to the average
-        // over fresh neighbour reports.
-        let fresh: Vec<f64> = st
-            .neighbor_queues
-            .values()
-            .filter(|&&(_, at)| now.since(at) <= NEIGHBOR_LEVEL_TTL)
-            .map(|&(v, _)| v as f64)
-            .collect();
-        let avg = if fresh.is_empty() {
-            0.0
-        } else {
-            fresh.iter().sum::<f64>() / fresh.len() as f64
-        };
+        // over fresh neighbour reports — a single allocation-free
+        // pass over the node-indexed level table.
+        let (sum, count) = st.neighbor_queues.iter().flatten().fold(
+            (0.0f64, 0u32),
+            |(sum, count), &(level, at)| {
+                if now.since(at) <= NEIGHBOR_LEVEL_TTL {
+                    (sum + level as f64, count + 1)
+                } else {
+                    (sum, count)
+                }
+            },
+        );
+        let avg = if count == 0 { 0.0 } else { sum / count as f64 };
         (local - avg).round() as i32
     }
 
@@ -566,12 +568,80 @@ impl<'a> UpperCtx<'a> {
 }
 
 /// Factory signature for per-node MAC construction.
-pub type MacFactory = Box<dyn Fn(NodeId, &FrameClock) -> Box<dyn MacProtocol>>;
+pub type MacFactory<M = Box<dyn MacProtocol>> = Box<dyn Fn(NodeId, &FrameClock) -> M>;
 /// Factory signature for per-node upper-layer construction.
-pub type UpperFactory = Box<dyn Fn(NodeId, &FrameClock) -> Box<dyn UpperLayer>>;
+pub type UpperFactory<U = Box<dyn UpperLayer>> = Box<dyn Fn(NodeId, &FrameClock) -> U>;
+
+// Forwarding impls: a boxed protocol object is itself a protocol
+// object. This is what lets `Sim` be generic over the MAC/upper types
+// (enum-based static dispatch on the hot path) while `Box<dyn …>`
+// factories — tests, exotic uppers — keep working unchanged.
+impl<T: MacProtocol + ?Sized> MacProtocol for Box<T> {
+    #[inline]
+    fn start(&mut self, ctx: &mut MacCtx<'_>) {
+        (**self).start(ctx)
+    }
+    #[inline]
+    fn on_timer(&mut self, ctx: &mut MacCtx<'_>, kind: MacTimerKind) {
+        (**self).on_timer(ctx, kind)
+    }
+    #[inline]
+    fn on_frame(&mut self, ctx: &mut MacCtx<'_>, frame: &Frame) {
+        (**self).on_frame(ctx, frame)
+    }
+    #[inline]
+    fn on_tx_end(&mut self, ctx: &mut MacCtx<'_>) {
+        (**self).on_tx_end(ctx)
+    }
+    #[inline]
+    fn on_cca_result(&mut self, ctx: &mut MacCtx<'_>, busy: bool) {
+        (**self).on_cca_result(ctx, busy)
+    }
+    #[inline]
+    fn on_enqueue(&mut self, ctx: &mut MacCtx<'_>) {
+        (**self).on_enqueue(ctx)
+    }
+    #[inline]
+    fn learner_sample(&self) -> Option<LearnerSample> {
+        (**self).learner_sample()
+    }
+    #[inline]
+    fn policy_snapshot(&self) -> Option<Vec<SlotAction>> {
+        (**self).policy_snapshot()
+    }
+}
+
+impl<T: UpperLayer + ?Sized> UpperLayer for Box<T> {
+    #[inline]
+    fn start(&mut self, ctx: &mut UpperCtx<'_>) {
+        (**self).start(ctx)
+    }
+    #[inline]
+    fn on_timer(&mut self, ctx: &mut UpperCtx<'_>, tag: u64) {
+        (**self).on_timer(ctx, tag)
+    }
+    #[inline]
+    fn on_deliver(&mut self, ctx: &mut UpperCtx<'_>, frame: &Frame) {
+        (**self).on_deliver(ctx, frame)
+    }
+    #[inline]
+    fn on_tx_result(&mut self, ctx: &mut UpperCtx<'_>, frame: &Frame, result: TxResult) {
+        (**self).on_tx_result(ctx, frame, result)
+    }
+    #[inline]
+    fn on_phy_tx_end(&mut self, ctx: &mut UpperCtx<'_>, frame: &Frame, delivered: &[NodeId]) {
+        (**self).on_phy_tx_end(ctx, frame, delivered)
+    }
+}
 
 /// Builder for a [`Sim`].
-pub struct SimBuilder {
+///
+/// Generic over the MAC (`M`) and upper-layer (`U`) types stored per
+/// node. The defaults are boxed trait objects, so factories returning
+/// `Box<dyn …>` work exactly as before; installing a factory that
+/// returns a concrete type (e.g. an enum over all protocol variants)
+/// switches the whole event hot path to static dispatch.
+pub struct SimBuilder<M = Box<dyn MacProtocol>, U = Box<dyn UpperLayer>> {
     conn: Connectivity,
     channels: u8,
     clock: FrameClock,
@@ -579,8 +649,8 @@ pub struct SimBuilder {
     power: PowerProfile,
     queue_capacity: usize,
     seed: u64,
-    mac_factory: Option<MacFactory>,
-    upper_factory: Option<UpperFactory>,
+    mac_factory: Option<MacFactory<M>>,
+    upper_factory: UpperFactory<U>,
     node_starts: HashMap<u32, SimTime>,
     record_learner: bool,
 }
@@ -597,12 +667,14 @@ impl SimBuilder {
             queue_capacity: 8,
             seed,
             mac_factory: None,
-            upper_factory: None,
+            upper_factory: Box::new(|_, _| Box::new(NullUpper) as Box<dyn UpperLayer>),
             node_starts: HashMap::new(),
             record_learner: true,
         }
     }
+}
 
+impl<M: MacProtocol, U: UpperLayer> SimBuilder<M, U> {
     /// Sets the frame clock (default: DSME SO=3 with 54 subslots).
     pub fn clock(mut self, clock: FrameClock) -> Self {
         self.clock = clock;
@@ -627,22 +699,50 @@ impl SimBuilder {
         self
     }
 
-    /// Installs the MAC factory (required).
-    pub fn mac_factory<F>(mut self, f: F) -> Self
+    /// Installs the MAC factory (required). The factory's return type
+    /// selects the dispatch mode: a concrete type (enum) gives static
+    /// dispatch, `Box<dyn MacProtocol>` the classic dynamic dispatch.
+    pub fn mac_factory<M2, F>(self, f: F) -> SimBuilder<M2, U>
     where
-        F: Fn(NodeId, &FrameClock) -> Box<dyn MacProtocol> + 'static,
+        M2: MacProtocol,
+        F: Fn(NodeId, &FrameClock) -> M2 + 'static,
     {
-        self.mac_factory = Some(Box::new(f));
-        self
+        SimBuilder {
+            conn: self.conn,
+            channels: self.channels,
+            clock: self.clock,
+            phy: self.phy,
+            power: self.power,
+            queue_capacity: self.queue_capacity,
+            seed: self.seed,
+            mac_factory: Some(Box::new(f)),
+            upper_factory: self.upper_factory,
+            node_starts: self.node_starts,
+            record_learner: self.record_learner,
+        }
     }
 
-    /// Installs the upper-layer factory (default: no-op upper).
-    pub fn upper_factory<F>(mut self, f: F) -> Self
+    /// Installs the upper-layer factory (default: no-op upper). Like
+    /// [`SimBuilder::mac_factory`], the return type selects static or
+    /// dynamic dispatch.
+    pub fn upper_factory<U2, F>(self, f: F) -> SimBuilder<M, U2>
     where
-        F: Fn(NodeId, &FrameClock) -> Box<dyn UpperLayer> + 'static,
+        U2: UpperLayer,
+        F: Fn(NodeId, &FrameClock) -> U2 + 'static,
     {
-        self.upper_factory = Some(Box::new(f));
-        self
+        SimBuilder {
+            conn: self.conn,
+            channels: self.channels,
+            clock: self.clock,
+            phy: self.phy,
+            power: self.power,
+            queue_capacity: self.queue_capacity,
+            seed: self.seed,
+            mac_factory: self.mac_factory,
+            upper_factory: Box::new(f),
+            node_starts: self.node_starts,
+            record_learner: self.record_learner,
+        }
     }
 
     /// Delays a node's activation (e.g. Fig. 12's node C joins the
@@ -663,14 +763,14 @@ impl SimBuilder {
     /// # Panics
     ///
     /// Panics if no MAC factory was installed.
-    pub fn build(self) -> Sim {
+    pub fn build(self) -> Sim<M, U> {
         let mac_factory = self.mac_factory.expect("a MAC factory is required");
         let n = self.conn.len();
         let seeds = SeedSequence::new(self.seed);
         let nodes: Vec<NodeState> = (0..n)
             .map(|i| NodeState {
                 queue: TxQueue::new(self.queue_capacity),
-                neighbor_queues: HashMap::new(),
+                neighbor_queues: vec![None; n],
                 energy: EnergyMeter::new(self.power),
                 in_flight: None,
                 cca: None,
@@ -682,15 +782,12 @@ impl SimBuilder {
             })
             .collect();
         let subslots = self.clock.subslots();
-        let macs: Vec<Box<dyn MacProtocol>> = (0..n)
+        let macs: Vec<M> = (0..n)
             .map(|i| mac_factory(NodeId(i as u32), &self.clock))
             .collect();
-        let uppers: Vec<Box<dyn UpperLayer>> = match &self.upper_factory {
-            Some(f) => (0..n).map(|i| f(NodeId(i as u32), &self.clock)).collect(),
-            None => (0..n)
-                .map(|_| Box::new(NullUpper) as Box<dyn UpperLayer>)
-                .collect(),
-        };
+        let uppers: Vec<U> = (0..n)
+            .map(|i| (self.upper_factory)(NodeId(i as u32), &self.clock))
+            .collect();
 
         let mut sched = Scheduler::new();
         sched.schedule_at(SimTime::ZERO, Event::Start);
@@ -714,32 +811,41 @@ impl SimBuilder {
             sched,
             node_starts: self.node_starts,
             record_learner: self.record_learner,
+            delivered_scratch: Vec::new(),
         }
     }
 }
 
 /// A runnable simulation.
-pub struct Sim {
+///
+/// `M` and `U` are the per-node MAC and upper-layer types; see
+/// [`SimBuilder`] for how they are chosen.
+pub struct Sim<M = Box<dyn MacProtocol>, U = Box<dyn UpperLayer>> {
     world: World,
-    macs: Vec<Box<dyn MacProtocol>>,
-    uppers: Vec<Box<dyn UpperLayer>>,
+    macs: Vec<M>,
+    uppers: Vec<U>,
     sched: Scheduler<Event>,
     node_starts: HashMap<u32, SimTime>,
     record_learner: bool,
+    /// Reusable buffer for the enabled clean receivers of a
+    /// transmission (the per-`TxEnd` delivered set).
+    delivered_scratch: Vec<NodeId>,
 }
 
-impl Sim {
+impl<M: MacProtocol, U: UpperLayer> Sim<M, U> {
     /// Runs until simulated time `horizon`, then closes metrics.
     pub fn run_until(&mut self, horizon: SimTime) {
-        struct Driver<'s> {
+        struct Driver<'s, M, U> {
             world: &'s mut World,
-            macs: &'s mut [Box<dyn MacProtocol>],
-            uppers: &'s mut [Box<dyn UpperLayer>],
+            macs: &'s mut [M],
+            uppers: &'s mut [U],
             node_starts: &'s HashMap<u32, SimTime>,
             record_learner: bool,
+            /// Enabled clean receivers of the `TxEnd` being handled.
+            delivered: &'s mut Vec<NodeId>,
         }
 
-        impl Driver<'_> {
+        impl<M: MacProtocol, U: UpperLayer> Driver<'_, M, U> {
             fn enable_node(&mut self, node: NodeId, sched: &mut Scheduler<Event>) {
                 self.world.nodes[node.index()].enabled = true;
                 let mut mctx = MacCtx {
@@ -796,7 +902,7 @@ impl Sim {
             }
         }
 
-        impl Handler<Event> for Driver<'_> {
+        impl<M: MacProtocol, U: UpperLayer> Handler<Event> for Driver<'_, M, U> {
             fn handle(&mut self, now: SimTime, event: Event, sched: &mut Scheduler<Event>) {
                 match event {
                     Event::Start => {
@@ -866,12 +972,18 @@ impl Sim {
                         self.world.nodes[node.index()]
                             .energy
                             .set_activity(now.as_micros(), qma_phy::RadioActivity::Listen);
-                        let delivered = self.world.medium.end_tx(token);
-                        let delivered: Vec<NodeId> = delivered
-                            .into_iter()
-                            .map(|p| NodeId(p.0))
-                            .filter(|r| self.world.nodes[r.index()].enabled)
-                            .collect();
+                        // `end_tx` hands back a slice of the medium's
+                        // scratch buffer; the enabled-filtered copy
+                        // lives in the driver's reusable buffer — no
+                        // allocation on this path.
+                        let clean = self.world.medium.end_tx(token);
+                        self.delivered.clear();
+                        self.delivered.extend(
+                            clean
+                                .iter()
+                                .map(|p| NodeId(p.0))
+                                .filter(|r| self.world.nodes[r.index()].enabled),
+                        );
 
                         // Queue-level piggyback: every frame is
                         // stamped with its sender's queue level at
@@ -881,10 +993,9 @@ impl Sim {
                         // which keeps a pure sink's (empty) level
                         // visible and lets a draining forwarder
                         // release its neighbours' exploration.
-                        for &r in &delivered {
-                            self.world.nodes[r.index()]
-                                .neighbor_queues
-                                .insert(frame.src.0, (frame.queue_level, now));
+                        for &r in self.delivered.iter() {
+                            self.world.nodes[r.index()].neighbor_queues[frame.src.index()] =
+                                Some((frame.queue_level, now));
                         }
 
                         match origin {
@@ -897,15 +1008,20 @@ impl Sim {
                                 self.macs[node.index()].on_tx_end(&mut ctx);
                             }
                             TxOrigin::Upper => {
+                                // Cold path (DSME CFP/GTS data): the
+                                // notice needs owned copies because
+                                // the overhearing loop below still
+                                // reads the originals.
                                 self.world.notices.push_back(Notice::UpperPhyTxEnd(
                                     node,
                                     frame.clone(),
-                                    delivered.clone(),
+                                    self.delivered.clone(),
                                 ));
                             }
                         }
 
-                        for &r in &delivered {
+                        for k in 0..self.delivered.len() {
+                            let r = self.delivered[k];
                             let mut ctx = MacCtx {
                                 world: self.world,
                                 sched,
@@ -943,6 +1059,7 @@ impl Sim {
             uppers: &mut self.uppers,
             node_starts: &self.node_starts,
             record_learner: self.record_learner,
+            delivered: &mut self.delivered_scratch,
         };
         Executor::new().run_until(&mut driver, &mut self.sched, horizon);
         self.world.metrics.close(horizon);
@@ -957,6 +1074,12 @@ impl Sim {
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
         self.sched.now()
+    }
+
+    /// Total number of simulation events processed so far (the
+    /// denominator of the events/sec macro-benchmark).
+    pub fn events_processed(&self) -> u64 {
+        self.sched.popped_total()
     }
 
     /// The metrics hub.
@@ -1062,7 +1185,7 @@ mod tests {
         fn on_tx_result(&mut self, _: &mut UpperCtx<'_>, _: &Frame, _: TxResult) {}
     }
 
-    fn two_node_sim(count: u32) -> Sim {
+    fn two_node_sim(count: u32) -> Sim<Box<NaiveMac>, Box<Sender>> {
         SimBuilder::new(Connectivity::full(2), 7)
             .clock(FrameClock::all_cap(10, 1_000))
             .mac_factory(|_, _| Box::new(NaiveMac))
@@ -1166,7 +1289,7 @@ mod tests {
         // queue_diff at node 1: local 0 − neighbour 3-ish < 0.
         // (Direct access via world for the assertion.)
         let st = &sim.world().nodes[1];
-        let level = st.neighbor_queues.get(&0).map(|&(v, _)| v);
+        let level = st.neighbor_queues[0].map(|(v, _)| v);
         assert!(level.is_some(), "piggyback missing");
         assert!(level.unwrap() >= 1);
     }

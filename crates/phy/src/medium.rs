@@ -43,13 +43,45 @@ impl std::fmt::Display for PhyNodeId {
 pub struct TxToken(u64);
 
 /// Who can hear whom.
+///
+/// Alongside the boolean adjacency matrix, a CSR (offset + flat
+/// slice) listener table is precomputed at construction so the
+/// per-transmission fan-out in [`Medium::start_tx_on`]/[`Medium::end_tx`]
+/// is a slice walk instead of an n-wide filter scan — and needs no
+/// per-call allocation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Connectivity {
     n: usize,
     audible: Vec<bool>, // row-major n×n, diagonal false
+    /// CSR row offsets: listeners of node `i` live at
+    /// `flat[offsets[i]..offsets[i+1]]`.
+    offsets: Vec<u32>,
+    /// Flattened listener lists, ascending within each row.
+    flat: Vec<PhyNodeId>,
 }
 
 impl Connectivity {
+    /// Finishes construction from an adjacency matrix by building the
+    /// CSR listener table.
+    fn from_matrix(n: usize, audible: Vec<bool>) -> Self {
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut flat = Vec::new();
+        offsets.push(0u32);
+        for i in 0..n {
+            for j in 0..n {
+                if audible[i * n + j] {
+                    flat.push(PhyNodeId(j as u32));
+                }
+            }
+            offsets.push(flat.len() as u32);
+        }
+        Connectivity {
+            n,
+            audible,
+            offsets,
+            flat,
+        }
+    }
     /// Derives connectivity from positions and a path-loss model:
     /// `j` hears `i` iff the power received from `i` at `j`'s position
     /// is at least `sensitivity`.
@@ -69,7 +101,7 @@ impl Connectivity {
                 }
             }
         }
-        Connectivity { n, audible }
+        Connectivity::from_matrix(n, audible)
     }
 
     /// Builds connectivity from an explicit edge list. Edges are
@@ -87,7 +119,7 @@ impl Connectivity {
             assert_ne!(i, j, "self-loop ({i},{i})");
             audible[i * n + j] = true;
         }
-        Connectivity { n, audible }
+        Connectivity::from_matrix(n, audible)
     }
 
     /// Builds symmetric connectivity from an undirected edge list.
@@ -108,7 +140,7 @@ impl Connectivity {
         for i in 0..n {
             audible[i * n + i] = false;
         }
-        Connectivity { n, audible }
+        Connectivity::from_matrix(n, audible)
     }
 
     /// Number of nodes.
@@ -126,18 +158,22 @@ impl Connectivity {
         self.audible[tx.index() * self.n + rx.index()]
     }
 
+    /// The nodes audible from `tx` (its interference set), ascending —
+    /// a precomputed CSR row, so no work or allocation per call.
+    pub fn listeners(&self, tx: PhyNodeId) -> &[PhyNodeId] {
+        let i = tx.index();
+        &self.flat[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
     /// Iterator over the nodes audible from `tx` (its interference
     /// set).
     pub fn listeners_of(&self, tx: PhyNodeId) -> impl Iterator<Item = PhyNodeId> + '_ {
-        let base = tx.index() * self.n;
-        (0..self.n)
-            .filter(move |&j| self.audible[base + j])
-            .map(|j| PhyNodeId(j as u32))
+        self.listeners(tx).iter().copied()
     }
 
     /// Neighbour count of `tx`.
     pub fn degree(&self, tx: PhyNodeId) -> usize {
-        self.listeners_of(tx).count()
+        self.listeners(tx).len()
     }
 
     /// Returns `true` if the (i → j) and (j → i) links both exist.
@@ -201,6 +237,9 @@ pub struct Medium {
     next_token: u64,
     collisions: u64,
     clean_receptions: u64,
+    /// Reusable buffer for [`Medium::end_tx`]'s delivered set, so the
+    /// per-transmission hot path performs no allocation.
+    delivered_scratch: Vec<PhyNodeId>,
 }
 
 impl Medium {
@@ -235,6 +274,7 @@ impl Medium {
             next_token: 0,
             collisions: 0,
             clean_receptions: 0,
+            delivered_scratch: Vec::new(),
         }
     }
 
@@ -311,8 +351,7 @@ impl Medium {
             lock.clean = false;
         }
 
-        let listeners: Vec<PhyNodeId> = self.conn.listeners_of(tx_node).collect();
-        for r in listeners {
+        for &r in self.conn.listeners(tx_node) {
             let st = &mut self.receivers[r.index()];
             st.energy[channel as usize] += 1;
             if st.transmitting || st.listen_channel != channel {
@@ -347,12 +386,14 @@ impl Medium {
 
     /// Ends the transmission identified by `token`, releasing its
     /// energy at all listeners. Returns the nodes that received the
-    /// frame cleanly (in ascending node order).
+    /// frame cleanly (in ascending node order). The returned slice
+    /// borrows a scratch buffer owned by the medium and is valid until
+    /// the next `end_tx` call.
     ///
     /// # Panics
     ///
     /// Panics if the token is unknown (double `end_tx`).
-    pub fn end_tx(&mut self, token: TxToken) -> Vec<PhyNodeId> {
+    pub fn end_tx(&mut self, token: TxToken) -> &[PhyNodeId] {
         let idx = self
             .active
             .iter()
@@ -362,9 +403,8 @@ impl Medium {
 
         self.receivers[tx.tx_node.index()].transmitting = false;
 
-        let mut delivered = Vec::new();
-        let listeners: Vec<PhyNodeId> = self.conn.listeners_of(tx.tx_node).collect();
-        for r in listeners {
+        self.delivered_scratch.clear();
+        for &r in self.conn.listeners(tx.tx_node) {
             let st = &mut self.receivers[r.index()];
             let energy = &mut st.energy[tx.channel as usize];
             debug_assert!(*energy > 0, "energy underflow at {r}");
@@ -373,7 +413,7 @@ impl Medium {
                 if lock.token == token {
                     st.lock = None;
                     if lock.clean && !st.transmitting && st.listen_channel == tx.channel {
-                        delivered.push(r);
+                        self.delivered_scratch.push(r);
                         self.clean_receptions += 1;
                     } else {
                         self.collisions += 1;
@@ -381,8 +421,9 @@ impl Medium {
                 }
             }
         }
-        delivered.sort_unstable();
-        delivered
+        // CSR rows are ascending, so the delivered set already is.
+        debug_assert!(self.delivered_scratch.is_sorted());
+        &self.delivered_scratch
     }
 
     /// Clear-channel assessment at `node` on its listen channel:

@@ -2,8 +2,8 @@
 //! replication across threads.
 
 use qma_des::{SimDuration, SimTime};
-use qma_mac::{CsmaConfig, CsmaMac, QmaMac, QmaMacConfig};
-use qma_netsim::{Frame, FrameClock, MacProtocol, NodeId, TxResult, UpperCtx, UpperLayer};
+use qma_mac::{CsmaConfig, MacImpl, QmaMacConfig};
+use qma_netsim::{Frame, FrameClock, NodeId, TxResult, UpperCtx, UpperLayer};
 
 /// Which channel-access scheme a scenario runs — the three columns of
 /// every comparison in the paper.
@@ -30,12 +30,13 @@ impl MacKind {
         }
     }
 
-    /// Builds the MAC instance for one node.
-    pub fn build(self, clock: &FrameClock) -> Box<dyn MacProtocol> {
+    /// Builds the MAC instance for one node as a statically
+    /// dispatched [`MacImpl`] (no per-event vtable indirection).
+    pub fn build(self, clock: &FrameClock) -> MacImpl {
         match self {
-            MacKind::Qma => Box::new(QmaMac::new(QmaMacConfig::default(), *clock)),
-            MacKind::SlottedCsma => Box::new(CsmaMac::new(CsmaConfig::slotted(), *clock)),
-            MacKind::UnslottedCsma => Box::new(CsmaMac::new(CsmaConfig::unslotted(), *clock)),
+            MacKind::Qma => MacImpl::qma(QmaMacConfig::default(), *clock),
+            MacKind::SlottedCsma => MacImpl::csma(CsmaConfig::slotted(), *clock),
+            MacKind::UnslottedCsma => MacImpl::csma(CsmaConfig::unslotted(), *clock),
         }
     }
 }
@@ -125,6 +126,72 @@ impl<U: UpperLayer> UpperLayer for WithManagement<U> {
     }
 }
 
+/// The upper layers the standard scenarios run, as a closed enum so
+/// `Sim` dispatches them statically (mirroring [`MacImpl`] on the MAC
+/// side). `Custom` keeps trait objects available for exotic uppers.
+pub enum UpperImpl {
+    /// A bare collection app (typically the sink).
+    Collection(qma_net::CollectionApp),
+    /// A collection app with management background chatter (sources).
+    Managed(WithManagement<qma_net::CollectionApp>),
+    /// Escape hatch: any other [`UpperLayer`] behind a trait object.
+    Custom(Box<dyn UpperLayer>),
+}
+
+impl UpperImpl {
+    /// Wraps an arbitrary upper layer behind dynamic dispatch.
+    pub fn custom(upper: impl UpperLayer + 'static) -> Self {
+        UpperImpl::Custom(Box::new(upper))
+    }
+}
+
+impl UpperLayer for UpperImpl {
+    #[inline]
+    fn start(&mut self, ctx: &mut UpperCtx<'_>) {
+        match self {
+            UpperImpl::Collection(u) => u.start(ctx),
+            UpperImpl::Managed(u) => u.start(ctx),
+            UpperImpl::Custom(u) => u.start(ctx),
+        }
+    }
+
+    #[inline]
+    fn on_timer(&mut self, ctx: &mut UpperCtx<'_>, tag: u64) {
+        match self {
+            UpperImpl::Collection(u) => u.on_timer(ctx, tag),
+            UpperImpl::Managed(u) => u.on_timer(ctx, tag),
+            UpperImpl::Custom(u) => u.on_timer(ctx, tag),
+        }
+    }
+
+    #[inline]
+    fn on_deliver(&mut self, ctx: &mut UpperCtx<'_>, frame: &Frame) {
+        match self {
+            UpperImpl::Collection(u) => u.on_deliver(ctx, frame),
+            UpperImpl::Managed(u) => u.on_deliver(ctx, frame),
+            UpperImpl::Custom(u) => u.on_deliver(ctx, frame),
+        }
+    }
+
+    #[inline]
+    fn on_tx_result(&mut self, ctx: &mut UpperCtx<'_>, frame: &Frame, result: TxResult) {
+        match self {
+            UpperImpl::Collection(u) => u.on_tx_result(ctx, frame, result),
+            UpperImpl::Managed(u) => u.on_tx_result(ctx, frame, result),
+            UpperImpl::Custom(u) => u.on_tx_result(ctx, frame, result),
+        }
+    }
+
+    #[inline]
+    fn on_phy_tx_end(&mut self, ctx: &mut UpperCtx<'_>, frame: &Frame, delivered: &[NodeId]) {
+        match self {
+            UpperImpl::Collection(u) => u.on_phy_tx_end(ctx, frame, delivered),
+            UpperImpl::Managed(u) => u.on_phy_tx_end(ctx, frame, delivered),
+            UpperImpl::Custom(u) => u.on_phy_tx_end(ctx, frame, delivered),
+        }
+    }
+}
+
 /// Wraps a collection app for a node: sources get the management
 /// background chatter, the sink does not — its management traffic
 /// (beacons, association responses) rides in the beacon slot in DSME,
@@ -136,12 +203,12 @@ pub fn collection_upper(
     app: qma_net::CollectionApp,
     is_sink: bool,
     mgmt_period: SimDuration,
-) -> Box<dyn UpperLayer> {
+) -> UpperImpl {
     let target = app.config().next_hop;
     if is_sink {
-        Box::new(app)
+        UpperImpl::Collection(app)
     } else {
-        Box::new(WithManagement::new_towards(app, target, mgmt_period))
+        UpperImpl::Managed(WithManagement::new_towards(app, target, mgmt_period))
     }
 }
 

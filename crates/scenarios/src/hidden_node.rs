@@ -33,6 +33,8 @@ pub struct HiddenNodeRun {
     pub retry_drops: u64,
     /// Queue-overflow drops at A and C.
     pub queue_drops: u64,
+    /// Simulation events processed (events/sec macro-benchmarking).
+    pub events: u64,
 }
 
 /// One `(δ, scheme)` cell of Fig. 7/8/9 with confidence intervals.
@@ -94,6 +96,7 @@ pub fn run_once(mac: MacKind, delta: f64, packets: u64, seed: u64) -> HiddenNode
         retry_drops: m.mac(a).drops_retry + m.mac(c).drops_retry,
         queue_drops: m.get("app_mac_ca_drop") as u64
             + (sim.world().queue(a).drops() + sim.world().queue(c).drops()),
+        events: sim.events_processed(),
     }
 }
 

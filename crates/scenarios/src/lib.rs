@@ -36,4 +36,4 @@ pub mod slots;
 pub mod tables;
 pub mod testbed;
 
-pub use common::MacKind;
+pub use common::{MacKind, UpperImpl};

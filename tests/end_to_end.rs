@@ -2,7 +2,7 @@
 //! through the full stack (DES kernel → medium → MAC → app).
 
 use qma::des::{SimDuration, SimTime};
-use qma::mac::{CsmaConfig, CsmaMac, QmaMac, QmaMacConfig};
+use qma::mac::{CsmaConfig, MacImpl, QmaMacConfig};
 use qma::net::{CollectionApp, CollectionConfig, TrafficPattern};
 use qma::netsim::{FrameClock, NodeId, SimBuilder};
 use qma::scenarios::{dsme_scale, hidden_node, MacKind};
@@ -133,7 +133,7 @@ fn traffic_source_disappearing_does_not_break_peer() {
     let sink = NodeId(topo.sink as u32);
     let mut sim = SimBuilder::new(topo.connectivity.clone(), 31)
         .clock(FrameClock::dsme_so3())
-        .mac_factory(|_, clock| Box::new(QmaMac::new(QmaMacConfig::default(), *clock)))
+        .mac_factory(|_, clock| MacImpl::qma(QmaMacConfig::default(), *clock))
         .upper_factory(move |node, _| {
             let pattern = match node.0 {
                 0 => TrafficPattern::Poisson {
@@ -173,9 +173,9 @@ fn qma_coexists_with_csma_neighbours() {
         .clock(FrameClock::dsme_so3())
         .mac_factory(|node, clock| {
             if node == NodeId(0) {
-                Box::new(QmaMac::new(QmaMacConfig::default(), *clock))
+                MacImpl::qma(QmaMacConfig::default(), *clock)
             } else {
-                Box::new(CsmaMac::new(CsmaConfig::unslotted(), *clock))
+                MacImpl::csma(CsmaConfig::unslotted(), *clock)
             }
         })
         .upper_factory(move |node, _| {
