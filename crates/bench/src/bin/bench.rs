@@ -185,20 +185,10 @@ fn bench_replication_throughput(reps: u64, mode: Parallelism) -> Throughput {
 }
 
 fn main() {
-    let out_path = std::env::var("QMA_BENCH_OUT").unwrap_or_else(|_| "BENCH_pr2.json".to_string());
-    let budget = if std::env::var("QMA_BENCH_FAST")
-        .map(|v| v == "1")
-        .unwrap_or(false)
-    {
-        Duration::from_millis(20)
-    } else {
-        Duration::from_millis(300)
-    };
-    let reps: u64 = std::env::var("QMA_BENCH_REPS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .filter(|&r| r > 0) // 0 would make the mean PDR NaN
-        .unwrap_or(12);
+    let env = qma_bench::BenchEnv::from_env();
+    let out_path = env.out_or("BENCH_pr2.json");
+    let budget = env.budget();
+    let reps = env.reps_or(12);
 
     println!("# bench — hot-path baseline (budget {budget:?}, {reps} replications)");
 

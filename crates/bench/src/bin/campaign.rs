@@ -1,0 +1,129 @@
+//! Declarative experiment-campaign runner.
+//!
+//! ```text
+//! cargo run --release -p qma-bench --bin campaign -- specs/<name>.toml [more specs...]
+//! ```
+//!
+//! Options:
+//!
+//! * `--serial` — replications on one thread (bit-identical results),
+//! * `--out-dir DIR` — artifact directory (also `QMA_BENCH_OUT_DIR`;
+//!   default: the working directory),
+//! * `--dry-run` — expand and list the config matrix without
+//!   simulating.
+//!
+//! Each spec produces `<name>.csv` and `<name>.json` in the artifact
+//! directory. Re-running a half-finished campaign resumes: configs
+//! whose rows already exist are skipped and re-emitted verbatim, so
+//! the final artifacts are byte-identical to an uninterrupted run.
+
+use std::path::PathBuf;
+
+use qma_bench::campaign::spec::CampaignSpec;
+use qma_bench::campaign::{run_campaign, CampaignOutcome};
+use qma_bench::runner::Parallelism;
+use qma_bench::BenchEnv;
+
+struct Args {
+    specs: Vec<PathBuf>,
+    out_dir: PathBuf,
+    mode: Parallelism,
+    dry_run: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let env = BenchEnv::from_env();
+    let mut specs = Vec::new();
+    let mut out_dir = env.out_dir_or_cwd();
+    let mut mode = Parallelism::Rayon;
+    let mut dry_run = false;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--serial" => mode = Parallelism::Serial,
+            "--dry-run" => dry_run = true,
+            "--out-dir" => {
+                out_dir = PathBuf::from(argv.next().ok_or("--out-dir needs a directory")?)
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: campaign [--serial] [--dry-run] [--out-dir DIR] SPEC.toml...".into(),
+                )
+            }
+            flag if flag.starts_with('-') => return Err(format!("unknown flag {flag}")),
+            spec => specs.push(PathBuf::from(spec)),
+        }
+    }
+    if specs.is_empty() {
+        return Err("no spec files given (usage: campaign SPEC.toml...)".into());
+    }
+    Ok(Args {
+        specs,
+        out_dir,
+        mode,
+        dry_run,
+    })
+}
+
+fn run_spec(args: &Args, path: &PathBuf) -> Result<Option<CampaignOutcome>, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    let spec = CampaignSpec::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    let points = spec
+        .expand()
+        .map_err(|e| format!("{}: {e}", path.display()))?;
+    println!(
+        "# campaign {} — scenario {}, {} configs × {} replications, seed {}",
+        spec.name,
+        spec.scenario,
+        points.len(),
+        spec.replications,
+        spec.master_seed
+    );
+    if args.dry_run {
+        for (i, point) in points.iter().enumerate() {
+            println!("  [{}/{}] {}", i + 1, points.len(), point.key());
+        }
+        return Ok(None);
+    }
+    let started = std::time::Instant::now();
+    let outcome = run_campaign(&spec, &args.out_dir, args.mode, |line| println!("  {line}"))?;
+    let elapsed = started.elapsed().as_secs_f64();
+    let events: u64 = outcome
+        .rows
+        .iter()
+        .filter_map(|r| r.get("events_total")?.parse::<u64>().ok())
+        .sum();
+    // Wall-clock throughput goes to stdout only — the artifacts stay
+    // host-independent.
+    println!(
+        "# {}: {} computed, {} resumed in {elapsed:.2}s ({:.0} events/sec wall)",
+        spec.name,
+        outcome.executed,
+        outcome.skipped,
+        if elapsed > 0.0 {
+            events as f64 / elapsed
+        } else {
+            0.0
+        }
+    );
+    println!("# wrote {}", outcome.csv_path.display());
+    println!("# wrote {}", outcome.json_path.display());
+    Ok(Some(outcome))
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    for path in &args.specs {
+        if let Err(e) = run_spec(&args, path) {
+            eprintln!("campaign failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

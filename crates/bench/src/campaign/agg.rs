@@ -1,0 +1,133 @@
+//! Streaming per-config aggregation.
+//!
+//! Replication results fold into Welford accumulators one record at a
+//! time — the engine never buffers raw per-replication sample vectors
+//! the way the per-figure `sweep()` helpers do. Confidence intervals
+//! come straight from the accumulators via [`qma_stats::ci95_of`].
+//! Folding happens in replication order, so the aggregate is
+//! bit-identical between serial and parallel execution.
+
+use qma_scenarios::RunMetrics;
+use qma_stats::{ci95_of, ConfidenceInterval, Welford};
+
+/// Online aggregate over one configuration's replications.
+#[derive(Debug, Clone, Default)]
+pub struct ConfigAggregate {
+    pdr: Welford,
+    delay_s: Welford,
+    retry_drops: Welford,
+    queue_drops: Welford,
+    aux: Welford,
+    events: u64,
+    sim_seconds: f64,
+}
+
+impl ConfigAggregate {
+    /// Creates an empty aggregate.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one replication's metrics in; the record can be dropped
+    /// afterwards.
+    pub fn push(&mut self, m: &RunMetrics) {
+        self.pdr.push(m.pdr);
+        self.delay_s.push(m.delay_s);
+        self.retry_drops.push(m.retry_drops as f64);
+        self.queue_drops.push(m.queue_drops as f64);
+        self.aux.push(m.aux);
+        self.events += m.events;
+        self.sim_seconds += m.sim_seconds;
+    }
+
+    /// Number of replications folded in so far.
+    pub fn replications(&self) -> u64 {
+        self.pdr.count()
+    }
+
+    /// PDR with its 95 % confidence interval.
+    pub fn pdr(&self) -> ConfidenceInterval {
+        ci95_of(&self.pdr)
+    }
+
+    /// End-to-end delay (seconds) with its 95 % CI.
+    pub fn delay_s(&self) -> ConfidenceInterval {
+        ci95_of(&self.delay_s)
+    }
+
+    /// Mean retry-limit drops per replication.
+    pub fn retry_drops_mean(&self) -> f64 {
+        self.retry_drops.mean()
+    }
+
+    /// Mean queue-overflow drops per replication.
+    pub fn queue_drops_mean(&self) -> f64 {
+        self.queue_drops.mean()
+    }
+
+    /// Scenario-specific auxiliary metric with its 95 % CI.
+    pub fn aux(&self) -> ConfidenceInterval {
+        ci95_of(&self.aux)
+    }
+
+    /// Total simulation events across all replications.
+    pub fn events_total(&self) -> u64 {
+        self.events
+    }
+
+    /// Simulation events per *simulated* second — a deterministic
+    /// throughput figure (wall-clock throughput depends on the host
+    /// and would break artifact byte-identity; it is reported on
+    /// stdout instead).
+    pub fn events_per_sim_sec(&self) -> f64 {
+        if self.sim_seconds > 0.0 {
+            self.events as f64 / self.sim_seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(pdr: f64, events: u64) -> RunMetrics {
+        RunMetrics {
+            pdr,
+            delay_s: pdr / 10.0,
+            retry_drops: 2,
+            queue_drops: 1,
+            events,
+            sim_seconds: 100.0,
+            aux: pdr * 3.0,
+        }
+    }
+
+    #[test]
+    fn aggregate_matches_batch_statistics() {
+        let samples = [0.8, 0.9, 0.85, 0.95];
+        let mut agg = ConfigAggregate::new();
+        for &p in &samples {
+            agg.push(&metrics(p, 1000));
+        }
+        let batch = qma_stats::mean_ci95(&samples);
+        let ci = agg.pdr();
+        assert!((ci.mean - batch.mean).abs() < 1e-12);
+        assert!((ci.half_width - batch.half_width).abs() < 1e-12);
+        assert_eq!(agg.replications(), 4);
+        assert_eq!(agg.events_total(), 4000);
+        assert!((agg.events_per_sim_sec() - 10.0).abs() < 1e-12);
+        assert!((agg.retry_drops_mean() - 2.0).abs() < 1e-12);
+        assert!((agg.queue_drops_mean() - 1.0).abs() < 1e-12);
+        assert!((agg.aux().mean - batch.mean * 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_aggregate_is_safe() {
+        let agg = ConfigAggregate::new();
+        assert_eq!(agg.replications(), 0);
+        assert_eq!(agg.events_per_sim_sec(), 0.0);
+        assert_eq!(agg.pdr().half_width, 0.0);
+    }
+}

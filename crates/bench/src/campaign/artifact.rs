@@ -1,0 +1,343 @@
+//! Campaign artifacts: a resumable CSV and a final JSON report.
+//!
+//! The CSV is the campaign's durable state: one row per completed
+//! configuration, rewritten after every config so an interrupted
+//! campaign can resume by string-matching `config_key` columns
+//! (values are stored pre-formatted, so resumed rows are re-emitted
+//! byte-identically). The JSON report carries the same rows plus
+//! campaign metadata, rendered at the end of the run.
+//!
+//! Columns are fixed across all campaigns — grid parameters live
+//! inside `config_key` (`;`-separated, so the cell embeds in the
+//! comma-separated CSV without quoting).
+
+use qma_scenarios::ScenarioKind;
+
+use super::agg::ConfigAggregate;
+
+/// How a column renders into JSON.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ColKind {
+    Str,
+    Int,
+    Float,
+}
+
+/// The artifact schema: column names and JSON types, in order.
+const COLUMNS: &[(&str, ColKind)] = &[
+    ("config_key", ColKind::Str),
+    ("scenario", ColKind::Str),
+    ("master_seed", ColKind::Int),
+    ("replications", ColKind::Int),
+    ("pdr_mean", ColKind::Float),
+    ("pdr_ci95", ColKind::Float),
+    ("delay_mean_s", ColKind::Float),
+    ("delay_ci95", ColKind::Float),
+    ("retry_drops_mean", ColKind::Float),
+    ("queue_drops_mean", ColKind::Float),
+    ("aux_name", ColKind::Str),
+    ("aux_mean", ColKind::Float),
+    ("aux_ci95", ColKind::Float),
+    ("events_total", ColKind::Int),
+    ("events_per_sim_s", ColKind::Float),
+];
+
+/// Column names, in artifact order.
+pub fn column_names() -> Vec<&'static str> {
+    COLUMNS.iter().map(|(name, _)| *name).collect()
+}
+
+/// One completed configuration, values pre-formatted (so a row read
+/// back from a partial CSV re-emits byte-identically).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArtifactRow {
+    values: Vec<String>,
+}
+
+impl ArtifactRow {
+    /// Builds the row for one aggregated configuration.
+    pub fn from_aggregate(
+        config_key: &str,
+        scenario: ScenarioKind,
+        master_seed: u64,
+        agg: &ConfigAggregate,
+    ) -> ArtifactRow {
+        let pdr = agg.pdr();
+        let delay = agg.delay_s();
+        let aux = agg.aux();
+        let values = vec![
+            config_key.to_string(),
+            scenario.key().to_string(),
+            master_seed.to_string(),
+            agg.replications().to_string(),
+            format!("{:.6}", pdr.mean),
+            format!("{:.6}", pdr.half_width),
+            format!("{:.6}", delay.mean),
+            format!("{:.6}", delay.half_width),
+            format!("{:.3}", agg.retry_drops_mean()),
+            format!("{:.3}", agg.queue_drops_mean()),
+            scenario.aux_name().to_string(),
+            format!("{:.6}", aux.mean),
+            format!("{:.6}", aux.half_width),
+            agg.events_total().to_string(),
+            format!("{:.3}", agg.events_per_sim_sec()),
+        ];
+        debug_assert_eq!(values.len(), COLUMNS.len());
+        ArtifactRow { values }
+    }
+
+    /// The row's `config_key` cell.
+    pub fn config_key(&self) -> &str {
+        &self.values[0]
+    }
+
+    /// The value of a named column.
+    pub fn get(&self, column: &str) -> Option<&str> {
+        COLUMNS
+            .iter()
+            .position(|(name, _)| *name == column)
+            .map(|i| self.values[i].as_str())
+    }
+
+    /// The stored replication count (used by resume to detect rows
+    /// computed under a different replication setting).
+    pub fn replications(&self) -> Option<u64> {
+        self.get("replications")?.parse().ok()
+    }
+
+    /// `true` when this row was computed under the given campaign
+    /// setting — the resume precondition: reusing a row computed
+    /// under a different seed, scenario or replication count would
+    /// silently break the determinism guarantee.
+    pub fn matches_campaign(
+        &self,
+        scenario: ScenarioKind,
+        master_seed: u64,
+        replications: u64,
+    ) -> bool {
+        self.get("scenario") == Some(scenario.key())
+            && self.get("master_seed") == Some(master_seed.to_string().as_str())
+            && self.replications() == Some(replications)
+    }
+}
+
+/// Renders the CSV artifact (header + rows, `\n`-terminated).
+pub fn render_csv(rows: &[ArtifactRow]) -> String {
+    let mut out = column_names().join(",");
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.values.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a CSV artifact previously written by [`render_csv`].
+///
+/// Rejects files whose header does not match the current schema —
+/// resuming across schema changes would silently mix column
+/// meanings.
+pub fn parse_csv(text: &str) -> Result<Vec<ArtifactRow>, String> {
+    let mut lines = text.lines();
+    let header = lines.next().ok_or("empty artifact")?;
+    let expected = column_names().join(",");
+    if header != expected {
+        return Err(format!(
+            "artifact header mismatch (found {header:?}, expected {expected:?}); \
+             delete the stale artifact to recompute"
+        ));
+    }
+    let mut rows = Vec::new();
+    for (i, line) in lines.enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let values: Vec<String> = line.split(',').map(str::to_string).collect();
+        for ((name, kind), value) in COLUMNS.iter().zip(&values) {
+            let ok = match kind {
+                ColKind::Str => true,
+                ColKind::Int => value.parse::<u64>().is_ok(),
+                ColKind::Float => value.parse::<f64>().map(f64::is_finite).unwrap_or(false),
+            };
+            if !ok {
+                return Err(format!(
+                    "artifact row {}: cell {name} = {value:?} is not a valid \
+                     {kind:?}; delete the corrupted artifact to recompute",
+                    i + 2
+                ));
+            }
+        }
+        if values.len() != COLUMNS.len() {
+            return Err(format!(
+                "artifact row {} has {} cells, expected {} — truncated write? \
+                 delete the artifact to recompute",
+                i + 2,
+                values.len(),
+                COLUMNS.len()
+            ));
+        }
+        rows.push(ArtifactRow { values });
+    }
+    Ok(rows)
+}
+
+/// Campaign-level metadata carried in the JSON report.
+#[derive(Debug, Clone)]
+pub struct CampaignMeta {
+    /// Campaign name (artifact basename).
+    pub name: String,
+    /// Scenario every config ran.
+    pub scenario: ScenarioKind,
+    /// Master seed of the campaign.
+    pub master_seed: u64,
+    /// Replications per configuration.
+    pub replications: u64,
+}
+
+/// Renders the JSON report: campaign metadata plus one object per
+/// configuration. Purely a function of the rows — no wall-clock
+/// values — so fixed master seed ⇒ byte-identical reports.
+pub fn render_json(meta: &CampaignMeta, rows: &[ArtifactRow]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"campaign\": {},\n", json_str(&meta.name)));
+    out.push_str(&format!(
+        "  \"scenario\": {},\n",
+        json_str(meta.scenario.key())
+    ));
+    out.push_str(&format!("  \"master_seed\": {},\n", meta.master_seed));
+    out.push_str(&format!("  \"replications\": {},\n", meta.replications));
+    out.push_str(&format!(
+        "  \"aux_metric\": {},\n",
+        json_str(meta.scenario.aux_name())
+    ));
+    out.push_str(&format!("  \"configs\": {},\n", rows.len()));
+    out.push_str("  \"rows\": [\n");
+    for (r, row) in rows.iter().enumerate() {
+        out.push_str("    {");
+        for (i, ((name, kind), value)) in COLUMNS.iter().zip(&row.values).enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let rendered = match kind {
+                ColKind::Str => json_str(value),
+                // Numeric cells were formatted by us (or validated on
+                // parse), so they embed verbatim as JSON numbers.
+                ColKind::Int | ColKind::Float => value.clone(),
+            };
+            out.push_str(&format!("\"{name}\": {rendered}"));
+        }
+        out.push('}');
+        out.push_str(if r + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn json_str(s: &str) -> String {
+    format!("\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\""))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qma_scenarios::RunMetrics;
+
+    fn sample_row(key: &str) -> ArtifactRow {
+        let mut agg = ConfigAggregate::new();
+        for pdr in [0.9, 0.92] {
+            agg.push(&RunMetrics {
+                pdr,
+                delay_s: 0.01,
+                retry_drops: 3,
+                queue_drops: 0,
+                events: 5000,
+                sim_seconds: 130.0,
+                aux: 1.5,
+            });
+        }
+        ArtifactRow::from_aggregate(key, ScenarioKind::HiddenNode, 2021, &agg)
+    }
+
+    #[test]
+    fn csv_roundtrips_byte_identically() {
+        let rows = vec![
+            sample_row("delta=25;mac=qma"),
+            sample_row("delta=25;mac=csma"),
+        ];
+        let csv = render_csv(&rows);
+        let parsed = parse_csv(&csv).unwrap();
+        assert_eq!(parsed, rows);
+        assert_eq!(render_csv(&parsed), csv);
+        assert_eq!(parsed[0].config_key(), "delta=25;mac=qma");
+        assert_eq!(parsed[0].replications(), Some(2));
+        assert_eq!(parsed[0].get("aux_name"), Some("queue_level"));
+        assert!(parsed[0].matches_campaign(ScenarioKind::HiddenNode, 2021, 2));
+        for (scenario, seed, reps) in [
+            (ScenarioKind::Convergence, 2021, 2), // wrong scenario
+            (ScenarioKind::HiddenNode, 7, 2),     // wrong seed
+            (ScenarioKind::HiddenNode, 2021, 3),  // wrong reps
+        ] {
+            assert!(!parsed[0].matches_campaign(scenario, seed, reps));
+        }
+    }
+
+    #[test]
+    fn parse_rejects_schema_drift_and_truncation() {
+        assert!(parse_csv("").is_err());
+        assert!(parse_csv("other,header\n1,2\n").is_err());
+        let good = render_csv(&[sample_row("k=1")]);
+        let truncated = good.rsplit_once(',').unwrap().0;
+        let header_plus_bad_row = format!(
+            "{}\n{}\n",
+            good.lines().next().unwrap(),
+            truncated.lines().last().unwrap()
+        );
+        assert!(parse_csv(&header_plus_bad_row).is_err());
+    }
+
+    #[test]
+    fn parse_rejects_non_numeric_cells() {
+        // Corrupt one numeric cell of an otherwise well-shaped row:
+        // resume must refuse it rather than re-emit garbage into the
+        // JSON report.
+        let good = render_csv(&[sample_row("k=1")]);
+        let corrupted = good.replacen("0.910000", "abc", 1);
+        assert_ne!(good, corrupted);
+        let err = parse_csv(&corrupted).unwrap_err();
+        assert!(err.contains("pdr_mean"), "unhelpful error: {err}");
+    }
+
+    #[test]
+    fn json_report_shape() {
+        let meta = CampaignMeta {
+            name: "demo".into(),
+            scenario: ScenarioKind::HiddenNode,
+            master_seed: 2021,
+            replications: 2,
+        };
+        let json = render_json(&meta, &[sample_row("mac=qma")]);
+        assert!(json.contains("\"campaign\": \"demo\""));
+        assert!(json.contains("\"configs\": 1"));
+        assert!(json.contains("\"config_key\": \"mac=qma\""));
+        assert!(json.contains("\"pdr_mean\": 0.910000"));
+        assert!(json.contains("\"events_total\": 10000"));
+        // Balanced braces/brackets (cheap well-formedness check; CI
+        // runs it through a real JSON parser).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn empty_campaign_renders_valid_artifacts() {
+        let csv = render_csv(&[]);
+        assert_eq!(parse_csv(&csv).unwrap(), Vec::<ArtifactRow>::new());
+        let meta = CampaignMeta {
+            name: "empty".into(),
+            scenario: ScenarioKind::Convergence,
+            master_seed: 1,
+            replications: 1,
+        };
+        let json = render_json(&meta, &[]);
+        assert!(json.contains("\"rows\": [\n  ]"));
+    }
+}

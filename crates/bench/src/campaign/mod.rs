@@ -1,0 +1,339 @@
+//! The declarative experiment-campaign engine.
+//!
+//! A campaign is a spec file ([`spec`]) naming a scenario and a
+//! parameter grid; the engine expands it into a deterministic
+//! config × replication matrix ([`grid`]), fans the replications out
+//! over the worker pool with content-addressed seed streams, folds
+//! results into streaming aggregates ([`agg`]) and emits one CSV and
+//! one JSON artifact per campaign ([`artifact`]).
+//!
+//! Guarantees:
+//!
+//! * **Determinism** — a fixed master seed produces byte-identical
+//!   artifacts, independent of thread count, of axis/value ordering
+//!   in the spec, and of how often the campaign was interrupted and
+//!   resumed (seeds are content-addressed per config, results folded
+//!   in replication order, artifacts carry no wall-clock values).
+//! * **Resumability** — the CSV is rewritten after every completed
+//!   configuration; on restart, configs whose rows already exist
+//!   (under the same scenario, master seed and replication count)
+//!   are skipped and their rows re-emitted verbatim.
+
+pub mod agg;
+pub mod artifact;
+pub mod grid;
+pub mod spec;
+
+use std::path::{Path, PathBuf};
+
+use qma_scenarios::{run_scenario, RunMetrics, ScenarioParams};
+use rayon::prelude::*;
+
+use crate::runner::Parallelism;
+use agg::ConfigAggregate;
+use artifact::{ArtifactRow, CampaignMeta};
+use grid::ConfigPoint;
+use spec::CampaignSpec;
+
+/// What one [`run_campaign`] call did.
+#[derive(Debug, Clone)]
+pub struct CampaignOutcome {
+    /// Configurations actually simulated in this invocation.
+    pub executed: usize,
+    /// Configurations skipped because their artifact rows existed.
+    pub skipped: usize,
+    /// Path of the CSV artifact.
+    pub csv_path: PathBuf,
+    /// Path of the JSON artifact.
+    pub json_path: PathBuf,
+    /// All rows, in expansion order.
+    pub rows: Vec<ArtifactRow>,
+}
+
+/// Runs (or resumes) a campaign, writing `<name>.csv` and
+/// `<name>.json` into `out_dir`.
+///
+/// `progress` receives one line per configuration (skipped or
+/// computed) — the binary prints it, tests pass a sink.
+pub fn run_campaign(
+    spec: &CampaignSpec,
+    out_dir: &Path,
+    mode: Parallelism,
+    mut progress: impl FnMut(&str),
+) -> Result<CampaignOutcome, String> {
+    let points = spec.expand()?;
+    // Fail fast on any invalid grid point before simulating the first.
+    let params: Vec<ScenarioParams> = points
+        .iter()
+        .map(|point| {
+            point
+                .scenario_params()
+                .and_then(|p| p.validate_for(spec.scenario).map(|()| p))
+                .map_err(|e| format!("config {}: {e}", point.key()))
+        })
+        .collect::<Result<_, _>>()?;
+
+    std::fs::create_dir_all(out_dir).map_err(|e| format!("create {}: {e}", out_dir.display()))?;
+    let csv_path = out_dir.join(format!("{}.csv", spec.name));
+    let json_path = out_dir.join(format!("{}.json", spec.name));
+
+    let existing = load_existing_rows(&csv_path, spec)?;
+
+    let mut rows: Vec<ArtifactRow> = Vec::with_capacity(points.len());
+    let mut executed = 0;
+    let mut skipped = 0;
+    for (point, p) in points.iter().zip(&params) {
+        let key = point.key();
+        if let Some(row) = existing.iter().find(|r| r.config_key() == key) {
+            rows.push(row.clone());
+            skipped += 1;
+            progress(&format!(
+                "[{}/{}] {key} — resumed from artifact",
+                rows.len(),
+                points.len()
+            ));
+            continue;
+        }
+        let agg = run_config(spec, point, p, mode);
+        let row = ArtifactRow::from_aggregate(&key, spec.scenario, spec.master_seed, &agg);
+        progress(&format!(
+            "[{}/{}] {key} — pdr {} ± {}, {} events",
+            rows.len() + 1,
+            points.len(),
+            row.get("pdr_mean").unwrap_or("?"),
+            row.get("pdr_ci95").unwrap_or("?"),
+            row.get("events_total").unwrap_or("?"),
+        ));
+        rows.push(row);
+        executed += 1;
+        // Durable after every config: an interrupted campaign resumes
+        // from here.
+        write_atomic(&csv_path, &artifact::render_csv(&rows))?;
+    }
+
+    // Rewrite both artifacts unconditionally so a resumed campaign
+    // converges on exactly the files a fresh run would produce.
+    write_atomic(&csv_path, &artifact::render_csv(&rows))?;
+    let meta = CampaignMeta {
+        name: spec.name.clone(),
+        scenario: spec.scenario,
+        master_seed: spec.master_seed,
+        replications: spec.replications,
+    };
+    write_atomic(&json_path, &artifact::render_json(&meta, &rows))?;
+
+    Ok(CampaignOutcome {
+        executed,
+        skipped,
+        csv_path,
+        json_path,
+        rows,
+    })
+}
+
+/// Runs every replication of one configuration and folds the results
+/// into a streaming aggregate (in replication order, so serial and
+/// parallel execution aggregate bit-identically).
+fn run_config(
+    spec: &CampaignSpec,
+    point: &ConfigPoint,
+    params: &ScenarioParams,
+    mode: Parallelism,
+) -> ConfigAggregate {
+    let stream = point.seed_stream(spec.master_seed);
+    let scenario = spec.scenario;
+    let run_one = |rep: u64| run_scenario(scenario, params, stream.derive(rep).seed());
+    let mut agg = ConfigAggregate::new();
+    match mode {
+        Parallelism::Serial => {
+            // Genuinely streaming: each record folds and drops.
+            for rep in 0..spec.replications {
+                agg.push(&run_one(rep));
+            }
+        }
+        Parallelism::Rayon => {
+            let metrics: Vec<RunMetrics> = (0..spec.replications)
+                .collect::<Vec<u64>>()
+                .into_par_iter()
+                .map(run_one)
+                .collect();
+            for m in &metrics {
+                agg.push(m);
+            }
+        }
+    }
+    agg
+}
+
+/// Loads resumable rows from a partial CSV. Rows computed under a
+/// different scenario, master seed or replication count are
+/// discarded — reusing them would silently break the campaign's
+/// determinism guarantee.
+fn load_existing_rows(csv_path: &Path, spec: &CampaignSpec) -> Result<Vec<ArtifactRow>, String> {
+    let text = match std::fs::read_to_string(csv_path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(format!("read {}: {e}", csv_path.display())),
+    };
+    let rows = artifact::parse_csv(&text)
+        .map_err(|e| format!("resume from {}: {e}", csv_path.display()))?;
+    Ok(rows
+        .into_iter()
+        .filter(|r| r.matches_campaign(spec.scenario, spec.master_seed, spec.replications))
+        .collect())
+}
+
+/// Writes via a temp file + rename so an interrupt never leaves a
+/// half-written artifact for resume to trip over.
+fn write_atomic(path: &Path, contents: &str) -> Result<(), String> {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, contents).map_err(|e| format!("write {}: {e}", tmp.display()))?;
+    std::fs::rename(&tmp, path).map_err(|e| format!("rename {}: {e}", path.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec(name: &str) -> CampaignSpec {
+        CampaignSpec::parse(&format!(
+            r#"
+[campaign]
+name = "{name}"
+scenario = "hidden_node"
+seed = 11
+replications = 2
+
+[fixed]
+delta = 50.0
+packets = 20
+
+[grid]
+mac = ["qma", "unslotted_csma"]
+"#
+        ))
+        .unwrap()
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("qma-campaign-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn fresh_run_then_resume_is_byte_identical() {
+        let dir = tmp_dir("resume");
+        let spec = tiny_spec("t");
+        let first = run_campaign(&spec, &dir, Parallelism::Serial, |_| {}).unwrap();
+        assert_eq!(first.executed, 2);
+        assert_eq!(first.skipped, 0);
+        let csv = std::fs::read(&first.csv_path).unwrap();
+        let json = std::fs::read(&first.json_path).unwrap();
+
+        // Complete artifact: everything resumes, bytes unchanged.
+        let resumed = run_campaign(&spec, &dir, Parallelism::Serial, |_| {}).unwrap();
+        assert_eq!(resumed.executed, 0);
+        assert_eq!(resumed.skipped, 2);
+        assert_eq!(std::fs::read(&resumed.csv_path).unwrap(), csv);
+        assert_eq!(std::fs::read(&resumed.json_path).unwrap(), json);
+
+        // Half-finished artifact: only the missing config recomputes,
+        // and the final bytes still match the fresh run.
+        let full = String::from_utf8(csv.clone()).unwrap();
+        let mut lines: Vec<&str> = full.lines().collect();
+        lines.remove(2); // drop the second config's row
+        std::fs::write(&first.csv_path, format!("{}\n", lines.join("\n"))).unwrap();
+        let half = run_campaign(&spec, &dir, Parallelism::Serial, |_| {}).unwrap();
+        assert_eq!(half.executed, 1);
+        assert_eq!(half.skipped, 1);
+        assert_eq!(std::fs::read(&half.csv_path).unwrap(), csv);
+        assert_eq!(std::fs::read(&half.json_path).unwrap(), json);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn serial_and_parallel_artifacts_agree() {
+        let dir_a = tmp_dir("ser");
+        let dir_b = tmp_dir("par");
+        let spec = tiny_spec("t");
+        let a = run_campaign(&spec, &dir_a, Parallelism::Serial, |_| {}).unwrap();
+        let b = run_campaign(&spec, &dir_b, Parallelism::Rayon, |_| {}).unwrap();
+        assert_eq!(
+            std::fs::read(&a.csv_path).unwrap(),
+            std::fs::read(&b.csv_path).unwrap()
+        );
+        let _ = std::fs::remove_dir_all(&dir_a);
+        let _ = std::fs::remove_dir_all(&dir_b);
+    }
+
+    #[test]
+    fn replication_mismatch_forces_recompute() {
+        let dir = tmp_dir("reps");
+        let spec = tiny_spec("t");
+        run_campaign(&spec, &dir, Parallelism::Serial, |_| {}).unwrap();
+        let mut bigger = spec.clone();
+        bigger.replications = 3;
+        let out = run_campaign(&bigger, &dir, Parallelism::Serial, |_| {}).unwrap();
+        assert_eq!(out.executed, 2, "stale 2-rep rows must not satisfy 3 reps");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn seed_mismatch_forces_recompute() {
+        // Editing the spec's master seed must not silently reuse rows
+        // computed under the old seed — that would break the "fixed
+        // master seed ⇒ byte-identical artifacts" guarantee.
+        let dir = tmp_dir("seed");
+        let spec = tiny_spec("t");
+        run_campaign(&spec, &dir, Parallelism::Serial, |_| {}).unwrap();
+        let mut reseeded = spec.clone();
+        reseeded.master_seed = 7;
+        let out = run_campaign(&reseeded, &dir, Parallelism::Serial, |_| {}).unwrap();
+        assert_eq!(
+            out.executed, 2,
+            "stale seed-11 rows must not satisfy seed 7"
+        );
+        assert_eq!(out.skipped, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scenario_specific_constraints_are_enforced() {
+        // A fluctuating campaign whose horizon ends before the
+        // 160–200 s measurement window must be rejected up front.
+        let dir = tmp_dir("short");
+        let spec = CampaignSpec::parse(
+            r#"
+[campaign]
+name = "t"
+scenario = "fluctuating"
+
+[fixed]
+duration_s = 150
+"#,
+        )
+        .unwrap();
+        let err = run_campaign(&spec, &dir, Parallelism::Serial, |_| {}).unwrap_err();
+        assert!(err.contains("duration_s"), "unhelpful error: {err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn invalid_grid_point_fails_before_running() {
+        let dir = tmp_dir("invalid");
+        let mut spec = tiny_spec("t");
+        spec.grid.push((
+            "nodes".into(),
+            vec![grid::ParamValue::Int(1)], // < 2 nodes is invalid
+        ));
+        let err = run_campaign(&spec, &dir, Parallelism::Serial, |_| {}).unwrap_err();
+        assert!(err.contains("nodes"), "unhelpful error: {err}");
+        assert!(
+            !dir.join("t.csv").exists(),
+            "must not leave artifacts for a rejected campaign"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

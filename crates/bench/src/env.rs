@@ -1,0 +1,129 @@
+//! Typed configuration from the `QMA_BENCH_*` environment variables.
+//!
+//! The benchmark and campaign binaries share one tuning surface;
+//! parsing it in a single struct keeps the variables documented in
+//! one place and the two binaries in agreement:
+//!
+//! * `QMA_BENCH_FAST=1` — shrink per-measurement budgets (CI smoke),
+//! * `QMA_BENCH_REPS=n` — replications for the `bench` binary's
+//!   throughput measurements (campaign replication counts live in
+//!   the spec file, which is the artifact's source of truth),
+//! * `QMA_BENCH_OUT=path` — report path of the `bench` binary,
+//! * `QMA_BENCH_OUT_DIR=dir` — artifact directory of the `campaign`
+//!   binary (default: the working directory).
+
+use std::time::Duration;
+
+/// Parsed `QMA_BENCH_*` configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchEnv {
+    /// `QMA_BENCH_FAST=1`: short per-measurement budgets.
+    pub fast: bool,
+    /// `QMA_BENCH_REPS`: replications for throughput measurement
+    /// (`None` = binary default).
+    pub reps: Option<u64>,
+    /// `QMA_BENCH_OUT`: JSON report path of the `bench` binary
+    /// (`None` = binary default).
+    pub out: Option<String>,
+    /// `QMA_BENCH_OUT_DIR`: artifact directory of the `campaign`
+    /// binary (`None` = working directory).
+    pub out_dir: Option<String>,
+}
+
+impl BenchEnv {
+    /// Reads the process environment.
+    pub fn from_env() -> Self {
+        Self::from_lookup(|k| std::env::var(k).ok())
+    }
+
+    /// Parses from an arbitrary lookup function (testable without
+    /// mutating the process environment).
+    pub fn from_lookup(get: impl Fn(&str) -> Option<String>) -> Self {
+        BenchEnv {
+            fast: get("QMA_BENCH_FAST").map(|v| v == "1").unwrap_or(false),
+            reps: get("QMA_BENCH_REPS")
+                .and_then(|v| v.parse().ok())
+                .filter(|&r| r > 0), // 0 would make every mean NaN
+            out: get("QMA_BENCH_OUT").filter(|v| !v.is_empty()),
+            out_dir: get("QMA_BENCH_OUT_DIR").filter(|v| !v.is_empty()),
+        }
+    }
+
+    /// Per-measurement budget for the micro-benchmarks: 20 ms under
+    /// `fast`, 300 ms otherwise.
+    pub fn budget(&self) -> Duration {
+        if self.fast {
+            Duration::from_millis(20)
+        } else {
+            Duration::from_millis(300)
+        }
+    }
+
+    /// Replication count with the binary's default applied.
+    pub fn reps_or(&self, default: u64) -> u64 {
+        self.reps.unwrap_or(default)
+    }
+
+    /// Report path with the binary's default applied.
+    pub fn out_or(&self, default: &str) -> String {
+        self.out.clone().unwrap_or_else(|| default.to_string())
+    }
+
+    /// Artifact directory with the working directory as default.
+    pub fn out_dir_or_cwd(&self) -> std::path::PathBuf {
+        self.out_dir
+            .as_deref()
+            .map(std::path::PathBuf::from)
+            .unwrap_or_else(|| std::path::PathBuf::from("."))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env_of(pairs: &[(&str, &str)]) -> BenchEnv {
+        let owned: Vec<(String, String)> = pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        BenchEnv::from_lookup(move |k| {
+            owned
+                .iter()
+                .find(|(key, _)| key == k)
+                .map(|(_, v)| v.clone())
+        })
+    }
+
+    #[test]
+    fn empty_environment_yields_defaults() {
+        let e = env_of(&[]);
+        assert!(!e.fast);
+        assert_eq!(e.reps_or(12), 12);
+        assert_eq!(e.out_or("a.json"), "a.json");
+        assert_eq!(e.out_dir_or_cwd(), std::path::PathBuf::from("."));
+        assert_eq!(e.budget(), Duration::from_millis(300));
+    }
+
+    #[test]
+    fn variables_override_defaults() {
+        let e = env_of(&[
+            ("QMA_BENCH_FAST", "1"),
+            ("QMA_BENCH_REPS", "3"),
+            ("QMA_BENCH_OUT", "x.json"),
+            ("QMA_BENCH_OUT_DIR", "artifacts"),
+        ]);
+        assert!(e.fast);
+        assert_eq!(e.budget(), Duration::from_millis(20));
+        assert_eq!(e.reps_or(12), 3);
+        assert_eq!(e.out_or("a.json"), "x.json");
+        assert_eq!(e.out_dir_or_cwd(), std::path::PathBuf::from("artifacts"));
+    }
+
+    #[test]
+    fn zero_and_garbage_reps_fall_back() {
+        assert_eq!(env_of(&[("QMA_BENCH_REPS", "0")]).reps_or(12), 12);
+        assert_eq!(env_of(&[("QMA_BENCH_REPS", "many")]).reps_or(12), 12);
+        assert!(!env_of(&[("QMA_BENCH_FAST", "yes")]).fast);
+    }
+}

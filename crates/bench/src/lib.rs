@@ -18,12 +18,24 @@
 //! master seed via [`qma_des::SeedSequence`], and results are
 //! collected in `(config, replication)` order — so aggregates are
 //! **bit-identical** between serial and parallel runs.
+//!
+//! The [`campaign`] module is the declarative sweep engine on top of
+//! it: the `campaign` binary expands a TOML spec (scenario ×
+//! parameter grid) into a deterministic config matrix, streams
+//! replication results into [`qma_stats`] accumulators and emits
+//! resumable CSV/JSON artifacts. [`env`] holds the typed
+//! `QMA_BENCH_*` configuration shared by the `bench` and `campaign`
+//! binaries.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod campaign;
+pub mod env;
 pub mod runner;
 pub mod timing;
+
+pub use env::BenchEnv;
 
 /// Master seed for experiment binaries.
 pub fn seed() -> u64 {

@@ -1,0 +1,151 @@
+//! Property tests for campaign grid expansion: determinism, exact
+//! cross-product coverage, and content-addressed seed stability
+//! under spec reordering.
+
+use proptest::prelude::*;
+
+use qma_bench::campaign::grid::{expand_grid, ParamValue};
+use qma_bench::campaign::spec::CampaignSpec;
+
+const KEY_POOL: [&str; 6] = ["alpha", "delta", "gamma", "nodes", "packets", "subslots"];
+
+/// An arbitrary grid: up to 4 axes drawn from the key pool (unique),
+/// each with 1–4 distinct integer values in arbitrary order.
+fn arb_grid() -> impl Strategy<Value = Vec<(String, Vec<ParamValue>)>> {
+    prop::collection::vec(
+        (
+            0usize..KEY_POOL.len(),
+            prop::collection::vec(0i64..50, 1..4),
+        ),
+        0..4,
+    )
+    .prop_map(|raw| {
+        let mut grid: Vec<(String, Vec<ParamValue>)> = Vec::new();
+        for (key_idx, values) in raw {
+            let key = KEY_POOL[key_idx];
+            if grid.iter().any(|(k, _)| k == key) {
+                continue; // axes must be unique
+            }
+            let mut distinct: Vec<i64> = values;
+            distinct.sort_unstable();
+            distinct.dedup();
+            grid.push((
+                key.to_string(),
+                distinct.into_iter().map(ParamValue::Int).collect(),
+            ));
+        }
+        grid
+    })
+}
+
+proptest! {
+    /// Expansion is a pure function: two calls over the same spec
+    /// content give identical matrices, in identical order.
+    #[test]
+    fn expansion_is_deterministic(grid in arb_grid()) {
+        let a = expand_grid(&[], &grid).unwrap();
+        let b = expand_grid(&[], &grid).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    /// The matrix is the full cross product, each combination exactly
+    /// once: the count is the product of the axis sizes, every key is
+    /// unique, and every point assigns every axis one of its values.
+    #[test]
+    fn expansion_covers_the_cross_product_exactly_once(grid in arb_grid()) {
+        let points = expand_grid(&[], &grid).unwrap();
+        let expected: usize = grid.iter().map(|(_, vs)| vs.len()).product();
+        prop_assert_eq!(points.len(), expected);
+
+        let keys: std::collections::BTreeSet<String> =
+            points.iter().map(|p| p.key()).collect();
+        prop_assert_eq!(keys.len(), points.len(), "duplicate combination");
+
+        for point in &points {
+            prop_assert_eq!(point.entries().len(), grid.len());
+            for (key, values) in &grid {
+                let assigned = point
+                    .entries()
+                    .iter()
+                    .find(|(k, _)| k == key)
+                    .map(|(_, v)| v.clone());
+                prop_assert!(
+                    assigned.map(|v| values.contains(&v)).unwrap_or(false),
+                    "axis {} missing or out of range in {}", key, point.key()
+                );
+            }
+        }
+    }
+
+    /// Per-config seeds are content-addressed: reordering the axes or
+    /// the values inside an axis changes neither a config's key nor
+    /// its seed stream (only the expansion order may change).
+    #[test]
+    fn seeds_are_stable_under_config_reordering(grid in arb_grid(), master in 0u64..1000) {
+        let mut reordered = grid.clone();
+        reordered.reverse();
+        for (_, values) in &mut reordered {
+            values.reverse();
+        }
+
+        let a = expand_grid(&[], &grid).unwrap();
+        let b = expand_grid(&[], &reordered).unwrap();
+        prop_assert_eq!(a.len(), b.len());
+
+        let seed_of = |points: &[qma_bench::campaign::grid::ConfigPoint]| {
+            points
+                .iter()
+                .map(|p| (p.key(), p.seed_stream(master).seed()))
+                .collect::<std::collections::BTreeMap<_, _>>()
+        };
+        prop_assert_eq!(seed_of(&a), seed_of(&b));
+    }
+
+    /// Distinct configurations get distinct seed streams (FNV-1a over
+    /// short canonical keys collides with negligible probability; a
+    /// collision here would mean two grid cells share randomness).
+    #[test]
+    fn distinct_configs_get_distinct_seeds(grid in arb_grid()) {
+        let points = expand_grid(&[], &grid).unwrap();
+        let labels: std::collections::BTreeSet<u64> =
+            points.iter().map(|p| p.seed_label()).collect();
+        prop_assert_eq!(labels.len(), points.len());
+    }
+}
+
+/// Every committed spec must parse, expand, and resolve every grid
+/// point into valid scenario parameters (without simulating).
+#[test]
+fn committed_specs_are_valid() {
+    let specs_dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../specs");
+    let mut seen = 0;
+    for entry in std::fs::read_dir(&specs_dir).expect("specs/ directory") {
+        let path = entry.unwrap().path();
+        if path.extension().and_then(|e| e.to_str()) != Some("toml") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let spec = CampaignSpec::parse(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let points = spec
+            .expand()
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        assert!(!points.is_empty(), "{}: empty matrix", path.display());
+        for point in &points {
+            point
+                .scenario_params()
+                .unwrap_or_else(|e| panic!("{}: {}: {e}", path.display(), point.key()));
+        }
+        seen += 1;
+    }
+    assert!(seen >= 4, "expected the 4 committed specs, found {seen}");
+}
+
+/// The smoke spec stays smoke-sized: CI runs it on every push.
+#[test]
+fn smoke_spec_is_tiny() {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../specs/smoke.toml");
+    let spec = CampaignSpec::parse(&std::fs::read_to_string(path).unwrap()).unwrap();
+    let points = spec.expand().unwrap();
+    assert!(points.len() <= 2, "smoke must stay at ≤ 2 configs");
+    assert_eq!(spec.replications, 1, "smoke must stay at 1 replication");
+}

@@ -70,8 +70,20 @@ impl FrameClock {
     /// subslots. The CAP occupies slots 1–8 of the 16-slot
     /// superframe (slot 0 carries the beacon).
     pub fn dsme_so3() -> Self {
+        Self::dsme_so3_subslots(54)
+    }
+
+    /// The DSME SO3 superframe with a custom subslot count M — the
+    /// frame-geometry knob campaign sweeps turn (the paper fixes
+    /// M = 54; the subslot count trades state-space size against
+    /// subslot duration).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `subslots` is zero or exceeds the CAP length in µs.
+    pub fn dsme_so3_subslots(subslots: u16) -> Self {
         let slot = SimDuration::from_micros(7_680); // 60·2³ symbols
-        FrameClock::new(slot * 16, slot, slot * 8, 54)
+        FrameClock::new(slot * 16, slot, slot * 8, subslots)
     }
 
     /// A standalone contention structure: the whole frame is CAP,

@@ -30,11 +30,39 @@ impl MacKind {
         }
     }
 
+    /// Canonical machine-readable key, the inverse of
+    /// [`MacKind::parse`] — used in campaign specs and artifacts.
+    pub fn key(self) -> &'static str {
+        match self {
+            MacKind::Qma => "qma",
+            MacKind::SlottedCsma => "slotted_csma",
+            MacKind::UnslottedCsma => "unslotted_csma",
+        }
+    }
+
+    /// Parses a campaign-spec scheme name (`qma`, `slotted_csma`,
+    /// `unslotted_csma`; `csma` aliases the unslotted variant).
+    pub fn parse(s: &str) -> Option<MacKind> {
+        match s {
+            "qma" => Some(MacKind::Qma),
+            "slotted_csma" => Some(MacKind::SlottedCsma),
+            "unslotted_csma" | "csma" => Some(MacKind::UnslottedCsma),
+            _ => None,
+        }
+    }
+
     /// Builds the MAC instance for one node as a statically
     /// dispatched [`MacImpl`] (no per-event vtable indirection).
     pub fn build(self, clock: &FrameClock) -> MacImpl {
+        self.build_with(clock, &QmaMacConfig::default())
+    }
+
+    /// Like [`MacKind::build`] but with an explicit QMA configuration,
+    /// so campaign sweeps can turn the learning knobs (α, γ, ξ,
+    /// retries). CSMA variants ignore `qma_cfg`.
+    pub fn build_with(self, clock: &FrameClock, qma_cfg: &QmaMacConfig) -> MacImpl {
         match self {
-            MacKind::Qma => MacImpl::qma(QmaMacConfig::default(), *clock),
+            MacKind::Qma => MacImpl::qma(qma_cfg.clone(), *clock),
             MacKind::SlottedCsma => MacImpl::csma(CsmaConfig::slotted(), *clock),
             MacKind::UnslottedCsma => MacImpl::csma(CsmaConfig::unslotted(), *clock),
         }

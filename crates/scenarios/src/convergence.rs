@@ -66,6 +66,29 @@ pub fn run(delta: f64, duration_s: u64, seed: u64) -> ConvergenceRun {
     }
 }
 
+/// Runs one replication of a campaign grid point: unlimited Poisson
+/// traffic at δ = `p.delta` from every source for `p.duration_s`
+/// simulated seconds, learner traces on. The auxiliary metric is the
+/// settle time of source 0's cumulative Q (seconds; the horizon when
+/// the series never settles), i.e. the Fig. 10 convergence speed as
+/// one scalar.
+pub fn run_grid(p: &crate::ScenarioParams, seed: u64) -> crate::RunMetrics {
+    let patterns = vec![
+        TrafficPattern::Poisson {
+            rate: p.delta,
+            start: SimTime::from_secs(100),
+            limit: None,
+        };
+        p.nodes - 1
+    ];
+    let (builder, sources, _sink) = crate::params::star_sim_builder(p, seed, true, patterns);
+    let mut sim = builder.build();
+    sim.run_until(SimTime::from_secs(p.duration_s));
+
+    let settle = settle_time(sim.metrics().q_sum_series(sources[0])).unwrap_or(p.duration_s as f64);
+    crate::params::collect_metrics(&sim, &sources, settle)
+}
+
 /// First time after which the series stays within 1 % of its final
 /// range.
 pub fn settle_time(series: &TimeSeries) -> Option<f64> {

@@ -68,6 +68,47 @@ pub fn run(duration_s: u64, seed: u64) -> FluctuatingRun {
     }
 }
 
+/// Runs one replication of a campaign grid point: source 0 alternates
+/// between δ = `p.delta` and 10·δ every 100 s (the Fig. 12 pattern,
+/// rescaled by the grid's δ); any further sources generate a constant
+/// 2.5·δ but join the network 100 s late, like the paper's node C.
+/// The auxiliary metric is the adaptation swing — how far source 0's
+/// cumulative Q moves between the settled slow and fast phases
+/// (|mean Q(60–100 s) − mean Q(160–200 s)|); larger means the learner
+/// visibly tracks the traffic switches.
+pub fn run_grid(p: &crate::ScenarioParams, seed: u64) -> crate::RunMetrics {
+    let mut patterns = vec![TrafficPattern::Alternating {
+        rates: (p.delta, 10.0 * p.delta),
+        period: SimDuration::from_secs(100),
+        start: SimTime::ZERO,
+        limit: None,
+    }];
+    patterns.resize(
+        p.nodes - 1,
+        TrafficPattern::Poisson {
+            rate: 2.5 * p.delta,
+            start: SimTime::from_secs(100),
+            limit: None,
+        },
+    );
+    let (mut builder, sources, _sink) = crate::params::star_sim_builder(p, seed, true, patterns);
+    for &late in &sources[1..] {
+        builder = builder.node_start(late, SimTime::from_secs(100));
+    }
+    let mut sim = builder.build();
+    sim.run_until(SimTime::from_secs(p.duration_s));
+
+    let q_a = sim.metrics().q_sum_series(sources[0]);
+    let swing = match (
+        window_mean(q_a, 60.0, 100.0),
+        window_mean(q_a, 160.0, 200.0),
+    ) {
+        (Some(slow), Some(fast)) => (slow - fast).abs(),
+        _ => 0.0,
+    };
+    crate::params::collect_metrics(&sim, &sources, swing)
+}
+
 /// Mean of a series within a time window (`None` when empty).
 pub fn window_mean(series: &TimeSeries, from_s: f64, to_s: f64) -> Option<f64> {
     let vals: Vec<f64> = series

@@ -100,6 +100,36 @@ pub fn run_once(mac: MacKind, delta: f64, packets: u64, seed: u64) -> HiddenNode
     }
 }
 
+/// Runs one replication of a campaign grid point: `p.nodes − 1`
+/// mutually hidden sources each generate `p.packets` Poisson packets
+/// at δ = `p.delta` starting at t = 100 s, and the run drains like
+/// the paper's Fig. 7–9 setup. The auxiliary metric is the mean
+/// data-phase queue level over all sources (the Fig. 8 quantity).
+pub fn run_grid(p: &crate::ScenarioParams, seed: u64) -> crate::RunMetrics {
+    let patterns = vec![
+        TrafficPattern::Poisson {
+            rate: p.delta,
+            start: qma_des::SimTime::from_secs(100),
+            limit: Some(p.packets),
+        };
+        p.nodes - 1
+    ];
+    let (builder, sources, _sink) = crate::params::star_sim_builder(p, seed, false, patterns);
+    let mut sim = builder.build();
+    // Queue accounting covers the data phase only, as in [`run_once`].
+    sim.run_until(qma_des::SimTime::from_secs(100));
+    sim.reset_queue_accounting();
+    let traffic_end = qma_des::SimTime::from_secs_f64(100.0 + p.packets as f64 / p.delta);
+    sim.run_until(hidden_node_horizon(p.delta, p.packets));
+
+    let queue = sources
+        .iter()
+        .map(|&s| sim.metrics().avg_queue_level_until(s, traffic_end))
+        .sum::<f64>()
+        / sources.len() as f64;
+    crate::params::collect_metrics(&sim, &sources, queue)
+}
+
 /// Runs the full sweep for Fig. 7/8/9.
 ///
 /// `quick` reduces the sweep to 4 rates, 3 replications and 150

@@ -17,6 +17,7 @@
 //! | [`markov`] | Fig. 26 (expected handshake messages) |
 //! | [`ablation`] | design-knob ablations (ξ, exploration, startup, rewards) |
 //! | [`tables`] | Tables 1–4 |
+//! | [`params`] | parameterized grid-point runs for campaign sweeps |
 //!
 //! Every experiment takes a master seed and a `quick` flag: `quick`
 //! shrinks replication counts and durations for CI while preserving
@@ -32,8 +33,10 @@ pub mod dsme_scale;
 pub mod fluctuating;
 pub mod hidden_node;
 pub mod markov;
+pub mod params;
 pub mod slots;
 pub mod tables;
 pub mod testbed;
 
 pub use common::{MacKind, UpperImpl};
+pub use params::{run_scenario, RunMetrics, ScenarioKind, ScenarioParams};

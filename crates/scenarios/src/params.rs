@@ -1,0 +1,396 @@
+//! Parameterized scenario constructors for campaign grid points.
+//!
+//! The per-figure modules ([`crate::hidden_node`],
+//! [`crate::convergence`], [`crate::fluctuating`]) reproduce the
+//! paper's exact hard-coded configurations. Campaign sweeps instead
+//! go through [`ScenarioParams`]: one struct holding every knob a
+//! grid can turn — population size, traffic rate, the QMA learning
+//! parameters (α, γ, ξ), frame geometry (subslot count M) and the
+//! retry budget — plus [`run_scenario`], which dispatches a grid
+//! point to the matching parameterized run and returns a uniform
+//! [`RunMetrics`] record ready for streaming aggregation.
+
+use qma_des::SimDuration;
+use qma_mac::{MacImpl, QmaMacConfig};
+use qma_net::{CollectionApp, CollectionConfig, TrafficPattern};
+use qma_netsim::{FrameClock, NodeId, Sim, SimBuilder};
+
+use crate::common::{collection_upper, MacKind, UpperImpl};
+
+/// Which experiment family a campaign grid point runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScenarioKind {
+    /// Mutually hidden sources around one sink; PDR/delay/drops after
+    /// a bounded packet budget (the Fig. 7–9 family, generalised over
+    /// the population size).
+    HiddenNode,
+    /// Unbounded traffic; how fast the learner settles (Fig. 10/11).
+    Convergence,
+    /// Alternating traffic on one source, late joiners on the rest
+    /// (Fig. 12); how strongly the Q-values track the switches.
+    Fluctuating,
+}
+
+impl ScenarioKind {
+    /// All scenario kinds.
+    pub const ALL: [ScenarioKind; 3] = [
+        ScenarioKind::HiddenNode,
+        ScenarioKind::Convergence,
+        ScenarioKind::Fluctuating,
+    ];
+
+    /// Canonical spec-file name, the inverse of [`ScenarioKind::parse`].
+    pub fn key(self) -> &'static str {
+        match self {
+            ScenarioKind::HiddenNode => "hidden_node",
+            ScenarioKind::Convergence => "convergence",
+            ScenarioKind::Fluctuating => "fluctuating",
+        }
+    }
+
+    /// Parses a spec-file scenario name.
+    pub fn parse(s: &str) -> Option<ScenarioKind> {
+        ScenarioKind::ALL.into_iter().find(|k| k.key() == s)
+    }
+
+    /// Name of the scenario-specific auxiliary metric carried in
+    /// [`RunMetrics::aux`].
+    pub fn aux_name(self) -> &'static str {
+        match self {
+            ScenarioKind::HiddenNode => "queue_level",
+            ScenarioKind::Convergence => "settle_time_s",
+            ScenarioKind::Fluctuating => "q_adaptation",
+        }
+    }
+}
+
+impl std::fmt::Display for ScenarioKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.key())
+    }
+}
+
+/// Every knob a campaign grid can sweep. Defaults reproduce the
+/// paper's evaluation setting (3 nodes, δ = 25 pkt/s, α = 0.5,
+/// γ = 0.9, ξ = 1, M = 54 subslots).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioParams {
+    /// Channel-access scheme.
+    pub mac: MacKind,
+    /// Total population including the sink (`nodes − 1` mutually
+    /// hidden sources).
+    pub nodes: usize,
+    /// Packet generation rate δ in pkt/s per source.
+    pub delta: f64,
+    /// Packets per source before the run drains
+    /// ([`ScenarioKind::HiddenNode`] only).
+    pub packets: u64,
+    /// Simulated horizon in seconds ([`ScenarioKind::Convergence`]
+    /// and [`ScenarioKind::Fluctuating`]).
+    pub duration_s: u64,
+    /// Learning rate α.
+    pub alpha: f32,
+    /// Discount factor γ.
+    pub gamma: f32,
+    /// Stochastic-environment penalty ξ.
+    pub xi: f32,
+    /// Subslots per frame M (frame geometry).
+    pub subslots: u16,
+    /// N_R — retransmissions before a packet is dropped.
+    pub max_retries: u8,
+}
+
+impl Default for ScenarioParams {
+    fn default() -> Self {
+        let mac_defaults = QmaMacConfig::default();
+        ScenarioParams {
+            mac: MacKind::Qma,
+            nodes: 3,
+            delta: 25.0,
+            packets: 150,
+            duration_s: 300,
+            alpha: mac_defaults.agent.params.alpha,
+            gamma: mac_defaults.agent.params.gamma,
+            xi: mac_defaults.agent.params.xi,
+            subslots: 54,
+            max_retries: mac_defaults.max_retries,
+        }
+    }
+}
+
+impl ScenarioParams {
+    /// The frame clock for this grid point (DSME SO3 geometry with
+    /// the requested subslot count).
+    pub fn clock(&self) -> FrameClock {
+        FrameClock::dsme_so3_subslots(self.subslots)
+    }
+
+    /// The QMA MAC configuration for this grid point.
+    pub fn qma_mac_config(&self) -> QmaMacConfig {
+        let mut cfg = QmaMacConfig::default();
+        cfg.agent.params.alpha = self.alpha;
+        cfg.agent.params.gamma = self.gamma;
+        cfg.agent.params.xi = self.xi;
+        cfg.max_retries = self.max_retries;
+        cfg
+    }
+
+    /// Validates structural constraints before a (possibly long)
+    /// campaign starts.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.nodes < 2 {
+            return Err(format!(
+                "nodes = {} needs at least a source and a sink",
+                self.nodes
+            ));
+        }
+        if self.delta <= 0.0 || !self.delta.is_finite() {
+            return Err(format!("delta = {} must be positive", self.delta));
+        }
+        if self.packets == 0 {
+            return Err("packets must be positive".into());
+        }
+        if self.duration_s == 0 {
+            return Err("duration_s must be positive".into());
+        }
+        // The DSME SO3 CAP is 8 × 7680 µs; more subslots than CAP
+        // microseconds would round the subslot duration to zero
+        // (FrameClock::new would panic mid-campaign otherwise).
+        if self.subslots == 0 || self.subslots as u64 > 8 * 7_680 {
+            return Err(format!(
+                "subslots = {} outside 1..={} (the SO3 CAP in µs)",
+                self.subslots,
+                8 * 7_680
+            ));
+        }
+        for (name, v) in [("alpha", self.alpha), ("gamma", self.gamma)] {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(format!("{name} = {v} outside [0, 1]"));
+            }
+        }
+        if self.xi < 0.0 {
+            return Err(format!("xi = {} must be non-negative", self.xi));
+        }
+        Ok(())
+    }
+
+    /// [`ScenarioParams::validate`] plus the constraints specific to
+    /// one scenario kind, so a campaign rejects a grid point whose
+    /// measurements could never be taken (instead of silently
+    /// reporting zeros hours into a sweep).
+    pub fn validate_for(&self, kind: ScenarioKind) -> Result<(), String> {
+        self.validate()?;
+        match kind {
+            ScenarioKind::HiddenNode => {}
+            // Data traffic starts at t = 100 s; a shorter horizon
+            // would measure the management phase only.
+            ScenarioKind::Convergence => {
+                if self.duration_s <= 100 {
+                    return Err(format!(
+                        "duration_s = {} must exceed the 100 s management \
+                         phase for convergence",
+                        self.duration_s
+                    ));
+                }
+            }
+            // The adaptation swing compares the 60–100 s slow window
+            // against the 160–200 s fast window.
+            ScenarioKind::Fluctuating => {
+                if self.duration_s < 200 {
+                    return Err(format!(
+                        "duration_s = {} must cover the 200 s measurement \
+                         windows of the fluctuating scenario",
+                        self.duration_s
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Uniform per-replication metrics: what every scenario reports into
+/// the streaming aggregator, one record per completed replication.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunMetrics {
+    /// Packet delivery ratio over all sources.
+    pub pdr: f64,
+    /// Mean end-to-end delay over all sources, seconds.
+    pub delay_s: f64,
+    /// Retry-limit drops summed over all sources.
+    pub retry_drops: u64,
+    /// Queue-overflow drops summed over all sources.
+    pub queue_drops: u64,
+    /// Simulation events processed.
+    pub events: u64,
+    /// Simulated seconds the replication covered.
+    pub sim_seconds: f64,
+    /// Scenario-specific extra (see [`ScenarioKind::aux_name`]).
+    pub aux: f64,
+}
+
+/// Builds the star simulation for one grid point: `p.nodes − 1`
+/// mutually hidden sources around the sink, each source running the
+/// pattern at its index in `patterns` (plus management chatter), the
+/// sink silent. Returns the builder so callers can stagger node
+/// starts before building.
+pub fn star_sim_builder(
+    p: &ScenarioParams,
+    seed: u64,
+    record_learner: bool,
+    patterns: Vec<TrafficPattern>,
+) -> (SimBuilder<MacImpl, UpperImpl>, Vec<NodeId>, NodeId) {
+    assert!(p.nodes >= 2, "need at least one source and the sink");
+    assert_eq!(patterns.len(), p.nodes - 1, "one pattern per source");
+    let topo = qma_topo::hidden_star(p.nodes - 1);
+    let sink = NodeId(topo.sink as u32);
+    let sources: Vec<NodeId> = topo.sources().map(|i| NodeId(i as u32)).collect();
+    let mac = p.mac;
+    let qma_cfg = p.qma_mac_config();
+    let builder = SimBuilder::new(topo.connectivity.clone(), seed)
+        .clock(p.clock())
+        .record_learner(record_learner)
+        .mac_factory(move |_, clock| mac.build_with(clock, &qma_cfg))
+        .upper_factory(move |node, _| {
+            let pattern = if node == sink {
+                TrafficPattern::Silent
+            } else {
+                patterns[node.index()].clone()
+            };
+            let app = CollectionApp::new(CollectionConfig {
+                pattern,
+                next_hop: (node != sink).then_some(sink),
+                sink,
+                payload_octets: 60,
+            });
+            collection_upper(app, node == sink, SimDuration::from_secs(5))
+        });
+    (builder, sources, sink)
+}
+
+/// Extracts the uniform metric record from a finished simulation.
+pub fn collect_metrics(sim: &Sim<MacImpl, UpperImpl>, sources: &[NodeId], aux: f64) -> RunMetrics {
+    let m = sim.metrics();
+    let retry_drops: u64 = sources.iter().map(|&s| m.mac(s).drops_retry).sum();
+    let queue_drops: u64 = m.get("app_mac_ca_drop") as u64
+        + sources
+            .iter()
+            .map(|&s| sim.world().queue(s).drops())
+            .sum::<u64>();
+    RunMetrics {
+        pdr: m.pdr_of(sources.iter().copied()).unwrap_or(0.0),
+        delay_s: m.mean_delay_of(sources.iter().copied()).unwrap_or(0.0),
+        retry_drops,
+        queue_drops,
+        events: sim.events_processed(),
+        sim_seconds: sim.now().as_micros() as f64 / 1e6,
+        aux,
+    }
+}
+
+/// Runs one replication of the grid point `(kind, p)` under `seed`.
+pub fn run_scenario(kind: ScenarioKind, p: &ScenarioParams, seed: u64) -> RunMetrics {
+    match kind {
+        ScenarioKind::HiddenNode => crate::hidden_node::run_grid(p, seed),
+        ScenarioKind::Convergence => crate::convergence::run_grid(p, seed),
+        ScenarioKind::Fluctuating => crate::fluctuating::run_grid(p, seed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_key_parse_roundtrip() {
+        for kind in ScenarioKind::ALL {
+            assert_eq!(ScenarioKind::parse(kind.key()), Some(kind));
+            assert!(!kind.aux_name().is_empty());
+        }
+        assert_eq!(ScenarioKind::parse("nope"), None);
+    }
+
+    #[test]
+    fn defaults_validate() {
+        ScenarioParams::default().validate().unwrap();
+    }
+
+    #[test]
+    fn validation_rejects_bad_knobs() {
+        let mut p = ScenarioParams {
+            nodes: 1,
+            ..ScenarioParams::default()
+        };
+        assert!(p.validate().is_err());
+        p.nodes = 3;
+        p.alpha = 1.5;
+        assert!(p.validate().is_err());
+        p.alpha = 0.5;
+        p.delta = 0.0;
+        assert!(p.validate().is_err());
+        p.delta = 25.0;
+        p.subslots = 62_000; // nonzero but beyond the SO3 CAP in µs
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn scenario_specific_horizons_are_checked() {
+        let short = ScenarioParams {
+            duration_s: 150,
+            ..ScenarioParams::default()
+        };
+        short.validate_for(ScenarioKind::HiddenNode).unwrap();
+        short.validate_for(ScenarioKind::Convergence).unwrap();
+        assert!(short.validate_for(ScenarioKind::Fluctuating).is_err());
+        let tiny = ScenarioParams {
+            duration_s: 90,
+            ..ScenarioParams::default()
+        };
+        assert!(tiny.validate_for(ScenarioKind::Convergence).is_err());
+    }
+
+    #[test]
+    fn qma_config_carries_the_knobs() {
+        let p = ScenarioParams {
+            alpha: 0.25,
+            gamma: 0.8,
+            xi: 2.0,
+            max_retries: 5,
+            ..ScenarioParams::default()
+        };
+        let cfg = p.qma_mac_config();
+        assert_eq!(cfg.agent.params.alpha, 0.25);
+        assert_eq!(cfg.agent.params.gamma, 0.8);
+        assert_eq!(cfg.agent.params.xi, 2.0);
+        assert_eq!(cfg.max_retries, 5);
+    }
+
+    #[test]
+    fn subslot_knob_reaches_the_clock() {
+        let p = ScenarioParams {
+            subslots: 27,
+            ..ScenarioParams::default()
+        };
+        assert_eq!(p.clock().subslots(), 27);
+    }
+
+    #[test]
+    fn run_scenario_dispatches_every_kind() {
+        // Tiny configurations: this is a wiring test, not a physics
+        // test — each kind must run and produce sane metrics.
+        let p = ScenarioParams {
+            delta: 10.0,
+            packets: 20,
+            duration_s: 210,
+            ..ScenarioParams::default()
+        };
+        for kind in ScenarioKind::ALL {
+            p.validate_for(kind).unwrap();
+            let m = run_scenario(kind, &p, 42);
+            assert!(m.events > 0, "{kind}: no events");
+            assert!((0.0..=1.0).contains(&m.pdr), "{kind}: pdr {}", m.pdr);
+            assert!(m.sim_seconds > 0.0);
+            assert!(m.aux.is_finite(), "{kind}: aux {}", m.aux);
+        }
+    }
+}

@@ -36,7 +36,7 @@ pub mod series;
 pub mod timeavg;
 pub mod welford;
 
-pub use ci::{mean_ci95, ConfidenceInterval};
+pub use ci::{ci95_of, mean_ci95, ConfidenceInterval};
 pub use dist::{Exponential, Poisson};
 pub use hist::Histogram;
 pub use series::{RollingAverage, TimeSeries};

@@ -3,6 +3,8 @@
 //! One constructor per evaluation scenario of the paper:
 //!
 //! * [`hidden_node`] — the 3-node hidden-terminal chain of Fig. 6,
+//! * [`hidden_star`] — the same constellation generalised to `n`
+//!   mutually hidden sources around one sink (campaign scale-up),
 //! * [`iotlab_tree`] — the FIT IoT-LAB Strasbourg routing tree of
 //!   Fig. 16 (10 nodes, depth 4, −9 dBm / −72 dBm),
 //! * [`iotlab_star`] — the 17-node star of Fig. 17 (3 dBm / −90 dBm,
@@ -21,7 +23,7 @@
 pub mod shapes;
 pub mod testbed;
 
-pub use shapes::{concentric_rings, grid, hidden_node, line, random_disk};
+pub use shapes::{concentric_rings, grid, hidden_node, hidden_star, line, random_disk};
 pub use testbed::{iotlab_star, iotlab_tree};
 
 use qma_phy::{Connectivity, Position};
@@ -125,6 +127,7 @@ mod tests {
     fn all_builtin_topologies_validate() {
         let mut all = vec![
             hidden_node(),
+            hidden_star(6),
             iotlab_tree(),
             iotlab_star(),
             line(5, 10.0),

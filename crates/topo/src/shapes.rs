@@ -26,6 +26,42 @@ pub fn hidden_node() -> Topology {
     }
 }
 
+/// A star of `sources` mutually hidden sources around a central
+/// sink — the Fig. 6 hidden-node constellation generalised to any
+/// population. Every source hears only the sink, so all
+/// `sources·(sources−1)/2` pairs are hidden from each other; with
+/// `sources = 2` this is exactly the paper's A — B — C chain
+/// (node order: sources first, sink last, matching the chain's
+/// "A, C are sources" reading).
+///
+/// Node order: 0..sources are the sources, `sources` is the sink.
+///
+/// # Panics
+///
+/// Panics if `sources == 0`.
+pub fn hidden_star(sources: usize) -> Topology {
+    assert!(sources >= 1, "a star needs at least one source");
+    let n = sources + 1;
+    let sink = sources;
+    let radius = 30.0;
+    let mut positions: Vec<Position> = (0..sources)
+        .map(|i| {
+            let angle = 2.0 * std::f64::consts::PI * i as f64 / sources as f64;
+            Position::polar(Position::ORIGIN, radius, angle)
+        })
+        .collect();
+    positions.push(Position::ORIGIN);
+    let edges: Vec<(u32, u32)> = (0..sources as u32).map(|i| (i, sink as u32)).collect();
+    Topology {
+        name: "hidden-star",
+        positions,
+        connectivity: Connectivity::symmetric(n, &edges),
+        labels: (0..n as u32).collect(),
+        sink,
+        parent: (0..n).map(|i| (i != sink).then_some(sink)).collect(),
+    }
+}
+
 /// A line of `n` nodes spaced `spacing` metres apart; node 0 is the
 /// sink and connectivity covers immediate neighbours only.
 ///
@@ -311,6 +347,39 @@ mod tests {
         let t = grid(3, 3, 10.0);
         assert_eq!(t.depth(8), 4); // opposite corner: 2 left + 2 up
         t.validate().unwrap();
+    }
+
+    #[test]
+    fn hidden_star_sources_are_mutually_hidden() {
+        for sources in [1usize, 2, 4, 8] {
+            let t = hidden_star(sources);
+            t.validate().unwrap();
+            assert_eq!(t.len(), sources + 1);
+            assert_eq!(t.sink, sources);
+            let sink = PhyNodeId(t.sink as u32);
+            for i in 0..sources {
+                assert!(t.connectivity.bidirectional(PhyNodeId(i as u32), sink));
+                for j in 0..sources {
+                    if i != j {
+                        assert!(
+                            !t.connectivity
+                                .hears(PhyNodeId(i as u32), PhyNodeId(j as u32)),
+                            "sources {i} and {j} must be hidden"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hidden_star_two_sources_matches_fig6_shape() {
+        // sources=2 is the A — B — C chain up to node numbering.
+        let star = hidden_star(2);
+        let chain = hidden_node();
+        assert_eq!(star.len(), chain.len());
+        // Both have exactly 2 bidirectional links and one hidden pair.
+        assert_eq!(star.sources().count(), chain.sources().count());
     }
 
     #[test]
