@@ -72,6 +72,52 @@ fn bench_scheduler(c: &mut Criterion) {
     });
 }
 
+/// Wheel vs heap at realistic pending-population sizes: `n` nodes all
+/// tick on subslot boundaries. The heap pays O(log n) per operation,
+/// the boundary wheel O(1) — the gap is the slot-kernel claim, made
+/// visible at micro scale (one schedule+pop per node per boundary).
+fn bench_wheel_vs_heap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wheel_vs_heap");
+    for n in [64u64, 1_024, 10_240] {
+        group.bench_function(&format!("heap_tick_{n}_nodes"), |b| {
+            let mut s: Scheduler<u32> = Scheduler::new();
+            let mut boundary = 0u64;
+            for k in 0..n {
+                s.schedule_at(SimTime::from_micros(boundary * 1_137), black_box(k as u32));
+            }
+            b.iter(|| {
+                // One full boundary: pop every node's tick, re-arm it
+                // for the next boundary.
+                boundary += 1;
+                for _ in 0..n {
+                    let e = s.pop().expect("tick pending");
+                    s.schedule_at(SimTime::from_micros(boundary * 1_137), black_box(e.event));
+                }
+            });
+        });
+        group.bench_function(&format!("wheel_tick_{n}_nodes"), |b| {
+            let mut s: Scheduler<u32> = Scheduler::new();
+            s.enable_wheel(128);
+            let mut boundary = 0u64;
+            for k in 0..n {
+                s.schedule_boundary(SimTime::from_micros(boundary * 1_137), boundary, k as u32);
+            }
+            b.iter(|| {
+                boundary += 1;
+                for _ in 0..n {
+                    let e = s.pop().expect("tick pending");
+                    s.schedule_boundary(
+                        SimTime::from_micros(boundary * 1_137),
+                        boundary,
+                        black_box(e.event),
+                    );
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
 fn bench_medium(c: &mut Criterion) {
     use qma_phy::{Medium, PhyNodeId};
     c.bench_function("medium_tx_roundtrip_91_nodes", |b| {
@@ -129,6 +175,7 @@ criterion_group!(
     bench_q_update,
     bench_agent_decision,
     bench_scheduler,
+    bench_wheel_vs_heap,
     bench_medium,
     bench_medium_fanout,
     bench_markov,

@@ -1,7 +1,7 @@
 //! Machine-readable performance baseline for the perf trajectory.
 //!
 //! Measures the paper-relevant hot paths and writes a flat JSON
-//! report (default `BENCH_pr2.json`, override with `QMA_BENCH_OUT`):
+//! report (default `BENCH_pr4.json`, override with `QMA_BENCH_OUT`):
 //!
 //! * `q_update_f32_ns` / `q_update_fixed16_ns` — one Q-table update,
 //!   the operation the paper bounds at "two multiplications, three
@@ -15,7 +15,14 @@
 //! * `replications_per_sec_serial` — the same with one worker,
 //! * `events_per_sec` / `ns_per_event` — simulation events through
 //!   the whole stack (DES pop → dispatch → MAC → medium) per
-//!   wall-clock second in the serial run,
+//!   wall-clock second in the serial run (boundary-wheel scheduler),
+//! * `events_per_sec_heap` / `wheel_heap_ratio` — the same workload
+//!   with the wheel disabled (every event through the binary heap);
+//!   the ratio is the slot-kernel speedup, and the run asserts the
+//!   two engines produce bit-identical aggregates,
+//! * `nodes_per_sec_10k` — simulated node-seconds per wall-clock
+//!   second on a 10 000-node massive hidden-star replication, plus
+//!   `massive_events_per_sec` / `massive_pdr_10k` for the same run,
 //! * `allocs_per_event` — heap allocations per simulation event
 //!   (only with `--features alloc-count`, which installs a counting
 //!   global allocator; the zero-allocation hot path keeps this at
@@ -184,9 +191,39 @@ fn bench_replication_throughput(reps: u64, mode: Parallelism) -> Throughput {
     }
 }
 
+/// Wall-clock metrics of one massive-scale replication.
+struct MassiveBench {
+    nodes: usize,
+    nodes_per_sec: f64,
+    events_per_sec: f64,
+    pdr: f64,
+}
+
+/// One 10k-node massive hidden-star replication under wall-clock
+/// timing: `nodes_per_sec` is simulated node-seconds per wall second,
+/// the scale figure of merit (events/sec undercounts parked nodes).
+fn bench_massive_10k(fast: bool) -> MassiveBench {
+    let p = qma_scenarios::ScenarioParams {
+        nodes: 10_001,
+        delta: 0.2,
+        packets: 5,
+        duration_s: if fast { 6 } else { 30 },
+        topology: qma_scenarios::MassiveTopology::HiddenStar,
+        ..qma_scenarios::ScenarioParams::default()
+    };
+    let (run, elapsed) = time_once(|| qma_scenarios::massive::run_once(&p, qma_bench::seed()));
+    let wall = elapsed.as_secs_f64().max(f64::MIN_POSITIVE);
+    MassiveBench {
+        nodes: run.nodes,
+        nodes_per_sec: run.nodes as f64 * run.sim_seconds / wall,
+        events_per_sec: run.events as f64 / wall,
+        pdr: run.pdr,
+    }
+}
+
 fn main() {
     let env = qma_bench::BenchEnv::from_env();
-    let out_path = env.out_or("BENCH_pr2.json");
+    let out_path = env.out_or("BENCH_pr4.json");
     let budget = env.budget();
     let reps = env.reps_or(12);
 
@@ -221,6 +258,35 @@ fn main() {
         "events/sec (ser)        {:>10.0}  ({ns_per_event:.1} ns/event, {} events)",
         ser.events_per_sec, ser.total_events
     );
+
+    // The same serial workload with the boundary wheel disabled:
+    // every event through the binary heap. Aggregates must be
+    // bit-identical — the wheel changes *when work happens in the
+    // scheduler*, never *what the simulation computes*.
+    qma_netsim::set_default_scheduler_wheel(false);
+    let heap = bench_replication_throughput(reps, Parallelism::Serial);
+    qma_netsim::set_default_scheduler_wheel(true);
+    assert_eq!(
+        ser.mean_pdr.to_bits(),
+        heap.mean_pdr.to_bits(),
+        "wheel and heap scheduling must produce bit-identical PDR"
+    );
+    assert_eq!(
+        ser.total_events, heap.total_events,
+        "wheel and heap scheduling must process identical event counts"
+    );
+    let wheel_heap_ratio = ser.events_per_sec / heap.events_per_sec.max(f64::MIN_POSITIVE);
+    println!(
+        "events/sec (heap)       {:>10.0}  (wheel/heap ratio {wheel_heap_ratio:.2})",
+        heap.events_per_sec
+    );
+
+    let massive = bench_massive_10k(env.fast);
+    println!(
+        "massive 10k nodes/sec   {:>10.0}  ({:.0} events/sec, {} nodes, PDR {:.3})",
+        massive.nodes_per_sec, massive.events_per_sec, massive.nodes, massive.pdr
+    );
+
     let allocs_per_event = ser.allocs as f64 / ser.total_events.max(1) as f64;
     if cfg!(feature = "alloc-count") {
         println!(
@@ -232,7 +298,7 @@ fn main() {
     let mut report = JsonReport::new();
     report
         .string("bench", "qma hot paths")
-        .string("pr", "2")
+        .string("pr", "4")
         .integer("threads", rayon::current_num_threads() as u64)
         .integer("replications", reps)
         .number("q_update_f32_ns", q32)
@@ -244,6 +310,12 @@ fn main() {
         .number("replication_mean_pdr", par.mean_pdr)
         .number("events_per_sec", ser.events_per_sec)
         .number("ns_per_event", ns_per_event)
+        .number("events_per_sec_heap", heap.events_per_sec)
+        .number("wheel_heap_ratio", wheel_heap_ratio)
+        .integer("massive_nodes", massive.nodes as u64)
+        .number("nodes_per_sec_10k", massive.nodes_per_sec)
+        .number("massive_events_per_sec", massive.events_per_sec)
+        .number("massive_pdr_10k", massive.pdr)
         .integer("events_per_replication", ser.total_events / reps.max(1));
     if cfg!(feature = "alloc-count") {
         report.number("allocs_per_event", allocs_per_event);

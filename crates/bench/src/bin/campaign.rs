@@ -10,7 +10,11 @@
 //! * `--out-dir DIR` — artifact directory (also `QMA_BENCH_OUT_DIR`;
 //!   default: the working directory),
 //! * `--dry-run` — expand and list the config matrix without
-//!   simulating.
+//!   simulating,
+//! * `--scheduler wheel|heap` — scheduling engine (default `wheel`;
+//!   `heap` routes every event through the binary heap). Artifacts
+//!   are byte-identical either way — the flag exists to prove exactly
+//!   that, and to benchmark the boundary wheel against its fallback.
 //!
 //! Each spec produces `<name>.csv` and `<name>.json` in the artifact
 //! directory. Re-running a half-finished campaign resumes: configs
@@ -45,10 +49,21 @@ fn parse_args() -> Result<Args, String> {
             "--out-dir" => {
                 out_dir = PathBuf::from(argv.next().ok_or("--out-dir needs a directory")?)
             }
+            "--scheduler" => {
+                match argv.next().as_deref() {
+                    Some("wheel") => qma_netsim::set_default_scheduler_wheel(true),
+                    Some("heap") => qma_netsim::set_default_scheduler_wheel(false),
+                    other => {
+                        return Err(format!(
+                            "--scheduler needs `wheel` or `heap`, got {other:?}"
+                        ))
+                    }
+                };
+            }
             "--help" | "-h" => {
-                return Err(
-                    "usage: campaign [--serial] [--dry-run] [--out-dir DIR] SPEC.toml...".into(),
-                )
+                return Err("usage: campaign [--serial] [--dry-run] [--out-dir DIR] \
+                     [--scheduler wheel|heap] SPEC.toml..."
+                    .into())
             }
             flag if flag.starts_with('-') => return Err(format!("unknown flag {flag}")),
             spec => specs.push(PathBuf::from(spec)),

@@ -15,7 +15,7 @@
 //!    resumed campaign produce byte-identical artifacts.
 
 use qma_des::SeedSequence;
-use qma_scenarios::{MacKind, ScenarioParams};
+use qma_scenarios::{MacKind, MassiveTopology, ScenarioParams};
 
 use super::spec::TomlValue;
 
@@ -162,10 +162,16 @@ fn apply_param(p: &mut ScenarioParams, key: &str, value: &ParamValue) -> Result<
             let v = value.as_u64().ok_or_else(bad)?;
             p.max_retries = u8::try_from(v).map_err(|_| bad())?;
         }
+        "topology" => {
+            let ParamValue::Str(s) = value else {
+                return Err(bad());
+            };
+            p.topology = MassiveTopology::parse(s).ok_or_else(bad)?;
+        }
         other => {
             return Err(format!(
                 "unknown parameter {other} (known: mac, nodes, delta, packets, \
-                 duration_s, alpha, gamma, xi, subslots, max_retries)"
+                 duration_s, alpha, gamma, xi, subslots, max_retries, topology)"
             ))
         }
     }

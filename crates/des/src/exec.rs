@@ -72,16 +72,16 @@ impl Executor {
             if processed >= self.max_events {
                 return (StopReason::EventBudgetExhausted, sched.now());
             }
-            // peek_time is non-mutating O(1) on the indexed heap, so
-            // the horizon check costs one slot read per event.
-            match sched.peek_time() {
-                None => return (StopReason::QueueEmpty, sched.now()),
-                Some(t) if t > horizon => return (StopReason::HorizonReached, horizon),
-                Some(_) => {}
+            // One merged head inspection per event: the horizon check
+            // and the pop share a single heap/wheel head read.
+            match sched.pop_at_or_before(horizon) {
+                Some(entry) => {
+                    handler.handle(entry.time, entry.event, sched);
+                    processed += 1;
+                }
+                None if sched.is_empty() => return (StopReason::QueueEmpty, sched.now()),
+                None => return (StopReason::HorizonReached, horizon),
             }
-            let entry = sched.pop().expect("non-empty queue must pop");
-            handler.handle(entry.time, entry.event, sched);
-            processed += 1;
         }
     }
 }

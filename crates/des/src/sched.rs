@@ -50,6 +50,175 @@ pub struct EventKey {
     gen: u32,
 }
 
+impl EventKey {
+    /// The key of an event that cannot be cancelled — what
+    /// [`Scheduler::pop`] reports for wheel-scheduled boundary events
+    /// (see [`Scheduler::schedule_boundary`]). Passing it to
+    /// [`Scheduler::cancel`] is a no-op.
+    pub const DETACHED: EventKey = EventKey {
+        idx: u32::MAX,
+        gen: u32::MAX,
+    };
+}
+
+/// One pending entry of a [`BoundaryWheel`] bucket: `(seq, time,
+/// event)`. The event is an `Option` only so consumption can move it
+/// out while the bucket keeps its allocation (buckets are recycled
+/// every wheel revolution; reallocating per revolution would put an
+/// allocation back on the hot path).
+type WheelEntry<E> = (u64, SimTime, Option<E>);
+
+#[derive(Debug)]
+struct WheelBucket<E> {
+    /// Global boundary index currently mapped onto this ring slot
+    /// (meaningful only while `entries` is non-empty).
+    index: u64,
+    entries: Vec<WheelEntry<E>>,
+}
+
+/// A bucketed calendar for events whose deadlines land on a known
+/// monotone grid of *boundary indices* (in QMA: DSME subslot
+/// boundaries, index = `frame × M + subslot`).
+///
+/// The caller supplies the index alongside the timestamp, so insertion
+/// is O(1) — one ring lookup plus a `Vec` push — and so is popping the
+/// head. Within a bucket, entries are consumed in insertion order,
+/// which equals ascending global sequence number because the scheduler
+/// hands out monotone sequence numbers; across buckets the caller's
+/// contract (time strictly increases with index) keeps time order.
+/// Together with the two-source merge in [`Scheduler::pop`] this
+/// preserves the exact `(time, seq)` total order of the heap-only
+/// scheduler, bit for bit.
+#[derive(Debug)]
+struct BoundaryWheel<E> {
+    /// Ring size − 1 (size is a power of two).
+    mask: u64,
+    buckets: Vec<WheelBucket<E>>,
+    /// Global boundary index of the bucket holding the earliest
+    /// pending entries. Valid only while `len > 0`.
+    cursor: u64,
+    /// Consumption position inside the cursor bucket.
+    head_pos: usize,
+    /// Live entries across all buckets (exact).
+    len: usize,
+}
+
+impl<E> BoundaryWheel<E> {
+    fn new(window: usize) -> Self {
+        let size = window.max(2).next_power_of_two();
+        BoundaryWheel {
+            mask: size as u64 - 1,
+            buckets: (0..size)
+                .map(|_| WheelBucket {
+                    index: 0,
+                    entries: Vec::new(),
+                })
+                .collect(),
+            cursor: 0,
+            head_pos: 0,
+            len: 0,
+        }
+    }
+
+    /// Inserts an entry; hands the event back when it does not fit the
+    /// ring (outside the window, or its slot is aliased by a pending
+    /// bucket of a different index) so the caller can fall back to the
+    /// heap.
+    fn insert(&mut self, time: SimTime, index: u64, seq: u64, event: E) -> Result<(), E> {
+        if self.len == 0 {
+            self.cursor = index;
+            self.head_pos = 0;
+        } else if index < self.cursor {
+            // An earlier boundary than anything pending (e.g. a parked
+            // MAC re-armed for the current subslot while others sleep
+            // further ahead): move the cursor back if the slot is
+            // free.
+            if !self.buckets[(index & self.mask) as usize]
+                .entries
+                .is_empty()
+            {
+                return Err(event);
+            }
+            self.cursor = index;
+            self.head_pos = 0;
+        } else if index - self.cursor > self.mask {
+            return Err(event); // beyond the ring window
+        }
+        let bucket = &mut self.buckets[(index & self.mask) as usize];
+        if bucket.entries.is_empty() {
+            bucket.index = index;
+        } else if bucket.index != index {
+            return Err(event); // ring slot aliased by another index
+        } else {
+            // Same bucket ⇒ the caller promised the same timestamp,
+            // and monotone seqs keep the bucket sorted by appending.
+            debug_assert_eq!(
+                bucket.entries[0].1, time,
+                "boundary index maps to two times"
+            );
+        }
+        bucket.entries.push((seq, time, Some(event)));
+        self.len += 1;
+        Ok(())
+    }
+
+    /// `(time, seq)` of the earliest pending entry.
+    #[inline]
+    fn head(&self) -> Option<(SimTime, u64)> {
+        if self.len == 0 {
+            return None;
+        }
+        let bucket = &self.buckets[(self.cursor & self.mask) as usize];
+        let (seq, time, _) = &bucket.entries[self.head_pos];
+        Some((*time, *seq))
+    }
+
+    /// Removes and returns the earliest pending entry together with
+    /// the *next* head's `(time, seq)` — computed while the bucket is
+    /// still hot in cache, so the scheduler's mirrored head needs no
+    /// second pointer chase. Must only be called when
+    /// [`BoundaryWheel::head`] is `Some`.
+    fn pop(&mut self) -> (SimTime, E, Option<(SimTime, u64)>) {
+        let slot = (self.cursor & self.mask) as usize;
+        let bucket = &mut self.buckets[slot];
+        let (time, event) = {
+            let entry = &mut bucket.entries[self.head_pos];
+            (entry.1, entry.2.take().expect("entry taken twice"))
+        };
+        self.head_pos += 1;
+        self.len -= 1;
+        let next_head = if self.head_pos < bucket.entries.len() {
+            // Same bucket: the successor sits on the line just read.
+            let (seq, t, _) = &bucket.entries[self.head_pos];
+            Some((*t, *seq))
+        } else {
+            bucket.entries.clear(); // keep the allocation
+            self.head_pos = 0;
+            if self.len > 0 {
+                self.advance_cursor();
+                self.head()
+            } else {
+                None
+            }
+        };
+        (time, event, next_head)
+    }
+
+    /// Walks the cursor forward to the next pending bucket. Bounded by
+    /// the ring size; amortized O(1) because the cursor only ever
+    /// moves forward through indices that held (or could have held)
+    /// one bucket each.
+    fn advance_cursor(&mut self) {
+        loop {
+            self.cursor += 1;
+            let bucket = &self.buckets[(self.cursor & self.mask) as usize];
+            if !bucket.entries.is_empty() && bucket.index == self.cursor {
+                break;
+            }
+        }
+    }
+}
+
 /// An event popped from the scheduler.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EventEntry<E> {
@@ -93,16 +262,28 @@ struct Slot<E> {
 /// let next = s.pop().unwrap();
 /// assert_eq!(next.event, "b");
 /// ```
+// Field order groups the per-event-hot state (heap metadata, mirrored
+// wheel head, clock, sequence counter) at the front so the pop/peek
+// merge works out of one or two cache lines; the slab, free list and
+// cold counters follow.
 #[derive(Debug)]
 pub struct Scheduler<E> {
-    slots: Vec<Slot<E>>,
-    free: Vec<u32>,
     /// Min-heap of `(time, seq, slot)` entries ordered by
     /// `(time, seq)`.
     heap: Vec<HeapEntry>,
+    /// `(time, seq)` of the wheel's earliest entry, mirrored inline so
+    /// the per-event peek/pop merge reads one scheduler field instead
+    /// of chasing `Box → buckets → entries` twice per event.
+    wheel_head: Option<(SimTime, u64)>,
     now: SimTime,
     next_seq: u64,
-    scheduled_total: u64,
+    /// O(1) calendar for boundary-aligned events (see
+    /// [`Scheduler::schedule_boundary`]); `None` until
+    /// [`Scheduler::enable_wheel`].
+    wheel: Option<Box<BoundaryWheel<E>>>,
+    slots: Vec<Slot<E>>,
+    free: Vec<u32>,
+    wheel_scheduled_total: u64,
     popped_total: u64,
     past_clamps: u64,
 }
@@ -120,9 +301,11 @@ impl<E> Scheduler<E> {
             slots: Vec::new(),
             free: Vec::new(),
             heap: Vec::new(),
+            wheel: None,
+            wheel_head: None,
             now: SimTime::ZERO,
             next_seq: 0,
-            scheduled_total: 0,
+            wheel_scheduled_total: 0,
             popped_total: 0,
             past_clamps: 0,
         }
@@ -135,12 +318,29 @@ impl<E> Scheduler<E> {
             slots: Vec::with_capacity(capacity),
             free: Vec::new(),
             heap: Vec::with_capacity(capacity),
+            wheel: None,
+            wheel_head: None,
             now: SimTime::ZERO,
             next_seq: 0,
-            scheduled_total: 0,
+            wheel_scheduled_total: 0,
             popped_total: 0,
             past_clamps: 0,
         }
+    }
+
+    /// Attaches a boundary calendar with (at least) `window` ring
+    /// slots, enabling the O(1) path of
+    /// [`Scheduler::schedule_boundary`]. The window bounds how far
+    /// ahead of the earliest pending boundary an event may be wheeled;
+    /// events beyond it transparently fall back to the heap. The ring
+    /// size is rounded up to a power of two and capped at 4096.
+    pub fn enable_wheel(&mut self, window: usize) {
+        self.wheel = Some(Box::new(BoundaryWheel::new(window.min(4096))));
+    }
+
+    /// Whether a boundary calendar is attached.
+    pub fn wheel_enabled(&self) -> bool {
+        self.wheel.is_some()
     }
 
     /// The current simulated time (the timestamp of the most recently
@@ -162,7 +362,6 @@ impl<E> Scheduler<E> {
         };
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.scheduled_total += 1;
 
         let pos = self.heap.len() as u32;
         let idx = match self.free.pop() {
@@ -212,6 +411,48 @@ impl<E> Scheduler<E> {
         self.schedule_at(self.now + delay, event)
     }
 
+    /// Schedules `event` at the boundary instant `time` carrying the
+    /// caller-computed global boundary `index` — O(1) when the wheel
+    /// is enabled and the index fits its window, falling back to the
+    /// ordinary heap otherwise (identical delivery order either way).
+    ///
+    /// Contract: over one scheduler's lifetime the `index → time`
+    /// mapping must be strictly monotone and consistent (equal indices
+    /// ⇒ equal times, larger index ⇒ later time). QMA's frame clock
+    /// satisfies this with `index = frame × M + subslot`.
+    ///
+    /// Wheel-scheduled events cannot be cancelled; their
+    /// [`EventEntry::key`] is [`EventKey::DETACHED`]. Use
+    /// [`Scheduler::schedule_at`] for cancellable events.
+    #[inline]
+    pub fn schedule_boundary(&mut self, time: SimTime, index: u64, event: E) {
+        if time < self.now {
+            let time = self.clamp_past(time);
+            self.schedule_at(time, event);
+            return;
+        }
+        let Some(wheel) = &mut self.wheel else {
+            self.schedule_at(time, event);
+            return;
+        };
+        let seq = self.next_seq;
+        match wheel.insert(time, index, seq, event) {
+            Ok(()) => {
+                self.next_seq += 1;
+                self.wheel_scheduled_total += 1;
+                // Monotone seqs mean a later insert only displaces the
+                // head when its (time, seq) is strictly smaller, i.e.
+                // when it landed on an earlier boundary.
+                if self.wheel_head.is_none_or(|h| (time, seq) < h) {
+                    self.wheel_head = Some((time, seq));
+                }
+            }
+            Err(event) => {
+                self.schedule_at(time, event);
+            }
+        }
+    }
+
     /// Cancels a previously scheduled event in O(log n), removing it
     /// from the queue immediately. Cancelling an already fired or
     /// already cancelled key is a no-op (generation counters make
@@ -228,10 +469,61 @@ impl<E> Scheduler<E> {
         self.release(key.idx);
     }
 
-    /// Removes and returns the earliest pending event, advancing
+    /// Removes and returns the earliest pending event across the heap
+    /// and the boundary wheel (exact `(time, seq)` merge), advancing
     /// `now`. Returns `None` when empty.
+    #[inline]
     pub fn pop(&mut self) -> Option<EventEntry<E>> {
-        let head = *self.heap.first()?;
+        if let Some(w) = self.wheel_head {
+            // Sequence numbers are globally unique, so the two heads
+            // never compare equal — the merge is a total order.
+            let heap_first = self.heap.first().is_some_and(|e| (e.time, e.seq) < w);
+            return Some(if heap_first {
+                self.pop_heap()
+            } else {
+                self.pop_wheel()
+            });
+        }
+        // Heap-only fast path: the common shape for schedulers without
+        // a wheel (and for drained wheels).
+        if self.heap.is_empty() {
+            return None;
+        }
+        Some(self.pop_heap())
+    }
+
+    /// [`Scheduler::pop`] bounded by a time horizon: pops only if the
+    /// earliest pending event fires at or before `horizon`. One merged
+    /// head inspection instead of a separate peek + pop — the shape
+    /// the executor's run loop wants.
+    #[inline]
+    pub fn pop_at_or_before(&mut self, horizon: SimTime) -> Option<EventEntry<E>> {
+        if let Some(w) = self.wheel_head {
+            let heap_head = self.heap.first().map(|e| (e.time, e.seq));
+            let heap_first = heap_head.is_some_and(|h| h < w);
+            let head_time = if heap_first {
+                heap_head.expect("checked").0
+            } else {
+                w.0
+            };
+            if head_time > horizon {
+                return None;
+            }
+            return Some(if heap_first {
+                self.pop_heap()
+            } else {
+                self.pop_wheel()
+            });
+        }
+        match self.heap.first() {
+            Some(e) if e.time <= horizon => Some(self.pop_heap()),
+            _ => None,
+        }
+    }
+
+    #[inline]
+    fn pop_heap(&mut self) -> EventEntry<E> {
+        let head = self.heap[0];
         self.remove_heap_entry(0);
         let idx = head.idx;
         let slot = &mut self.slots[idx as usize];
@@ -244,28 +536,57 @@ impl<E> Scheduler<E> {
         self.now = entry.time;
         self.popped_total += 1;
         self.release_taken(idx);
-        Some(entry)
+        entry
     }
 
-    /// Timestamp of the next pending event, without popping it. O(1)
-    /// and non-mutating.
+    #[inline]
+    fn pop_wheel(&mut self) -> EventEntry<E> {
+        let wheel = self.wheel.as_mut().expect("wheel head checked");
+        let (time, event, next_head) = wheel.pop();
+        self.wheel_head = next_head;
+        debug_assert!(time >= self.now);
+        self.now = time;
+        self.popped_total += 1;
+        EventEntry {
+            time,
+            key: EventKey::DETACHED,
+            event,
+        }
+    }
+
+    /// Timestamp of the next pending event — across the heap *and* the
+    /// wheel buckets — without popping it. O(1) and non-mutating.
+    #[inline]
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.first().map(|e| e.time)
+        let Some(w) = self.wheel_head else {
+            return self.heap.first().map(|e| e.time);
+        };
+        match self.heap.first() {
+            Some(e) if (e.time, e.seq) < w => Some(e.time),
+            _ => Some(w.0),
+        }
     }
 
-    /// Number of pending events, exact in O(1).
+    /// Number of pending events (heap + wheel buckets), exact in O(1).
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.heap.len() + self.wheel.as_deref().map_or(0, |w| w.len)
     }
 
-    /// Returns `true` when no events are pending, exact in O(1).
+    /// Returns `true` when no events are pending in either the heap or
+    /// the wheel, exact in O(1).
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 
     /// Total number of events ever scheduled (for throughput metrics).
     pub fn scheduled_total(&self) -> u64 {
-        self.scheduled_total
+        self.next_seq
+    }
+
+    /// How many of the scheduled events took the O(1) wheel path
+    /// (throughput diagnostics; the remainder went through the heap).
+    pub fn wheel_scheduled_total(&self) -> u64 {
+        self.wheel_scheduled_total
     }
 
     /// Total number of events ever popped — i.e. delivered to a
@@ -588,5 +909,184 @@ mod tests {
         s.schedule_at(SimTime::from_secs(1), 1);
         assert_eq!(s.pop().unwrap().event, 1);
         assert_eq!(s.past_clamps(), 0);
+    }
+
+    // ---- boundary-wheel tests ----
+
+    /// The boundary grid used by the wheel tests: boundary `i` fires
+    /// at `i` milliseconds (strictly monotone, consistent).
+    fn boundary_time(i: u64) -> SimTime {
+        SimTime::from_millis(i)
+    }
+
+    #[test]
+    fn wheel_pops_in_boundary_order() {
+        let mut s: Scheduler<u32> = Scheduler::new();
+        s.enable_wheel(16);
+        for i in [3u64, 1, 2, 1] {
+            s.schedule_boundary(boundary_time(i), i, i as u32);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| s.pop().map(|e| e.event)).collect();
+        assert_eq!(order, vec![1, 1, 2, 3]);
+        assert_eq!(s.wheel_scheduled_total(), 4);
+    }
+
+    #[test]
+    fn wheel_len_is_empty_peek_account_for_buckets() {
+        let mut s: Scheduler<u32> = Scheduler::new();
+        s.enable_wheel(16);
+        assert!(s.is_empty());
+
+        // Non-empty wheel, empty heap.
+        s.schedule_boundary(boundary_time(2), 2, 20);
+        s.schedule_boundary(boundary_time(2), 2, 21);
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+        assert_eq!(s.peek_time(), Some(boundary_time(2)));
+
+        // Empty wheel, non-empty heap.
+        let mut h: Scheduler<u32> = Scheduler::new();
+        h.enable_wheel(16);
+        h.schedule_at(SimTime::from_millis(5), 50);
+        assert_eq!(h.len(), 1);
+        assert!(!h.is_empty());
+        assert_eq!(h.peek_time(), Some(SimTime::from_millis(5)));
+
+        // Both populated: peek sees the earlier source.
+        h.schedule_boundary(boundary_time(1), 1, 10);
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.peek_time(), Some(boundary_time(1)));
+        assert_eq!(h.pop().unwrap().event, 10);
+        assert_eq!(h.peek_time(), Some(SimTime::from_millis(5)));
+        assert_eq!(h.pop().unwrap().event, 50);
+        assert!(h.is_empty());
+        assert_eq!(h.peek_time(), None);
+    }
+
+    #[test]
+    fn wheel_heap_tie_breaks_by_sequence_both_ways() {
+        // Heap first, wheel second at the same instant: FIFO says the
+        // heap event fires first.
+        let mut s: Scheduler<&str> = Scheduler::new();
+        s.enable_wheel(16);
+        s.schedule_at(boundary_time(4), "heap");
+        s.schedule_boundary(boundary_time(4), 4, "wheel");
+        assert_eq!(s.pop().unwrap().event, "heap");
+        assert_eq!(s.pop().unwrap().event, "wheel");
+
+        // Wheel first, heap second: the wheel event fires first.
+        let mut s: Scheduler<&str> = Scheduler::new();
+        s.enable_wheel(16);
+        s.schedule_boundary(boundary_time(4), 4, "wheel");
+        s.schedule_at(boundary_time(4), "heap");
+        assert_eq!(s.pop().unwrap().event, "wheel");
+        assert_eq!(s.pop().unwrap().event, "heap");
+    }
+
+    #[test]
+    fn wheel_events_report_detached_keys_and_resist_cancel() {
+        let mut s: Scheduler<u32> = Scheduler::new();
+        s.enable_wheel(16);
+        s.schedule_boundary(boundary_time(1), 1, 7);
+        s.cancel(EventKey::DETACHED); // must be a harmless no-op
+        assert_eq!(s.len(), 1);
+        let e = s.pop().unwrap();
+        assert_eq!(e.event, 7);
+        assert_eq!(e.key, EventKey::DETACHED);
+    }
+
+    #[test]
+    fn wheel_window_overflow_falls_back_to_heap() {
+        let mut s: Scheduler<u32> = Scheduler::new();
+        s.enable_wheel(4); // ring size 4
+        s.schedule_boundary(boundary_time(1), 1, 1);
+        // Index 100 is far outside the 4-slot window → heap fallback,
+        // but ordering must be preserved regardless.
+        s.schedule_boundary(boundary_time(100), 100, 100);
+        s.schedule_boundary(boundary_time(2), 2, 2);
+        assert_eq!(s.len(), 3);
+        let order: Vec<u32> = std::iter::from_fn(|| s.pop().map(|e| e.event)).collect();
+        assert_eq!(order, vec![1, 2, 100]);
+        assert_eq!(s.wheel_scheduled_total(), 2);
+    }
+
+    #[test]
+    fn wheel_cursor_moves_back_for_earlier_boundary() {
+        // A parked node re-arming for an earlier boundary than the
+        // earliest pending one (the on_enqueue wake-up pattern).
+        let mut s: Scheduler<u32> = Scheduler::new();
+        s.enable_wheel(16);
+        s.schedule_boundary(boundary_time(9), 9, 9);
+        s.schedule_boundary(boundary_time(3), 3, 3);
+        assert_eq!(s.peek_time(), Some(boundary_time(3)));
+        assert_eq!(s.pop().unwrap().event, 3);
+        assert_eq!(s.pop().unwrap().event, 9);
+    }
+
+    #[test]
+    fn without_wheel_schedule_boundary_uses_the_heap() {
+        let mut s: Scheduler<u32> = Scheduler::new();
+        assert!(!s.wheel_enabled());
+        s.schedule_boundary(boundary_time(2), 2, 2);
+        s.schedule_boundary(boundary_time(1), 1, 1);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.wheel_scheduled_total(), 0);
+        assert_eq!(s.pop().unwrap().event, 1);
+        assert_eq!(s.pop().unwrap().event, 2);
+    }
+
+    #[test]
+    fn wheel_and_heap_merge_matches_reference_model() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+
+        // Mixed workload: boundary events on a ms grid through the
+        // wheel, aperiodic events through the heap, popped against a
+        // BTreeMap reference keyed by (time, seq).
+        let mut reference: std::collections::BTreeMap<(SimTime, u64), u32> = Default::default();
+        let mut s: Scheduler<u32> = Scheduler::new();
+        s.enable_wheel(64);
+        let mut rng = StdRng::seed_from_u64(0x1EE7);
+        let mut seq = 0u64;
+        for step in 0..30_000u32 {
+            match rng.gen_range(0u32..10) {
+                // 30% boundary schedule (one of the next 32 boundaries
+                // strictly after `now`, so the grid contract holds)
+                0..=2 => {
+                    let now_ms = s.now().as_micros() / 1_000;
+                    let i = now_ms + 1 + rng.gen_range(0u64..32);
+                    let t = boundary_time(i);
+                    s.schedule_boundary(t, i, step);
+                    reference.insert((t, seq), step);
+                    seq += 1;
+                }
+                // 30% aperiodic heap schedule
+                3..=5 => {
+                    let t =
+                        s.now() + crate::time::SimDuration::from_micros(rng.gen_range(0u64..5_000));
+                    s.schedule_at(t, step);
+                    reference.insert((t, seq), step);
+                    seq += 1;
+                }
+                // 40% pop
+                _ => {
+                    let expected = reference.pop_first();
+                    let got = s.pop();
+                    match (expected, got) {
+                        (None, None) => {}
+                        (Some(((t, _), v)), Some(e)) => {
+                            assert_eq!(e.time, t, "time mismatch at step {step}");
+                            assert_eq!(e.event, v, "payload mismatch at step {step}");
+                        }
+                        (e, g) => panic!("model mismatch at step {step}: {e:?} vs {g:?}"),
+                    }
+                }
+            }
+            assert_eq!(s.len(), reference.len());
+            assert_eq!(
+                s.peek_time(),
+                reference.first_key_value().map(|((t, _), _)| *t)
+            );
+        }
     }
 }

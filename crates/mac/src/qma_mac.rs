@@ -132,6 +132,19 @@ impl QmaMac {
         if !self.clock.in_cap(now) {
             return false;
         }
+        self.tx_fits_before(ctx, now, self.clock.cap_end(now))
+    }
+
+    /// [`QmaMac::tx_fits`] with the in-CAP check and CAP end already
+    /// established by the caller — the division-free variant the tick
+    /// hot path uses (it knows its frame index from the cached
+    /// boundary, so `cap_end` comes from multiplications only).
+    fn tx_fits_before(
+        &self,
+        ctx: &MacCtx<'_>,
+        now: qma_des::SimTime,
+        cap_end: qma_des::SimTime,
+    ) -> bool {
         let Some(head) = ctx.queue().head() else {
             return false;
         };
@@ -144,7 +157,7 @@ impl QmaMac {
             } else {
                 0
             };
-        now + SimDuration::from_micros(needed) <= self.clock.cap_end(now)
+        now + SimDuration::from_micros(needed) <= cap_end
     }
 
     fn transmit_head(&mut self, ctx: &mut MacCtx<'_>, via_cca: bool) {
@@ -175,14 +188,20 @@ impl QmaMac {
         // the timer was armed, so position and successor come from the
         // cache (pure adds/multiplies). The clock lookup remains as a
         // fallback for externally re-armed timers (tests).
-        let (subslot, next) = if now == self.tick_at.0 {
+        let on_boundary = now == self.tick_at.0;
+        let (subslot, frame_index, next) = if on_boundary {
             (
                 Some(self.tick_at.2),
+                self.tick_at.1,
                 self.clock.subslot_after(self.tick_at.1, self.tick_at.2),
             )
         } else {
             let pos = self.clock.position(now);
-            (pos.subslot, self.clock.next_subslot_start(now))
+            (
+                pos.subslot,
+                pos.frame_index,
+                self.clock.next_subslot_start(now),
+            )
         };
 
         // Evaluate a pending QBackoff from the previous subslot.
@@ -204,13 +223,15 @@ impl QmaMac {
         // a continuously ticking MAC would next act).
         if self.phase == Phase::Quiet && ctx.queue().is_empty() && !ctx.transmitting() {
             self.tick_armed = false;
+            ctx.park_subslot_tick();
             return;
         }
 
-        // Keep ticking while anything is pending.
+        // Keep ticking while anything is pending; the boundary wheel
+        // makes this O(1) in the scheduler.
         self.tick_at = next;
         self.tick_armed = true;
-        ctx.set_timer(MacTimerKind::Subslot, next.0.since(now));
+        ctx.set_subslot_timer_at(next.0, next.1, next.2);
 
         let Some(m) = subslot else {
             return; // outside the CAP (beacon slot)
@@ -221,7 +242,15 @@ impl QmaMac {
         if ctx.queue().is_empty() {
             return; // Algorithm 1: act only with a non-empty queue
         }
-        if !self.tx_fits(ctx) {
+        // On the cached boundary we are at a subslot start, hence in
+        // the CAP, and the frame's CAP end follows from the cached
+        // frame index without a single division.
+        let fits = if on_boundary {
+            self.tx_fits_before(ctx, now, self.clock.cap_end_of_frame(frame_index))
+        } else {
+            self.tx_fits(ctx)
+        };
+        if !fits {
             return; // too close to the CAP end; observe only
         }
 
@@ -250,7 +279,7 @@ impl MacProtocol for QmaMac {
         let next = self.clock.next_subslot_start(ctx.now());
         self.tick_at = next;
         self.tick_armed = true;
-        ctx.set_timer(MacTimerKind::Subslot, next.0.since(ctx.now()));
+        ctx.set_subslot_timer_at(next.0, next.1, next.2);
     }
 
     fn on_timer(&mut self, ctx: &mut MacCtx<'_>, kind: MacTimerKind) {
@@ -391,7 +420,7 @@ impl MacProtocol for QmaMac {
             };
             self.tick_at = next;
             self.tick_armed = true;
-            ctx.set_timer(MacTimerKind::Subslot, next.0.since(now));
+            ctx.set_subslot_timer_at(next.0, next.1, next.2);
         }
     }
 

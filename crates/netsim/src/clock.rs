@@ -202,8 +202,23 @@ impl FrameClock {
     /// End of the usable CAP area in the frame containing `t`:
     /// transactions must finish before this instant.
     pub fn cap_end(&self, t: SimTime) -> SimTime {
-        let f = self.frame_index(t);
-        self.frame_start(f) + self.cap_offset + self.subslot * self.subslots as u64
+        self.cap_end_of_frame(self.frame_index(t))
+    }
+
+    /// End of the usable CAP area of frame `frame_index` — the
+    /// division-free variant of [`FrameClock::cap_end`] for callers
+    /// that already know the frame index (the subslot-tick hot path).
+    pub fn cap_end_of_frame(&self, frame_index: u64) -> SimTime {
+        self.frame_start(frame_index) + self.cap_offset + self.subslot * self.subslots as u64
+    }
+
+    /// The global boundary index of subslot `m` in frame
+    /// `frame_index`: `frame × M + m`. Strictly monotone in the
+    /// subslot start time, which is exactly the contract
+    /// `qma_des::Scheduler::schedule_boundary` needs for its O(1)
+    /// calendar buckets.
+    pub fn boundary_index(&self, frame_index: u64, subslot: u16) -> u64 {
+        frame_index * self.subslots as u64 + subslot as u64
     }
 
     /// How many subslots the interval `[from, to]` spans, i.e. the

@@ -67,4 +67,7 @@ pub use clock::FrameClock;
 pub use frame::{Address, AppInfo, Frame, FrameKind, Payload};
 pub use metrics::{LearnerSample, MacCounters, MetricsHub, SlotAction, TxResult};
 pub use queue::TxQueue;
-pub use world::{MacCtx, MacProtocol, MacTimerKind, NodeId, Sim, SimBuilder, UpperCtx, UpperLayer};
+pub use world::{
+    default_scheduler_wheel, set_default_scheduler_wheel, ActiveSet, MacCtx, MacProtocol,
+    MacTimerKind, NodeId, Sim, SimBuilder, UpperCtx, UpperLayer,
+};

@@ -52,7 +52,16 @@ pub struct TxToken(u64);
 #[derive(Debug, Clone, PartialEq)]
 pub struct Connectivity {
     n: usize,
-    audible: Vec<bool>, // row-major n×n, diagonal false
+    /// Row-major n×n adjacency, diagonal false. **Empty when built
+    /// sparsely**: the edge-list constructors
+    /// ([`Connectivity::explicit`]/[`Connectivity::symmetric`]) skip
+    /// the matrix above [`Connectivity::DENSE_LIMIT`] nodes and
+    /// [`Connectivity::hears`] binary-searches the CSR row instead —
+    /// a dense matrix at 50 000 nodes would be 2.5 GB. The
+    /// position-derived constructors ([`Connectivity::from_pathloss`],
+    /// [`Connectivity::full`]) are inherently O(n²) and keep the
+    /// matrix at any size.
+    audible: Vec<bool>,
     /// CSR row offsets: listeners of node `i` live at
     /// `flat[offsets[i]..offsets[i+1]]`.
     offsets: Vec<u32>,
@@ -61,6 +70,10 @@ pub struct Connectivity {
 }
 
 impl Connectivity {
+    /// Node count above which edge-list constructors skip the dense
+    /// adjacency matrix and keep only the CSR table.
+    pub const DENSE_LIMIT: usize = 2_048;
+
     /// Finishes construction from an adjacency matrix by building the
     /// CSR listener table.
     fn from_matrix(n: usize, audible: Vec<bool>) -> Self {
@@ -78,6 +91,49 @@ impl Connectivity {
         Connectivity {
             n,
             audible,
+            offsets,
+            flat,
+        }
+    }
+
+    /// Builds the CSR table straight from a directed edge list,
+    /// without materialising the n² matrix. Used by the edge-list
+    /// constructors above [`Connectivity::DENSE_LIMIT`] nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range node indices or self-loops.
+    fn from_edges_sparse(n: usize, edges: &[(u32, u32)]) -> Self {
+        let mut rows: Vec<(u32, u32)> = Vec::with_capacity(edges.len());
+        for &(i, j) in edges {
+            assert!(
+                (i as usize) < n && (j as usize) < n,
+                "edge ({i},{j}) out of range (n={n})"
+            );
+            assert_ne!(i, j, "self-loop ({i},{i})");
+            rows.push((i, j));
+        }
+        rows.sort_unstable();
+        rows.dedup();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut flat = Vec::with_capacity(rows.len());
+        offsets.push(0u32);
+        let mut next_row = 0usize;
+        for &(i, j) in &rows {
+            while next_row < i as usize {
+                offsets.push(flat.len() as u32);
+                next_row += 1;
+            }
+            flat.push(PhyNodeId(j));
+        }
+        while next_row < n {
+            offsets.push(flat.len() as u32);
+            next_row += 1;
+        }
+        debug_assert_eq!(offsets.len(), n + 1);
+        Connectivity {
+            n,
+            audible: Vec::new(),
             offsets,
             flat,
         }
@@ -112,6 +168,9 @@ impl Connectivity {
     ///
     /// Panics on out-of-range node indices or self-loops.
     pub fn explicit(n: usize, edges: &[(u32, u32)]) -> Self {
+        if n > Self::DENSE_LIMIT {
+            return Connectivity::from_edges_sparse(n, edges);
+        }
         let mut audible = vec![false; n * n];
         for &(i, j) in edges {
             let (i, j) = (i as usize, j as usize);
@@ -153,8 +212,12 @@ impl Connectivity {
         self.n == 0
     }
 
-    /// Can `rx` hear `tx`?
+    /// Can `rx` hear `tx`? O(1) on dense topologies, O(log degree) on
+    /// sparse ones (CSR rows are sorted ascending).
     pub fn hears(&self, rx: PhyNodeId, tx: PhyNodeId) -> bool {
+        if self.audible.is_empty() {
+            return self.listeners(tx).binary_search(&rx).is_ok();
+        }
         self.audible[tx.index() * self.n + rx.index()]
     }
 

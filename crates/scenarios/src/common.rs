@@ -162,6 +162,8 @@ pub enum UpperImpl {
     Collection(qma_net::CollectionApp),
     /// A collection app with management background chatter (sources).
     Managed(WithManagement<qma_net::CollectionApp>),
+    /// The single-hop massive-access app (see [`crate::massive`]).
+    Massive(crate::massive::MassiveApp),
     /// Escape hatch: any other [`UpperLayer`] behind a trait object.
     Custom(Box<dyn UpperLayer>),
 }
@@ -179,6 +181,7 @@ impl UpperLayer for UpperImpl {
         match self {
             UpperImpl::Collection(u) => u.start(ctx),
             UpperImpl::Managed(u) => u.start(ctx),
+            UpperImpl::Massive(u) => u.start(ctx),
             UpperImpl::Custom(u) => u.start(ctx),
         }
     }
@@ -188,6 +191,7 @@ impl UpperLayer for UpperImpl {
         match self {
             UpperImpl::Collection(u) => u.on_timer(ctx, tag),
             UpperImpl::Managed(u) => u.on_timer(ctx, tag),
+            UpperImpl::Massive(u) => u.on_timer(ctx, tag),
             UpperImpl::Custom(u) => u.on_timer(ctx, tag),
         }
     }
@@ -197,6 +201,7 @@ impl UpperLayer for UpperImpl {
         match self {
             UpperImpl::Collection(u) => u.on_deliver(ctx, frame),
             UpperImpl::Managed(u) => u.on_deliver(ctx, frame),
+            UpperImpl::Massive(u) => u.on_deliver(ctx, frame),
             UpperImpl::Custom(u) => u.on_deliver(ctx, frame),
         }
     }
@@ -206,6 +211,7 @@ impl UpperLayer for UpperImpl {
         match self {
             UpperImpl::Collection(u) => u.on_tx_result(ctx, frame, result),
             UpperImpl::Managed(u) => u.on_tx_result(ctx, frame, result),
+            UpperImpl::Massive(u) => u.on_tx_result(ctx, frame, result),
             UpperImpl::Custom(u) => u.on_tx_result(ctx, frame, result),
         }
     }
@@ -215,6 +221,7 @@ impl UpperLayer for UpperImpl {
         match self {
             UpperImpl::Collection(u) => u.on_phy_tx_end(ctx, frame, delivered),
             UpperImpl::Managed(u) => u.on_phy_tx_end(ctx, frame, delivered),
+            UpperImpl::Massive(u) => u.on_phy_tx_end(ctx, frame, delivered),
             UpperImpl::Custom(u) => u.on_phy_tx_end(ctx, frame, delivered),
         }
     }

@@ -18,6 +18,7 @@
 //! | [`ablation`] | design-knob ablations (ξ, exploration, startup, rewards) |
 //! | [`tables`] | Tables 1–4 |
 //! | [`params`] | parameterized grid-point runs for campaign sweeps |
+//! | [`massive`] | 1k–50k-node massive-access stress runs |
 //!
 //! Every experiment takes a master seed and a `quick` flag: `quick`
 //! shrinks replication counts and durations for CI while preserving
@@ -33,10 +34,11 @@ pub mod dsme_scale;
 pub mod fluctuating;
 pub mod hidden_node;
 pub mod markov;
+pub mod massive;
 pub mod params;
 pub mod slots;
 pub mod tables;
 pub mod testbed;
 
 pub use common::{MacKind, UpperImpl};
-pub use params::{run_scenario, RunMetrics, ScenarioKind, ScenarioParams};
+pub use params::{run_scenario, MassiveTopology, RunMetrics, ScenarioKind, ScenarioParams};

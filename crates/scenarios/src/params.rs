@@ -29,14 +29,19 @@ pub enum ScenarioKind {
     /// Alternating traffic on one source, late joiners on the rest
     /// (Fig. 12); how strongly the Q-values track the switches.
     Fluctuating,
+    /// 1k–50k-node single-hop stress runs over hidden-star or grid
+    /// topologies (the slot-kernel scale workload; see
+    /// [`crate::massive`]).
+    Massive,
 }
 
 impl ScenarioKind {
     /// All scenario kinds.
-    pub const ALL: [ScenarioKind; 3] = [
+    pub const ALL: [ScenarioKind; 4] = [
         ScenarioKind::HiddenNode,
         ScenarioKind::Convergence,
         ScenarioKind::Fluctuating,
+        ScenarioKind::Massive,
     ];
 
     /// Canonical spec-file name, the inverse of [`ScenarioKind::parse`].
@@ -45,6 +50,7 @@ impl ScenarioKind {
             ScenarioKind::HiddenNode => "hidden_node",
             ScenarioKind::Convergence => "convergence",
             ScenarioKind::Fluctuating => "fluctuating",
+            ScenarioKind::Massive => "massive",
         }
     }
 
@@ -60,11 +66,49 @@ impl ScenarioKind {
             ScenarioKind::HiddenNode => "queue_level",
             ScenarioKind::Convergence => "settle_time_s",
             ScenarioKind::Fluctuating => "q_adaptation",
+            ScenarioKind::Massive => "delivered_per_s",
         }
     }
 }
 
 impl std::fmt::Display for ScenarioKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.key())
+    }
+}
+
+/// Topology family of the massive-access scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MassiveTopology {
+    /// `nodes − 1` mutually hidden sources around a central sink.
+    #[default]
+    HiddenStar,
+    /// A √nodes × √nodes lattice; every node unicasts to its tree
+    /// parent (spatially local traffic, massive frequency reuse).
+    Grid,
+}
+
+impl MassiveTopology {
+    /// Canonical spec-file name, the inverse of
+    /// [`MassiveTopology::parse`].
+    pub fn key(self) -> &'static str {
+        match self {
+            MassiveTopology::HiddenStar => "hidden_star",
+            MassiveTopology::Grid => "grid",
+        }
+    }
+
+    /// Parses a spec-file topology name.
+    pub fn parse(s: &str) -> Option<MassiveTopology> {
+        match s {
+            "hidden_star" => Some(MassiveTopology::HiddenStar),
+            "grid" => Some(MassiveTopology::Grid),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for MassiveTopology {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.key())
     }
@@ -98,6 +142,9 @@ pub struct ScenarioParams {
     pub subslots: u16,
     /// N_R — retransmissions before a packet is dropped.
     pub max_retries: u8,
+    /// Topology family ([`ScenarioKind::Massive`] only; the star
+    /// scenarios are hidden-star by construction).
+    pub topology: MassiveTopology,
 }
 
 impl Default for ScenarioParams {
@@ -114,6 +161,7 @@ impl Default for ScenarioParams {
             xi: mac_defaults.agent.params.xi,
             subslots: 54,
             max_retries: mac_defaults.max_retries,
+            topology: MassiveTopology::default(),
         }
     }
 }
@@ -202,6 +250,27 @@ impl ScenarioParams {
                          windows of the fluctuating scenario",
                         self.duration_s
                     ));
+                }
+            }
+            // Data starts at t = 1 s (no management warmup at scale);
+            // the population must stay within the u32 node-id space
+            // with headroom, and a grid needs a real lattice.
+            ScenarioKind::Massive => {
+                if self.duration_s < 5 {
+                    return Err(format!(
+                        "duration_s = {} leaves no measurement window after \
+                         the 1 s massive-scenario traffic start",
+                        self.duration_s
+                    ));
+                }
+                if self.nodes > 200_000 {
+                    return Err(format!(
+                        "nodes = {} exceeds the 200k massive-scenario cap",
+                        self.nodes
+                    ));
+                }
+                if self.topology == MassiveTopology::Grid && self.nodes < 4 {
+                    return Err(format!("nodes = {} cannot form a grid lattice", self.nodes));
                 }
             }
         }
@@ -294,6 +363,7 @@ pub fn run_scenario(kind: ScenarioKind, p: &ScenarioParams, seed: u64) -> RunMet
         ScenarioKind::HiddenNode => crate::hidden_node::run_grid(p, seed),
         ScenarioKind::Convergence => crate::convergence::run_grid(p, seed),
         ScenarioKind::Fluctuating => crate::fluctuating::run_grid(p, seed),
+        ScenarioKind::Massive => crate::massive::run_grid(p, seed),
     }
 }
 

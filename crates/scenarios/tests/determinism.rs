@@ -1,10 +1,16 @@
-//! Dispatch-devirtualization regression test: a fixed-seed
-//! hidden-node replication must produce identical `MetricsHub`
-//! counters whether the MAC is dispatched statically through the
-//! [`MacImpl`] enum or dynamically through its
-//! `MacImpl::Custom(Box<dyn MacProtocol>)` escape hatch — i.e. the
-//! enum refactor changed *how* handlers are called, never *what* they
-//! compute.
+//! Engine-equivalence regression tests: a fixed-seed replication must
+//! produce identical `MetricsHub` counters whether
+//!
+//! * the MAC is dispatched statically through the [`MacImpl`] enum or
+//!   dynamically through its `MacImpl::Custom(Box<dyn MacProtocol>)`
+//!   escape hatch (the PR 2 devirtualization), and
+//! * subslot ticks are scheduled through the O(1) boundary wheel or
+//!   the plain binary heap (the PR 4 slot kernel) — the wheel changes
+//!   *where events wait*, never *what the simulation computes*.
+//!
+//! (The byte-identical-campaign-CSV half of the wheel/heap guarantee
+//! lives in `crates/bench/tests/scheduler_equivalence.rs`, next to
+//! the campaign engine it exercises.)
 
 use qma_des::SimDuration;
 use qma_mac::{MacImpl, QmaMac, QmaMacConfig};
@@ -46,10 +52,21 @@ fn run_hidden_node<F>(seed: u64, mac_factory: F) -> Digest
 where
     F: Fn(NodeId, &FrameClock) -> MacImpl + 'static,
 {
+    run_hidden_node_sched(seed, mac_factory, true)
+}
+
+/// [`run_hidden_node`] with an explicit scheduler engine: `wheel`
+/// routes subslot ticks through the boundary calendar, `!wheel`
+/// through the binary heap.
+fn run_hidden_node_sched<F>(seed: u64, mac_factory: F, wheel: bool) -> Digest
+where
+    F: Fn(NodeId, &FrameClock) -> MacImpl + 'static,
+{
     let topo = qma_topo::hidden_node();
     let sink = NodeId(topo.sink as u32);
     let mut sim = SimBuilder::new(topo.connectivity.clone(), seed)
         .clock(FrameClock::dsme_so3())
+        .scheduler_wheel(wheel)
         .mac_factory(mac_factory)
         .upper_factory(move |node, _| {
             let pattern = if node == sink {
@@ -104,4 +121,61 @@ fn fixed_seed_replications_are_reproducible() {
     let a = run_hidden_node(11, |_, clock| MacImpl::qma(QmaMacConfig::default(), *clock));
     let b = run_hidden_node(11, |_, clock| MacImpl::qma(QmaMacConfig::default(), *clock));
     assert_eq!(a, b);
+}
+
+#[test]
+fn wheel_and_heap_scheduling_produce_identical_metrics() {
+    for seed in [2021u64, 7, 42] {
+        let wheel = run_hidden_node_sched(
+            seed,
+            |_, clock| MacImpl::qma(QmaMacConfig::default(), *clock),
+            true,
+        );
+        let heap = run_hidden_node_sched(
+            seed,
+            |_, clock| MacImpl::qma(QmaMacConfig::default(), *clock),
+            false,
+        );
+        assert_eq!(
+            wheel, heap,
+            "wheel and heap scheduling diverged for seed {seed}"
+        );
+        assert!(wheel.events > 10_000, "suspiciously few events");
+    }
+}
+
+#[test]
+fn massive_star_is_scheduler_invariant_serial_and_parallel() {
+    use qma_scenarios::{run_scenario, MassiveTopology, ScenarioKind, ScenarioParams};
+
+    let p = ScenarioParams {
+        topology: MassiveTopology::HiddenStar,
+        nodes: 201,
+        delta: 0.5,
+        packets: 3,
+        duration_s: 12,
+        ..ScenarioParams::default()
+    };
+    p.validate_for(ScenarioKind::Massive).unwrap();
+    // The scheduler engine is selected per simulation at build time;
+    // flip the process default around each batch. Other tests in this
+    // binary may build sims while the default is flipped — harmless,
+    // because equivalence is exactly what this test asserts.
+    let run_batch = |wheel: bool| {
+        qma_netsim::set_default_scheduler_wheel(wheel);
+        let serial: Vec<_> = (0..3u64)
+            .map(|rep| run_scenario(ScenarioKind::Massive, &p, 1000 + rep))
+            .collect();
+        let parallel = qma_scenarios::common::replicate(3, |rep| {
+            run_scenario(ScenarioKind::Massive, &p, 1000 + rep)
+        });
+        qma_netsim::set_default_scheduler_wheel(true);
+        (serial, parallel)
+    };
+    let (wheel_serial, wheel_parallel) = run_batch(true);
+    let (heap_serial, heap_parallel) = run_batch(false);
+    assert_eq!(wheel_serial, wheel_parallel, "serial vs rayon diverged");
+    assert_eq!(wheel_serial, heap_serial, "wheel vs heap diverged");
+    assert_eq!(heap_serial, heap_parallel, "heap serial vs rayon diverged");
+    assert!(wheel_serial.iter().all(|m| m.events > 1_000));
 }
