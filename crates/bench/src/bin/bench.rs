@@ -1,7 +1,7 @@
 //! Machine-readable performance baseline for the perf trajectory.
 //!
 //! Measures the paper-relevant hot paths and writes a flat JSON
-//! report (default `BENCH_pr4.json`, override with `QMA_BENCH_OUT`):
+//! report (default `BENCH_pr5.json`, override with `QMA_BENCH_OUT`):
 //!
 //! * `q_update_f32_ns` / `q_update_fixed16_ns` — one Q-table update,
 //!   the operation the paper bounds at "two multiplications, three
@@ -23,6 +23,12 @@
 //! * `nodes_per_sec_10k` — simulated node-seconds per wall-clock
 //!   second on a 10 000-node massive hidden-star replication, plus
 //!   `massive_events_per_sec` / `massive_pdr_10k` for the same run,
+//! * `nodes_per_sec_10k_sharded` / `shard_speedup` /
+//!   `nodes_per_sec_per_core` — the same replication with the
+//!   boundary sweep sharded across `shard_count` cores (available
+//!   parallelism, capped at 4); the run asserts the sharded PDR is
+//!   bit-identical to the sequential one, so the ratio measures the
+//!   execution engine alone (≈ 1.0 on a single-core host),
 //! * `allocs_per_event` — heap allocations per simulation event
 //!   (only with `--features alloc-count`, which installs a counting
 //!   global allocator; the zero-allocation hot path keeps this at
@@ -200,9 +206,11 @@ struct MassiveBench {
 }
 
 /// One 10k-node massive hidden-star replication under wall-clock
-/// timing: `nodes_per_sec` is simulated node-seconds per wall second,
-/// the scale figure of merit (events/sec undercounts parked nodes).
-fn bench_massive_10k(fast: bool) -> MassiveBench {
+/// timing with the boundary sweep sharded across `shards` worker
+/// threads (1 = the sequential engine): `nodes_per_sec` is simulated
+/// node-seconds per wall second, the scale figure of merit
+/// (events/sec undercounts parked nodes).
+fn bench_massive_10k(fast: bool, shards: usize) -> MassiveBench {
     let p = qma_scenarios::ScenarioParams {
         nodes: 10_001,
         delta: 0.2,
@@ -211,7 +219,9 @@ fn bench_massive_10k(fast: bool) -> MassiveBench {
         topology: qma_scenarios::MassiveTopology::HiddenStar,
         ..qma_scenarios::ScenarioParams::default()
     };
+    qma_netsim::set_default_shards(shards);
     let (run, elapsed) = time_once(|| qma_scenarios::massive::run_once(&p, qma_bench::seed()));
+    qma_netsim::set_default_shards(1);
     let wall = elapsed.as_secs_f64().max(f64::MIN_POSITIVE);
     MassiveBench {
         nodes: run.nodes,
@@ -223,7 +233,7 @@ fn bench_massive_10k(fast: bool) -> MassiveBench {
 
 fn main() {
     let env = qma_bench::BenchEnv::from_env();
-    let out_path = env.out_or("BENCH_pr4.json");
+    let out_path = env.out_or("BENCH_pr5.json");
     let budget = env.budget();
     let reps = env.reps_or(12);
 
@@ -281,10 +291,32 @@ fn main() {
         heap.events_per_sec
     );
 
-    let massive = bench_massive_10k(env.fast);
+    let massive = bench_massive_10k(env.fast, 1);
     println!(
         "massive 10k nodes/sec   {:>10.0}  ({:.0} events/sec, {} nodes, PDR {:.3})",
         massive.nodes_per_sec, massive.events_per_sec, massive.nodes, massive.pdr
+    );
+
+    // The same replication with the boundary sweep sharded across the
+    // available cores (capped at 4, the scaling point the PR targets).
+    // Results are bit-identical by construction — asserted on the PDR
+    // — so any wall-clock delta is pure execution-engine speedup.
+    let shard_k = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(4);
+    let sharded = bench_massive_10k(env.fast, shard_k);
+    assert_eq!(
+        massive.pdr.to_bits(),
+        sharded.pdr.to_bits(),
+        "sharded and sequential replications must be bit-identical"
+    );
+    let shard_speedup = sharded.nodes_per_sec / massive.nodes_per_sec.max(f64::MIN_POSITIVE);
+    println!(
+        "massive 10k sharded K={shard_k} {:>8.0}  nodes/sec ({:.2}x vs K=1, {:.0} nodes/sec/core)",
+        sharded.nodes_per_sec,
+        shard_speedup,
+        sharded.nodes_per_sec / shard_k as f64
     );
 
     let allocs_per_event = ser.allocs as f64 / ser.total_events.max(1) as f64;
@@ -298,7 +330,7 @@ fn main() {
     let mut report = JsonReport::new();
     report
         .string("bench", "qma hot paths")
-        .string("pr", "4")
+        .string("pr", "5")
         .integer("threads", rayon::current_num_threads() as u64)
         .integer("replications", reps)
         .number("q_update_f32_ns", q32)
@@ -316,6 +348,13 @@ fn main() {
         .number("nodes_per_sec_10k", massive.nodes_per_sec)
         .number("massive_events_per_sec", massive.events_per_sec)
         .number("massive_pdr_10k", massive.pdr)
+        .integer("shard_count", shard_k as u64)
+        .number("nodes_per_sec_10k_sharded", sharded.nodes_per_sec)
+        .number(
+            "nodes_per_sec_per_core",
+            sharded.nodes_per_sec / shard_k as f64,
+        )
+        .number("shard_speedup", shard_speedup)
         .integer("events_per_replication", ser.total_events / reps.max(1));
     if cfg!(feature = "alloc-count") {
         report.number("allocs_per_event", allocs_per_event);

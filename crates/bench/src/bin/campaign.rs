@@ -15,6 +15,18 @@
 //!   `heap` routes every event through the binary heap). Artifacts
 //!   are byte-identical either way — the flag exists to prove exactly
 //!   that, and to benchmark the boundary wheel against its fallback.
+//! * `--shards K` — shard each replication's boundary sweep across
+//!   `K` worker threads (default 1). The node population is
+//!   partitioned spatially (grid tiles / hash-ring chunks) and tick
+//!   decisions fan out per subslot boundary; world commits replay in
+//!   the deterministic barrier fold, so artifacts are byte-identical
+//!   for every `K` — the shard-smoke CI job diffs `K = 4` against
+//!   `K = 1` to prove it. Prefer combining with `--serial`: nesting
+//!   rayon-across-replications with per-boundary shard workers
+//!   multiplies thread churn without adding parallelism.
+//! * `--shard-batch-min N` — minimum boundary-bucket population for
+//!   the parallel sweep (default 192); equivalence jobs lower it to 1
+//!   so CI-sized worlds exercise the real parallel path.
 //!
 //! Each spec produces `<name>.csv` and `<name>.json` in the artifact
 //! directory. Re-running a half-finished campaign resumes: configs
@@ -60,9 +72,25 @@ fn parse_args() -> Result<Args, String> {
                     }
                 };
             }
+            "--shards" => {
+                let k = argv
+                    .next()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .filter(|&k| k >= 1)
+                    .ok_or("--shards needs a positive shard count")?;
+                qma_netsim::set_default_shards(k);
+            }
+            "--shard-batch-min" => {
+                let min = argv
+                    .next()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .filter(|&m| m >= 1)
+                    .ok_or("--shard-batch-min needs a positive tick count")?;
+                qma_netsim::set_default_shard_batch_min(min);
+            }
             "--help" | "-h" => {
                 return Err("usage: campaign [--serial] [--dry-run] [--out-dir DIR] \
-                     [--scheduler wheel|heap] SPEC.toml..."
+                     [--scheduler wheel|heap] [--shards K] [--shard-batch-min N] SPEC.toml..."
                     .into())
             }
             flag if flag.starts_with('-') => return Err(format!("unknown flag {flag}")),
@@ -88,12 +116,13 @@ fn run_spec(args: &Args, path: &PathBuf) -> Result<Option<CampaignOutcome>, Stri
         .expand()
         .map_err(|e| format!("{}: {e}", path.display()))?;
     println!(
-        "# campaign {} — scenario {}, {} configs × {} replications, seed {}",
+        "# campaign {} — scenario {}, {} configs × {} replications, seed {}, {} shard(s)",
         spec.name,
         spec.scenario,
         points.len(),
         spec.replications,
-        spec.master_seed
+        spec.master_seed,
+        qma_netsim::default_shards()
     );
     if args.dry_run {
         for (i, point) in points.iter().enumerate() {

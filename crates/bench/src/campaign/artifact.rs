@@ -132,6 +132,39 @@ pub fn render_csv(rows: &[ArtifactRow]) -> String {
     out
 }
 
+/// [`parse_csv`] for the resume path: tolerates a **torn tail**.
+///
+/// A kill mid-write can leave the artifact as a prefix of a valid
+/// CSV: either the file ends at a row boundary (all rows complete) or
+/// it ends mid-row — in which case the final line has no terminating
+/// newline. Worse than failing validation, a torn final row can
+/// *pass* it: truncation inside the last float cell (`"123.456"` →
+/// `"123."`… → `"123"`) yields a well-formed row with a wrong value,
+/// which naive `config_key` string-matching would resume verbatim and
+/// silently break the byte-identity guarantee. The unterminated final
+/// line is therefore discarded before parsing, and the config it
+/// belonged to is recomputed.
+///
+/// Returns the complete rows plus the discarded tail, if any.
+/// Corruption in *terminated* rows is still a hard error — those were
+/// durably written and cannot be explained by an interrupted write.
+pub fn parse_csv_resume(text: &str) -> Result<(Vec<ArtifactRow>, Option<String>), String> {
+    let (complete, torn) = match text.rfind('\n') {
+        Some(last_nl) if last_nl + 1 < text.len() => {
+            (&text[..last_nl + 1], Some(text[last_nl + 1..].to_string()))
+        }
+        Some(_) => (text, None),
+        // No newline at all: even the header is torn; treat the whole
+        // file as the tail and start fresh.
+        None => ("", Some(text.to_string())),
+    };
+    if complete.is_empty() {
+        return Ok((Vec::new(), torn));
+    }
+    let rows = parse_csv(complete)?;
+    Ok((rows, torn))
+}
+
 /// Parses a CSV artifact previously written by [`render_csv`].
 ///
 /// Rejects files whose header does not match the current schema —
@@ -279,6 +312,43 @@ mod tests {
         ] {
             assert!(!parsed[0].matches_campaign(scenario, seed, reps));
         }
+    }
+
+    #[test]
+    fn resume_parse_discards_only_the_torn_tail() {
+        let rows = vec![sample_row("k=1"), sample_row("k=2")];
+        let csv = render_csv(&rows);
+
+        // Complete file: nothing discarded.
+        let (ok, torn) = parse_csv_resume(&csv).unwrap();
+        assert_eq!(ok, rows);
+        assert_eq!(torn, None);
+
+        // Torn inside the last cell — the insidious case: the
+        // truncated float still validates, so only the missing
+        // terminator reveals the tear.
+        let torn_mid_cell = &csv[..csv.len() - 4];
+        assert!(!torn_mid_cell.ends_with('\n'));
+        let (ok, torn) = parse_csv_resume(torn_mid_cell).unwrap();
+        assert_eq!(ok, rows[..1], "only the complete first row survives");
+        assert!(torn.unwrap().starts_with("k=2"));
+
+        // Torn inside the config_key of the last row.
+        let second_row_at = csv.match_indices('\n').nth(1).unwrap().0 + 1;
+        let torn_in_key = &csv[..second_row_at + 2];
+        let (ok, torn) = parse_csv_resume(torn_in_key).unwrap();
+        assert_eq!(ok, rows[..1]);
+        assert_eq!(torn.as_deref(), Some("k="));
+
+        // Torn inside the header: everything is a tail, start fresh.
+        let (ok, torn) = parse_csv_resume("config_ke").unwrap();
+        assert!(ok.is_empty());
+        assert_eq!(torn.as_deref(), Some("config_ke"));
+
+        // Corruption in a *terminated* row is not a tear — still a
+        // hard error.
+        let corrupted = csv.replacen("0.910000", "abc", 1);
+        assert!(parse_csv_resume(&corrupted).is_err());
     }
 
     #[test]

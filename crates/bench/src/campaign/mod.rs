@@ -77,7 +77,7 @@ pub fn run_campaign(
     let csv_path = out_dir.join(format!("{}.csv", spec.name));
     let json_path = out_dir.join(format!("{}.json", spec.name));
 
-    let existing = load_existing_rows(&csv_path, spec)?;
+    let existing = load_existing_rows(&csv_path, &json_path, spec, &mut progress)?;
 
     let mut rows: Vec<ArtifactRow> = Vec::with_capacity(points.len());
     let mut executed = 0;
@@ -168,19 +168,74 @@ fn run_config(
 /// Loads resumable rows from a partial CSV. Rows computed under a
 /// different scenario, master seed or replication count are
 /// discarded — reusing them would silently break the campaign's
-/// determinism guarantee.
-fn load_existing_rows(csv_path: &Path, spec: &CampaignSpec) -> Result<Vec<ArtifactRow>, String> {
+/// determinism guarantee. A **torn tail** (a kill mid-write leaves
+/// the file as a prefix of a valid CSV, whose final line then lacks
+/// its terminator) is detected and discarded rather than
+/// string-matched as a valid `config_key` — the torn config simply
+/// recomputes. Likewise, a stale sibling JSON (from an older campaign
+/// setting, or itself torn) is deleted up front; it is re-rendered
+/// from scratch at the end of the run either way.
+fn load_existing_rows(
+    csv_path: &Path,
+    json_path: &Path,
+    spec: &CampaignSpec,
+    progress: &mut impl FnMut(&str),
+) -> Result<Vec<ArtifactRow>, String> {
+    discard_stale_json(json_path, spec, progress);
     let text = match std::fs::read_to_string(csv_path) {
         Ok(text) => text,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
         Err(e) => return Err(format!("read {}: {e}", csv_path.display())),
     };
-    let rows = artifact::parse_csv(&text)
+    let (rows, torn) = artifact::parse_csv_resume(&text)
         .map_err(|e| format!("resume from {}: {e}", csv_path.display()))?;
+    if let Some(tail) = torn {
+        progress(&format!(
+            "discarded torn artifact tail ({} bytes) — recomputing that config",
+            tail.len()
+        ));
+    }
     Ok(rows
         .into_iter()
         .filter(|r| r.matches_campaign(spec.scenario, spec.master_seed, spec.replications))
         .collect())
+}
+
+/// Deletes a sibling JSON report that does not belong to this
+/// campaign setting (stale seed/name, or a torn write): the report is
+/// derived state, re-rendered after every run, and a crash between
+/// the CSV and JSON writes must not leave a mismatched pair lying
+/// around for downstream tooling to trust.
+fn discard_stale_json(json_path: &Path, spec: &CampaignSpec, progress: &mut impl FnMut(&str)) {
+    let Ok(text) = std::fs::read_to_string(json_path) else {
+        return; // missing is fine — it is rebuilt at the end
+    };
+    // Field-wise comparison (not a rendered-fragment match) so the
+    // staleness verdict survives renderer formatting changes: a valid
+    // report must never be flagged stale just because indentation or
+    // key order moved.
+    let matches = |key: &str, want: &str| json_field(&text, key).as_deref() == Some(want);
+    let fresh = text.ends_with("}\n")
+        && matches("campaign", &format!("\"{}\"", spec.name))
+        && matches("scenario", &format!("\"{}\"", spec.scenario))
+        && matches("master_seed", &spec.master_seed.to_string())
+        && matches("replications", &spec.replications.to_string());
+    if !fresh {
+        let _ = std::fs::remove_file(json_path);
+        progress("discarded stale sibling JSON report — re-rendered after this run");
+    }
+}
+
+/// First value of a top-level `"key": value` pair in a JSON text,
+/// returned as the raw token up to the next `,`/newline/`}` (strings
+/// keep their quotes). Formatting-agnostic on whitespace; good enough
+/// for the four scalar metadata fields our own renderer emits.
+fn json_field(text: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\":");
+    let at = text.find(&needle)? + needle.len();
+    let rest = text[at..].trim_start();
+    let end = rest.find([',', '\n', '}']).unwrap_or(rest.len());
+    Some(rest[..end].trim_end().to_string())
 }
 
 /// Writes via a temp file + rename so an interrupt never leaves a
@@ -250,6 +305,91 @@ mac = ["qma", "unslotted_csma"]
         assert_eq!(half.skipped, 1);
         assert_eq!(std::fs::read(&half.csv_path).unwrap(), csv);
         assert_eq!(std::fs::read(&half.json_path).unwrap(), json);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_resume_converges_to_fresh_bytes() {
+        // A kill mid-rewrite leaves the CSV as a prefix of a valid
+        // file. Three tears, increasing nastiness: inside the last
+        // cell (the torn row still *validates* — the silent-corruption
+        // case), inside the config_key, and inside the header. Resume
+        // must discard the tail, recompute only what was lost, and
+        // converge to byte-identical artifacts.
+        let dir = tmp_dir("torn");
+        let spec = tiny_spec("t");
+        let fresh = run_campaign(&spec, &dir, Parallelism::Serial, |_| {}).unwrap();
+        let csv = std::fs::read(&fresh.csv_path).unwrap();
+        let json = std::fs::read(&fresh.json_path).unwrap();
+        let full = String::from_utf8(csv.clone()).unwrap();
+        let second_row_at = full.match_indices('\n').nth(1).unwrap().0 + 1;
+
+        for (tag, torn_len, expect_executed) in [
+            ("mid-cell", full.len() - 3, 1),
+            ("mid-key", second_row_at + 4, 1),
+            ("mid-header", 9, 2),
+        ] {
+            std::fs::write(&fresh.csv_path, &full[..torn_len]).unwrap();
+            let mut notes = Vec::new();
+            let resumed = run_campaign(&spec, &dir, Parallelism::Serial, |l| {
+                notes.push(l.to_string())
+            })
+            .unwrap();
+            assert_eq!(resumed.executed, expect_executed, "{tag}");
+            assert_eq!(resumed.skipped, 2 - expect_executed, "{tag}");
+            assert!(
+                notes.iter().any(|l| l.contains("torn artifact tail")),
+                "{tag}: tear not reported: {notes:?}"
+            );
+            assert_eq!(std::fs::read(&resumed.csv_path).unwrap(), csv, "{tag}");
+            assert_eq!(std::fs::read(&resumed.json_path).unwrap(), json, "{tag}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_or_torn_sibling_json_is_discarded_and_rebuilt() {
+        let dir = tmp_dir("stalejson");
+        let spec = tiny_spec("t");
+        let fresh = run_campaign(&spec, &dir, Parallelism::Serial, |_| {}).unwrap();
+        let json = std::fs::read(&fresh.json_path).unwrap();
+
+        // A torn JSON (kill between the CSV and JSON writes on a
+        // filesystem that let a partial temp file survive) and a stale
+        // one (different master seed) must both be discarded up front
+        // and re-rendered byte-identically.
+        let torn = &json[..json.len() / 2];
+        let stale = String::from_utf8(json.clone())
+            .unwrap()
+            .replace("\"master_seed\": 11", "\"master_seed\": 99");
+        for (tag, bytes) in [("torn", torn.to_vec()), ("stale", stale.into_bytes())] {
+            std::fs::write(&fresh.json_path, &bytes).unwrap();
+            let mut notes = Vec::new();
+            let out = run_campaign(&spec, &dir, Parallelism::Serial, |l| {
+                notes.push(l.to_string())
+            })
+            .unwrap();
+            assert_eq!(out.executed, 0, "{tag}: CSV rows all resume");
+            assert!(
+                notes.iter().any(|l| l.contains("stale sibling JSON")),
+                "{tag}: discard not reported: {notes:?}"
+            );
+            assert_eq!(std::fs::read(&fresh.json_path).unwrap(), json, "{tag}");
+        }
+
+        // A *valid* sibling must be kept — the staleness check must
+        // not become a formatting-coupled false alarm that deletes
+        // (and silently re-renders) a good report on every resume.
+        let mut notes = Vec::new();
+        let out = run_campaign(&spec, &dir, Parallelism::Serial, |l| {
+            notes.push(l.to_string())
+        })
+        .unwrap();
+        assert_eq!(out.executed, 0);
+        assert!(
+            !notes.iter().any(|l| l.contains("stale sibling JSON")),
+            "valid sibling JSON wrongly discarded: {notes:?}"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

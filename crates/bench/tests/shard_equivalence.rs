@@ -1,0 +1,82 @@
+//! Shard-count campaign equivalence: sharding one replication across
+//! cores must be unobservable in campaign artifacts. The same spec
+//! run with `--shards 4` and `--shards 1` (here: via the process
+//! default the flag sets) must produce **byte-identical** CSV and
+//! JSON artifacts — the world is partitioned spatially, decisions fan
+//! out per boundary, and the barrier fold replays commits in the
+//! sequential order, so `K` is an execution detail, never a model
+//! parameter.
+
+use std::path::PathBuf;
+
+use qma_bench::campaign::run_campaign;
+use qma_bench::campaign::spec::CampaignSpec;
+use qma_bench::runner::Parallelism;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("qma-shard-eq-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn artifacts(spec: &CampaignSpec, tag: &str, shards: usize) -> (Vec<u8>, Vec<u8>) {
+    qma_netsim::set_default_shards(shards);
+    // Force the parallel sweep onto CI-sized worlds: every non-empty
+    // boundary bucket fans out, so the engine under test is the real
+    // sharded path, not its sequential small-batch fallback.
+    qma_netsim::set_default_shard_batch_min(1);
+    let dir = tmp_dir(tag);
+    let out = run_campaign(spec, &dir, Parallelism::Serial, |_| {}).expect("campaign runs");
+    qma_netsim::set_default_shards(1);
+    qma_netsim::set_default_shard_batch_min(qma_netsim::SHARD_BATCH_MIN_DEFAULT);
+    let csv = std::fs::read(&out.csv_path).unwrap();
+    let json = std::fs::read(&out.json_path).unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+    (csv, json)
+}
+
+/// One test (not several) because it toggles process-wide execution
+/// defaults; splitting it would let the cases race on those globals
+/// within this test binary.
+#[test]
+fn campaign_artifacts_are_shard_invariant() {
+    // A massive point per topology family: the hidden star is
+    // all-border (every source's listener set lives with the sink),
+    // the grid tiles into bands with a thin border — the two extremes
+    // of the spatial partition.
+    let spec = CampaignSpec::parse(
+        r#"
+[campaign]
+name = "eq-shards"
+scenario = "massive"
+seed = 7
+replications = 2
+
+[fixed]
+delta = 1.0
+packets = 3
+duration_s = 10
+
+[grid]
+nodes = [120]
+topology = ["hidden_star", "grid"]
+"#,
+    )
+    .unwrap();
+    let (csv_1, json_1) = artifacts(&spec, "k1", 1);
+    let (csv_2, json_2) = artifacts(&spec, "k2", 2);
+    let (csv_4, json_4) = artifacts(&spec, "k4", 4);
+    assert_eq!(csv_1, csv_2, "CSV bytes diverge between K=1 and K=2");
+    assert_eq!(csv_1, csv_4, "CSV bytes diverge between K=1 and K=4");
+    assert_eq!(json_1, json_2, "JSON bytes diverge between K=1 and K=2");
+    assert_eq!(json_1, json_4, "JSON bytes diverge between K=1 and K=4");
+
+    // Sharding must also compose with the heap-scheduler fallback:
+    // without the wheel there is no boundary batching, so K>1 simply
+    // degrades to the sequential engine — same bytes again.
+    qma_netsim::set_default_scheduler_wheel(false);
+    let (csv_heap, json_heap) = artifacts(&spec, "k4-heap", 4);
+    qma_netsim::set_default_scheduler_wheel(true);
+    assert_eq!(csv_1, csv_heap, "K=4 over the heap scheduler diverges");
+    assert_eq!(json_1, json_heap);
+}

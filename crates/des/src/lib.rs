@@ -44,9 +44,11 @@
 pub mod exec;
 pub mod sched;
 pub mod seed;
+pub mod shard;
 pub mod time;
 
 pub use exec::{Executor, Handler, StopReason};
 pub use sched::{EventEntry, EventKey, Scheduler};
 pub use seed::SeedSequence;
+pub use shard::{merge_by_pos, ShardPlan};
 pub use time::{SimDuration, SimTime};

@@ -24,7 +24,8 @@ use qma_core::{ActionOutcome, QmaAction, QmaAgent, QmaConfig};
 use qma_des::SimDuration;
 
 use qma_netsim::{
-    Frame, FrameClock, LearnerSample, MacCtx, MacProtocol, MacTimerKind, SlotAction, TxResult,
+    Frame, FrameClock, LearnerSample, MacCtx, MacProtocol, MacTimerKind, SlotAction, TickAction,
+    TickPlan, TickView, TxResult,
 };
 
 use crate::consts::MAC_MAX_FRAME_RETRIES;
@@ -126,29 +127,20 @@ impl QmaMac {
     }
 
     /// Whether a full transaction for the head frame fits in the CAP
-    /// from `now` (QSend path: no CCA, but turnaround-free start).
-    fn tx_fits(&self, ctx: &MacCtx<'_>) -> bool {
-        let now = ctx.now();
-        if !self.clock.in_cap(now) {
-            return false;
-        }
-        self.tx_fits_before(ctx, now, self.clock.cap_end(now))
-    }
-
-    /// [`QmaMac::tx_fits`] with the in-CAP check and CAP end already
-    /// established by the caller — the division-free variant the tick
-    /// hot path uses (it knows its frame index from the cached
-    /// boundary, so `cap_end` comes from multiplications only).
+    /// window ending at `cap_end` (QSend path: no CCA, but
+    /// turnaround-free start). The caller establishes `cap_end` — on
+    /// the cached-boundary hot path it comes from multiplications
+    /// only, no division.
     fn tx_fits_before(
         &self,
-        ctx: &MacCtx<'_>,
+        queue: &qma_netsim::TxQueue,
+        phy: &qma_phy::PhyTiming,
         now: qma_des::SimTime,
         cap_end: qma_des::SimTime,
     ) -> bool {
-        let Some(head) = ctx.queue().head() else {
+        let Some(head) = queue.head() else {
             return false;
         };
-        let phy = ctx.phy();
         let needed = phy.cca_us()
             + phy.turnaround_us()
             + phy.frame_airtime_us(head.frame.psdu_octets as u64)
@@ -182,8 +174,26 @@ impl QmaMac {
         self.phase = Phase::Quiet;
     }
 
+    /// One subslot tick, sequential engine: the node-local decision
+    /// followed immediately by its world commit. The sharded engine
+    /// calls [`QmaMac::decide_tick`] and the commit separately (decide
+    /// in parallel per shard, commit in the barrier fold) — both
+    /// engines run this exact code, so they cannot diverge.
     fn subslot_tick(&mut self, ctx: &mut MacCtx<'_>) {
-        let now = ctx.now();
+        let plan = {
+            let mut view = ctx.tick_view();
+            self.decide_tick(&mut view)
+        };
+        ctx.apply_tick_plan(plan);
+    }
+
+    /// The node-local half of the subslot tick (paper Algorithm 1):
+    /// evaluate the pending QBackoff, park or re-arm, and pick this
+    /// subslot's action. Touches only `self` and the [`TickView`] —
+    /// no scheduler, no medium mutation — which is what makes it safe
+    /// to run on a shard worker.
+    fn decide_tick(&mut self, view: &mut TickView<'_>) -> TickPlan {
+        let now = view.now();
         // Hot path: the tick fires exactly at the boundary cached when
         // the timer was armed, so position and successor come from the
         // cache (pure adds/multiplies). The clock lookup remains as a
@@ -221,55 +231,84 @@ impl QmaMac {
         // itself, so stop ticking; `on_enqueue` re-arms at the next
         // boundary (strictly after the enqueue instant — exactly where
         // a continuously ticking MAC would next act).
-        if self.phase == Phase::Quiet && ctx.queue().is_empty() && !ctx.transmitting() {
+        if self.phase == Phase::Quiet && view.queue().is_empty() && !view.transmitting() {
             self.tick_armed = false;
-            ctx.park_subslot_tick();
-            return;
+            return TickPlan {
+                rearm: None,
+                action: None,
+            };
         }
 
         // Keep ticking while anything is pending; the boundary wheel
         // makes this O(1) in the scheduler.
         self.tick_at = next;
         self.tick_armed = true;
-        ctx.set_subslot_timer_at(next.0, next.1, next.2);
+        let rearm = Some(next);
 
         let Some(m) = subslot else {
-            return; // outside the CAP (beacon slot)
+            return TickPlan {
+                rearm,
+                action: None,
+            }; // outside the CAP (beacon slot)
         };
-        if self.phase != Phase::Quiet || ctx.transmitting() {
-            return; // transaction (or our ACK) still in progress
+        if self.phase != Phase::Quiet || view.transmitting() {
+            return TickPlan {
+                rearm,
+                action: None,
+            }; // transaction (or our ACK) in progress
         }
-        if ctx.queue().is_empty() {
-            return; // Algorithm 1: act only with a non-empty queue
+        if view.queue().is_empty() {
+            return TickPlan {
+                rearm,
+                action: None,
+            }; // Algorithm 1: act only with a non-empty queue
         }
         // On the cached boundary we are at a subslot start, hence in
         // the CAP, and the frame's CAP end follows from the cached
         // frame index without a single division.
         let fits = if on_boundary {
-            self.tx_fits_before(ctx, now, self.clock.cap_end_of_frame(frame_index))
+            self.tx_fits_before(
+                view.queue(),
+                view.phy(),
+                now,
+                self.clock.cap_end_of_frame(frame_index),
+            )
         } else {
-            self.tx_fits(ctx)
+            self.clock.in_cap(now)
+                && self.tx_fits_before(view.queue(), view.phy(), now, self.clock.cap_end(now))
         };
         if !fits {
-            return; // too close to the CAP end; observe only
+            return TickPlan {
+                rearm,
+                action: None,
+            }; // too close to the CAP end; observe only
         }
 
-        let diff = ctx.queue_diff();
-        let decision = self.agent.decide(m, diff, ctx.rng());
-        match decision.action {
+        let diff = view.queue_diff();
+        let decision = self.agent.decide(m, diff, view.rng());
+        let action = match decision.action {
             QmaAction::Backoff => {
                 self.phase = Phase::BackoffPending;
-                ctx.record_slot_action(m, SlotAction::Backoff);
+                TickAction::Backoff { subslot: m }
             }
             QmaAction::Cca => {
                 self.phase = Phase::CcaPending;
-                ctx.record_slot_action(m, SlotAction::Cca);
-                ctx.start_cca();
+                TickAction::Cca { subslot: m }
             }
             QmaAction::Send => {
-                ctx.record_slot_action(m, SlotAction::Tx);
-                self.transmit_head(ctx, false);
+                let frame = view
+                    .queue()
+                    .head()
+                    .expect("transmit without head frame")
+                    .frame
+                    .clone();
+                self.phase = Phase::TxInFlight { via_cca: false };
+                TickAction::Send { subslot: m, frame }
             }
+        };
+        TickPlan {
+            rearm,
+            action: Some(action),
         }
     }
 }
@@ -409,7 +448,17 @@ impl MacProtocol for QmaMac {
         // arrival fires before the boundary tick (older sequence
         // number) and the tick then acts on the fresh frame — a
         // zero-delay re-arm reproduces that ordering.
-        if !self.tick_armed {
+        //
+        // Re-arming is idempotent against the world's armed-tick bit,
+        // not just this MAC's own flag: wheel ticks are uncancellable
+        // (`EventKey::DETACHED`), so arming while a tick event is
+        // still live anywhere — e.g. after external state surgery in
+        // tests, or a future MAC variant desyncing its local flag —
+        // must not enqueue a second live tick for this node. With
+        // both bits in agreement (the invariant the normal paths
+        // maintain) the guard is redundant; it exists to make the
+        // double-tick state unreachable rather than merely unlikely.
+        if !self.tick_armed && !ctx.subslot_tick_armed() {
             let now = ctx.now();
             let pos = self.clock.position(now);
             let next = match pos.subslot {
@@ -441,6 +490,14 @@ impl MacProtocol for QmaMac {
                 })
                 .collect(),
         )
+    }
+
+    fn supports_split_tick(&self) -> bool {
+        true
+    }
+
+    fn subslot_decide(&mut self, view: &mut TickView<'_>) -> Option<TickPlan> {
+        Some(self.decide_tick(view))
     }
 }
 

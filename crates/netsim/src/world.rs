@@ -12,7 +12,7 @@ use std::collections::HashMap;
 
 use rand::rngs::StdRng;
 
-use qma_des::{Executor, Handler, Scheduler, SeedSequence, SimDuration, SimTime};
+use qma_des::{Handler, Scheduler, SeedSequence, SimDuration, SimTime};
 use qma_phy::{
     Connectivity, EnergyMeter, EnergyReport, Medium, PhyNodeId, PhyTiming, PowerProfile, TxToken,
 };
@@ -299,6 +299,54 @@ impl Nodes {
     }
 }
 
+/// The `queue_diff` fold shared by [`MacCtx::queue_diff`] (sequential
+/// path) and [`TickView::queue_diff`] (sharded decide path): one
+/// implementation, so the two engines cannot diverge. See
+/// [`MacCtx::queue_diff`] for the semantics.
+fn queue_diff_value(now: SimTime, i: usize, queue: &TxQueue, levels: &NeighborLevels) -> i32 {
+    let local = queue.len() as f64;
+
+    // Prefer the communication partner's level: the node the
+    // head-of-line frame is addressed to is the one whose service
+    // we compete with ("it is beneficial to give the
+    // communication partner time", §1). In the paper's
+    // single-sink scenarios this is exactly the neighbour set of
+    // §4.2; in multi-hop trees it directs exploration pressure
+    // down the forwarding chain instead of averaging it away
+    // across saturated siblings.
+    if let Some(head) = queue.head() {
+        if let crate::frame::Address::Node(dst) = head.frame.dst {
+            if let Some((level, at)) = levels.get(i, dst.0) {
+                if now.since(at) <= NEIGHBOR_LEVEL_TTL {
+                    return (local - level as f64).round() as i32;
+                }
+            }
+            // Partner unknown or stale: treat as empty (the sink
+            // before its first frame, or a silent neighbour).
+            return local.round() as i32;
+        }
+    }
+
+    // Broadcast head or empty queue: fall back to the average
+    // over fresh neighbour reports — a single allocation-free
+    // pass over this node's CSR level row (same ascending-id
+    // order as the dense table it replaced).
+    let (sum, count) =
+        levels
+            .entries(i)
+            .iter()
+            .flatten()
+            .fold((0.0f64, 0u32), |(sum, count), &(level, at)| {
+                if now.since(at) <= NEIGHBOR_LEVEL_TTL {
+                    (sum + level as f64, count + 1)
+                } else {
+                    (sum, count)
+                }
+            });
+    let avg = if count == 0 { 0.0 } else { sum / count as f64 };
+    (local - avg).round() as i32
+}
+
 enum Notice {
     DeliverUp(NodeId, Frame),
     TxResultUp(NodeId, Frame, TxResult),
@@ -398,13 +446,193 @@ impl World {
         self.metrics.mac_mut(node).tx_attempts += 1;
         sched.schedule_at(now + airtime, Event::TxEnd { node });
     }
+
+    /// Arms `node`'s subslot tick for the boundary `(frame_index,
+    /// subslot)` at `at` — the shared backend of
+    /// [`MacCtx::set_subslot_timer_at`] and the tick-plan commit.
+    fn arm_subslot_tick(
+        &mut self,
+        node: NodeId,
+        at: SimTime,
+        frame_index: u64,
+        subslot: u16,
+        sched: &mut Scheduler<Event>,
+    ) {
+        let i = node.index();
+        let gen_slot = &mut self.nodes.mac_timer_gen[i][MacTimerKind::Subslot.index()];
+        *gen_slot += 1;
+        let gen = *gen_slot;
+        self.nodes.tick_armed.set(i, true);
+        let index = self.clock.boundary_index(frame_index, subslot);
+        sched.schedule_boundary(
+            at,
+            index,
+            Event::MacTimer {
+                node,
+                kind: MacTimerKind::Subslot,
+                gen,
+            },
+        );
+    }
+
+    /// Starts a CCA for `node` — the shared backend of
+    /// [`MacCtx::start_cca`] and the tick-plan commit. The initial
+    /// energy snapshot reads the medium at commit time, so committing
+    /// a boundary bucket in bucket order observes exactly the
+    /// transmissions earlier bucket positions already started — the
+    /// single-core semantics.
+    fn start_cca_internal(&mut self, node: NodeId, sched: &mut Scheduler<Event>) {
+        let now = sched.now();
+        let i = node.index();
+        self.nodes.cca_gen[i] += 1;
+        let gen = self.nodes.cca_gen[i];
+        self.nodes.cca[i] = Some(CcaState {
+            saw_energy: self.medium.is_busy(node.phy()),
+            gen,
+        });
+        self.nodes.energy[i].count_cca();
+        self.metrics.mac_mut(node).ccas += 1;
+        let dur = SimDuration::from_micros(self.phy.cca_us());
+        sched.schedule_at(now + dur, Event::CcaEnd { node, gen });
+    }
+
+    /// Commits a [`TickPlan`]: re-arm (or park) the subslot tick, then
+    /// execute the decided action. The order — rearm before action —
+    /// matches the sequential MAC tick, so the scheduler's sequence
+    /// numbers (and with them every future tie-break) come out
+    /// identical in both engines.
+    fn commit_tick_plan(&mut self, node: NodeId, plan: TickPlan, sched: &mut Scheduler<Event>) {
+        match plan.rearm {
+            Some((at, frame_index, subslot)) => {
+                self.arm_subslot_tick(node, at, frame_index, subslot, sched);
+            }
+            None => self.nodes.tick_armed.set(node.index(), false),
+        }
+        match plan.action {
+            None => {}
+            Some(TickAction::Backoff { subslot }) => {
+                self.metrics.slot_action(node, subslot, SlotAction::Backoff);
+            }
+            Some(TickAction::Cca { subslot }) => {
+                self.metrics.slot_action(node, subslot, SlotAction::Cca);
+                self.start_cca_internal(node, sched);
+            }
+            Some(TickAction::Send { subslot, frame }) => {
+                self.metrics.slot_action(node, subslot, SlotAction::Tx);
+                self.start_tx_internal(node, frame, 0, TxOrigin::Mac, sched);
+            }
+        }
+    }
+}
+
+/// What a slot-synchronous MAC decided at one subslot boundary — the
+/// output of [`MacProtocol::subslot_decide`], applied to the world by
+/// [`MacCtx::apply_tick_plan`] (or, in the sharded sweep, by the
+/// barrier fold). Splitting the tick into a node-local *decision* and
+/// a world *commit* is what lets one replication fan its boundary
+/// sweep out across cores while committing in the exact single-core
+/// order.
+#[derive(Debug, Clone)]
+pub struct TickPlan {
+    /// Re-arm the subslot timer for this boundary `(time, frame
+    /// index, subslot)`, or park the tick (`None`).
+    pub rearm: Option<(SimTime, u64, u16)>,
+    /// The contention action for this subslot, if any.
+    pub action: Option<TickAction>,
+}
+
+/// The world-side half of a subslot decision.
+#[derive(Debug, Clone)]
+pub enum TickAction {
+    /// Stay in receive mode (recorded for the utilization maps).
+    Backoff {
+        /// Subslot index the action belongs to.
+        subslot: u16,
+    },
+    /// Start a CCA at the subslot start.
+    Cca {
+        /// Subslot index the action belongs to.
+        subslot: u16,
+    },
+    /// Transmit `frame` from the subslot start.
+    Send {
+        /// Subslot index the action belongs to.
+        subslot: u16,
+        /// The frame to put on the air.
+        frame: Frame,
+    },
+}
+
+/// The node-local read/write surface a subslot decision may touch:
+/// the node's own queue (read), RNG (mutate), neighbour-level row
+/// (read), the shared clock/PHY tables, and this node's own radio
+/// flag. Deliberately **no** scheduler, no medium mutation, no other
+/// node's state — that contract is what makes decisions of different
+/// nodes at one boundary independent, hence safe to compute on
+/// different shards while producing bit-identical results.
+pub struct TickView<'a> {
+    now: SimTime,
+    node: NodeId,
+    clock: &'a FrameClock,
+    phy: &'a PhyTiming,
+    queue: &'a TxQueue,
+    levels: &'a NeighborLevels,
+    rng: &'a mut StdRng,
+    transmitting: bool,
+}
+
+impl<'a> TickView<'a> {
+    /// Current simulated time (the boundary instant).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The node this view is scoped to.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The shared frame clock.
+    pub fn clock(&self) -> &FrameClock {
+        self.clock
+    }
+
+    /// The PHY timing table.
+    pub fn phy(&self) -> &PhyTiming {
+        self.phy
+    }
+
+    /// The node's transmit queue (read only).
+    pub fn queue(&self) -> &TxQueue {
+        self.queue
+    }
+
+    /// The node's deterministic RNG.
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+
+    /// Is this node currently transmitting? (Own-radio state only —
+    /// mutated exclusively by this node's own events, so the snapshot
+    /// cannot race with other shards.)
+    pub fn transmitting(&self) -> bool {
+        self.transmitting
+    }
+
+    /// `local queue level − reported neighbour level` — identical to
+    /// [`MacCtx::queue_diff`] (both delegate to the same fold).
+    pub fn queue_diff(&self) -> i32 {
+        queue_diff_value(self.now, self.node.index(), self.queue, self.levels)
+    }
 }
 
 /// The MAC protocol interface.
 ///
-/// One object per node. All methods receive a [`MacCtx`] scoped to
-/// that node.
-pub trait MacProtocol {
+/// One object per node; `Send` so a sharded sweep may move a shard's
+/// MACs to a worker thread (all state is per-node plain data — no MAC
+/// shares anything mutable). All methods receive a [`MacCtx`] scoped
+/// to that node.
+pub trait MacProtocol: Send {
     /// Called once when the node becomes active.
     fn start(&mut self, ctx: &mut MacCtx<'_>);
     /// A [`MacTimerKind`] timer armed by this MAC fired.
@@ -424,6 +652,25 @@ pub trait MacProtocol {
     /// The current per-subslot policy (learning MACs only), encoded
     /// as the dominant [`SlotAction`] the policy would execute.
     fn policy_snapshot(&self) -> Option<Vec<SlotAction>> {
+        None
+    }
+    /// Does this MAC implement the decide/commit subslot-tick split
+    /// ([`MacProtocol::subslot_decide`])? The sharded sweep only
+    /// engages when **every** node's MAC does; mixed or legacy
+    /// populations fall back to sequential [`MacProtocol::on_timer`]
+    /// delivery.
+    fn supports_split_tick(&self) -> bool {
+        false
+    }
+    /// The node-local half of a subslot tick: consume the boundary,
+    /// mutate only `self` and the view, and return the world commit
+    /// as a [`TickPlan`]. Must be behaviourally identical to the
+    /// [`MacTimerKind::Subslot`] arm of [`MacProtocol::on_timer`]
+    /// followed by [`MacCtx::apply_tick_plan`] — QMA implements
+    /// `on_timer` *in terms of* this method, so the two cannot drift.
+    /// Returns `None` when unsupported (the default).
+    fn subslot_decide(&mut self, view: &mut TickView<'_>) -> Option<TickPlan> {
+        let _ = view;
         None
     }
 }
@@ -523,48 +770,13 @@ impl<'a> MacCtx<'a> {
     /// before its first frame) count as unknown, so an empty table
     /// yields the local level itself.
     pub fn queue_diff(&self) -> i32 {
-        let now = self.sched.now();
         let i = self.node.index();
-        let queue = &self.world.nodes.queue[i];
-        let local = queue.len() as f64;
-
-        // Prefer the communication partner's level: the node the
-        // head-of-line frame is addressed to is the one whose service
-        // we compete with ("it is beneficial to give the
-        // communication partner time", §1). In the paper's
-        // single-sink scenarios this is exactly the neighbour set of
-        // §4.2; in multi-hop trees it directs exploration pressure
-        // down the forwarding chain instead of averaging it away
-        // across saturated siblings.
-        if let Some(head) = queue.head() {
-            if let crate::frame::Address::Node(dst) = head.frame.dst {
-                if let Some((level, at)) = self.world.neighbor_levels.get(i, dst.0) {
-                    if now.since(at) <= NEIGHBOR_LEVEL_TTL {
-                        return (local - level as f64).round() as i32;
-                    }
-                }
-                // Partner unknown or stale: treat as empty (the sink
-                // before its first frame, or a silent neighbour).
-                return local.round() as i32;
-            }
-        }
-
-        // Broadcast head or empty queue: fall back to the average
-        // over fresh neighbour reports — a single allocation-free
-        // pass over this node's CSR level row (same ascending-id
-        // order as the dense table it replaced).
-        let (sum, count) = self.world.neighbor_levels.entries(i).iter().flatten().fold(
-            (0.0f64, 0u32),
-            |(sum, count), &(level, at)| {
-                if now.since(at) <= NEIGHBOR_LEVEL_TTL {
-                    (sum + level as f64, count + 1)
-                } else {
-                    (sum, count)
-                }
-            },
-        );
-        let avg = if count == 0 { 0.0 } else { sum / count as f64 };
-        (local - avg).round() as i32
+        queue_diff_value(
+            self.sched.now(),
+            i,
+            &self.world.nodes.queue[i],
+            &self.world.neighbor_levels,
+        )
     }
 
     /// Starts a frame transmission on the contention channel. The
@@ -579,24 +791,7 @@ impl<'a> MacCtx<'a> {
     /// 8-symbol window with `busy = true` iff energy was present at
     /// any point of the window.
     pub fn start_cca(&mut self) {
-        let now = self.sched.now();
-        let i = self.node.index();
-        self.world.nodes.cca_gen[i] += 1;
-        let gen = self.world.nodes.cca_gen[i];
-        self.world.nodes.cca[i] = Some(CcaState {
-            saw_energy: self.world.medium.is_busy(self.node.phy()),
-            gen,
-        });
-        self.world.nodes.energy[i].count_cca();
-        self.world.metrics.mac_mut(self.node).ccas += 1;
-        let dur = SimDuration::from_micros(self.world.phy.cca_us());
-        self.sched.schedule_at(
-            now + dur,
-            Event::CcaEnd {
-                node: self.node,
-                gen,
-            },
-        );
+        self.world.start_cca_internal(self.node, self.sched);
     }
 
     /// Arms (or re-arms) a MAC timer `delay` from now.
@@ -622,21 +817,43 @@ impl<'a> MacCtx<'a> {
     /// armed-tick bit in the world's active set tracks the
     /// non-parked population.
     pub fn set_subslot_timer_at(&mut self, at: SimTime, frame_index: u64, subslot: u16) {
+        self.world
+            .arm_subslot_tick(self.node, at, frame_index, subslot, self.sched);
+    }
+
+    /// Is this node's subslot tick currently armed in the world's
+    /// active set? Wheel-scheduled ticks are uncancellable
+    /// ([`qma_des::EventKey::DETACHED`]), so a MAC re-arming after a
+    /// park **must** consult this bit before enqueueing another tick:
+    /// arming while the bit is set would leave two live tick events
+    /// for one node (the re-arm double-tick hazard).
+    pub fn subslot_tick_armed(&self) -> bool {
+        self.world.nodes.tick_armed.get(self.node.index())
+    }
+
+    /// Applies a [`TickPlan`] — the world-commit half of a subslot
+    /// tick. The sequential engine calls this right after
+    /// [`MacProtocol::subslot_decide`]; the sharded engine calls the
+    /// same commit in the barrier fold, so both engines execute one
+    /// code path in one order.
+    pub fn apply_tick_plan(&mut self, plan: TickPlan) {
+        self.world.commit_tick_plan(self.node, plan, self.sched);
+    }
+
+    /// Builds the node-local [`TickView`] for
+    /// [`MacProtocol::subslot_decide`].
+    pub fn tick_view(&mut self) -> TickView<'_> {
         let i = self.node.index();
-        let gen_slot = &mut self.world.nodes.mac_timer_gen[i][MacTimerKind::Subslot.index()];
-        *gen_slot += 1;
-        let gen = *gen_slot;
-        self.world.nodes.tick_armed.set(i, true);
-        let index = self.world.clock.boundary_index(frame_index, subslot);
-        self.sched.schedule_boundary(
-            at,
-            index,
-            Event::MacTimer {
-                node: self.node,
-                kind: MacTimerKind::Subslot,
-                gen,
-            },
-        );
+        TickView {
+            now: self.sched.now(),
+            node: self.node,
+            clock: &self.world.clock,
+            phy: &self.world.phy,
+            queue: &self.world.nodes.queue[i],
+            levels: &self.world.neighbor_levels,
+            rng: &mut self.world.nodes.mac_rng[i],
+            transmitting: self.world.medium.is_transmitting(self.node.phy()),
+        }
     }
 
     /// Records that this node parked its subslot tick (idle, nothing
@@ -816,6 +1033,14 @@ impl<T: MacProtocol + ?Sized> MacProtocol for Box<T> {
     fn policy_snapshot(&self) -> Option<Vec<SlotAction>> {
         (**self).policy_snapshot()
     }
+    #[inline]
+    fn supports_split_tick(&self) -> bool {
+        (**self).supports_split_tick()
+    }
+    #[inline]
+    fn subslot_decide(&mut self, view: &mut TickView<'_>) -> Option<TickPlan> {
+        (**self).subslot_decide(view)
+    }
 }
 
 impl<T: UpperLayer + ?Sized> UpperLayer for Box<T> {
@@ -861,6 +1086,8 @@ pub struct SimBuilder<M = Box<dyn MacProtocol>, U = Box<dyn UpperLayer>> {
     node_starts: HashMap<u32, SimTime>,
     record_learner: bool,
     scheduler_wheel: bool,
+    shards: usize,
+    shard_batch_min: usize,
 }
 
 /// Process-wide default for [`SimBuilder::scheduler_wheel`] — `true`
@@ -882,6 +1109,45 @@ pub fn default_scheduler_wheel() -> bool {
     SCHEDULER_WHEEL_DEFAULT.load(std::sync::atomic::Ordering::SeqCst)
 }
 
+/// Process-wide default for [`SimBuilder::shards`] — `1` (no
+/// sharding) unless overridden. Exists so the campaign binary's
+/// `--shards` flag (and shard-equivalence tests) can flip the
+/// execution engine underneath code that builds its simulations
+/// internally, exactly like the scheduler-wheel default above.
+static SHARDS_DEFAULT: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(1);
+
+/// Sets the process-wide default shard count (see
+/// [`SimBuilder::shards`]). Values below 1 are treated as 1.
+pub fn set_default_shards(shards: usize) {
+    SHARDS_DEFAULT.store(shards.max(1), std::sync::atomic::Ordering::SeqCst);
+}
+
+/// The current process-wide shard-count default.
+pub fn default_shards() -> usize {
+    SHARDS_DEFAULT.load(std::sync::atomic::Ordering::SeqCst)
+}
+
+/// Default for [`SimBuilder::shard_batch_min`]: boundary buckets
+/// smaller than this run sequentially even when sharding is on — the
+/// per-barrier fork/join overhead needs a population to amortise over.
+pub const SHARD_BATCH_MIN_DEFAULT: usize = 192;
+
+/// Process-wide default for [`SimBuilder::shard_batch_min`].
+static SHARD_BATCH_MIN: std::sync::atomic::AtomicUsize =
+    std::sync::atomic::AtomicUsize::new(SHARD_BATCH_MIN_DEFAULT);
+
+/// Sets the process-wide default for
+/// [`SimBuilder::shard_batch_min`] — equivalence tests force the
+/// parallel sweep onto small worlds by lowering it to 1.
+pub fn set_default_shard_batch_min(min: usize) {
+    SHARD_BATCH_MIN.store(min.max(1), std::sync::atomic::Ordering::SeqCst);
+}
+
+/// The current process-wide shard-batch-minimum default.
+pub fn default_shard_batch_min() -> usize {
+    SHARD_BATCH_MIN.load(std::sync::atomic::Ordering::SeqCst)
+}
+
 impl SimBuilder {
     /// Starts a builder over a connectivity graph with a master seed.
     pub fn new(conn: Connectivity, seed: u64) -> Self {
@@ -898,6 +1164,8 @@ impl SimBuilder {
             node_starts: HashMap::new(),
             record_learner: true,
             scheduler_wheel: default_scheduler_wheel(),
+            shards: default_shards(),
+            shard_batch_min: default_shard_batch_min(),
         }
     }
 }
@@ -948,6 +1216,8 @@ impl<M: MacProtocol, U: UpperLayer> SimBuilder<M, U> {
             node_starts: self.node_starts,
             record_learner: self.record_learner,
             scheduler_wheel: self.scheduler_wheel,
+            shards: self.shards,
+            shard_batch_min: self.shard_batch_min,
         }
     }
 
@@ -972,6 +1242,8 @@ impl<M: MacProtocol, U: UpperLayer> SimBuilder<M, U> {
             node_starts: self.node_starts,
             record_learner: self.record_learner,
             scheduler_wheel: self.scheduler_wheel,
+            shards: self.shards,
+            shard_batch_min: self.shard_batch_min,
         }
     }
 
@@ -998,6 +1270,31 @@ impl<M: MacProtocol, U: UpperLayer> SimBuilder<M, U> {
         self
     }
 
+    /// Shards one replication's boundary sweep across `k` worker
+    /// threads (default: the process-wide default, normally 1). The
+    /// node population is partitioned into `k` contiguous ranges —
+    /// spatial tiles on the row-major grid, hash-ring chunks on the
+    /// hidden star — and at every subslot boundary each shard computes
+    /// its nodes' tick decisions in parallel; world effects are then
+    /// committed in the deterministic ascending bucket order, so
+    /// results are **bit-identical for every `k`**. Requires the
+    /// boundary wheel and a population whose MACs all implement the
+    /// decide/commit split; anything else falls back to the sequential
+    /// engine (same results, one core).
+    pub fn shards(mut self, k: usize) -> Self {
+        self.shards = k.max(1);
+        self
+    }
+
+    /// Minimum boundary-bucket population for the parallel sweep
+    /// (default [`SHARD_BATCH_MIN_DEFAULT`]); smaller buckets run
+    /// sequentially. Exposed so equivalence tests can force the
+    /// parallel path on small worlds.
+    pub fn shard_batch_min(mut self, min: usize) -> Self {
+        self.shard_batch_min = min.max(1);
+        self
+    }
+
     /// Builds the simulation.
     ///
     /// # Panics
@@ -1006,6 +1303,11 @@ impl<M: MacProtocol, U: UpperLayer> SimBuilder<M, U> {
     pub fn build(self) -> Sim<M, U> {
         let mac_factory = self.mac_factory.expect("a MAC factory is required");
         let n = self.conn.len();
+        let plan = qma_des::ShardPlan::contiguous(n, self.shards);
+        // The spatial medium partition (border classification) only
+        // exists for sharded runs; K = 1 has no borders by definition.
+        let partition = (plan.shards() > 1)
+            .then(|| qma_phy::MediumPartition::from_bounds(&self.conn, plan.bounds()));
         let seeds = SeedSequence::new(self.seed);
         let nodes = Nodes {
             queue: (0..n).map(|_| TxQueue::new(self.queue_capacity)).collect(),
@@ -1046,6 +1348,12 @@ impl<M: MacProtocol, U: UpperLayer> SimBuilder<M, U> {
             }
         }
 
+        // The sharded sweep only engages when every node's MAC opted
+        // into the decide/commit split; a single legacy MAC in the
+        // population falls the whole run back to sequential delivery.
+        let split_ticks = self.scheduler_wheel && macs.iter().all(|m| m.supports_split_tick());
+        let shard_scratch = ShardScratch::new(plan.shards());
+
         Sim {
             world: World {
                 medium: Medium::with_channels(self.conn, self.channels),
@@ -1062,6 +1370,34 @@ impl<M: MacProtocol, U: UpperLayer> SimBuilder<M, U> {
             node_starts: self.node_starts,
             record_learner: self.record_learner,
             delivered_scratch: Vec::new(),
+            plan,
+            partition,
+            split_ticks,
+            shard_batch_min: self.shard_batch_min,
+            batch_scratch: Vec::new(),
+            shard_scratch,
+        }
+    }
+}
+
+/// Reusable per-barrier buffers of the sharded sweep: one tick slate
+/// and one commit outbox per shard, drained every boundary but never
+/// deallocated — the boundary path stays allocation-free in steady
+/// state.
+struct ShardScratch {
+    /// Per-shard `(bucket position, node id, timer generation)` tick
+    /// slates, filled while bucketing a drained boundary batch.
+    slates: Vec<Vec<(u32, u32, u64)>>,
+    /// Per-shard `(bucket position, (node, plan))` outboxes — the
+    /// boundary-exchange staging the barrier fold consumes.
+    outboxes: Vec<Vec<(u32, (NodeId, TickPlan))>>,
+}
+
+impl ShardScratch {
+    fn new(shards: usize) -> Self {
+        ShardScratch {
+            slates: (0..shards).map(|_| Vec::new()).collect(),
+            outboxes: (0..shards).map(|_| Vec::new()).collect(),
         }
     }
 }
@@ -1080,6 +1416,19 @@ pub struct Sim<M = Box<dyn MacProtocol>, U = Box<dyn UpperLayer>> {
     /// Reusable buffer for the enabled clean receivers of a
     /// transmission (the per-`TxEnd` delivered set).
     delivered_scratch: Vec<NodeId>,
+    /// Contiguous spatial shard plan (one shard ⇒ sequential engine).
+    plan: qma_des::ShardPlan,
+    /// Border classification of the partitioned medium (sharded runs
+    /// only).
+    partition: Option<qma_phy::MediumPartition>,
+    /// Every MAC supports the decide/commit tick split.
+    split_ticks: bool,
+    /// Boundary buckets below this size run sequentially.
+    shard_batch_min: usize,
+    /// Reusable drained-boundary-bucket buffer.
+    batch_scratch: Vec<(SimTime, Event)>,
+    /// Reusable per-shard slates/outboxes.
+    shard_scratch: ShardScratch,
 }
 
 impl<M: MacProtocol, U: UpperLayer> Sim<M, U> {
@@ -1110,6 +1459,127 @@ impl<M: MacProtocol, U: UpperLayer> Sim<M, U> {
                     node,
                 };
                 self.uppers[node.index()].start(&mut uctx);
+            }
+
+            /// One drained boundary bucket through the sharded sweep:
+            /// bucket the ticks by owning shard, decide in parallel
+            /// (node-local state only), then commit through the
+            /// barrier fold in exact bucket order. Results are
+            /// bit-identical to sequential delivery by construction —
+            /// decisions of distinct nodes read no state any
+            /// same-instant commit writes, and the commits replay in
+            /// the sequential order.
+            fn handle_subslot_batch(
+                &mut self,
+                batch: &mut Vec<(SimTime, Event)>,
+                sched: &mut Scheduler<Event>,
+                plan: &qma_des::ShardPlan,
+                scratch: &mut ShardScratch,
+            ) {
+                for slate in scratch.slates.iter_mut() {
+                    slate.clear();
+                }
+                // Only subslot ticks travel through the wheel today;
+                // anything else falls the whole batch back to
+                // sequential delivery (exact order either way).
+                let mut plain = true;
+                for (pos, (_, ev)) in batch.iter().enumerate() {
+                    match ev {
+                        Event::MacTimer {
+                            node,
+                            kind: MacTimerKind::Subslot,
+                            gen,
+                        } => {
+                            scratch.slates[plan.shard_of(node.index())]
+                                .push((pos as u32, node.0, *gen));
+                        }
+                        _ => {
+                            plain = false;
+                            break;
+                        }
+                    }
+                }
+                if !plain {
+                    for (t, ev) in batch.drain(..) {
+                        self.handle(t, ev, sched);
+                    }
+                    return;
+                }
+
+                let now = batch[0].0;
+                {
+                    // Phase 1 — parallel decide. Each shard owns a
+                    // disjoint `&mut` slice of the MACs and RNGs
+                    // (contiguous plan ⇒ `split_at_mut`); queues,
+                    // neighbour levels, medium, clock and PHY are
+                    // shared read-only, and no commit runs until every
+                    // worker has joined — the wheel-cursor barrier.
+                    let world = &mut *self.world;
+                    let nodes = &mut world.nodes;
+                    let queues: &[TxQueue] = &nodes.queue;
+                    let gens: &[[u64; MacTimerKind::COUNT]] = &nodes.mac_timer_gen;
+                    let enabled = &nodes.enabled;
+                    let levels = &world.neighbor_levels;
+                    let medium = &world.medium;
+                    let clock = &world.clock;
+                    let phy = &world.phy;
+                    let sub = MacTimerKind::Subslot.index();
+                    let mut mac_rest: &mut [M] = &mut *self.macs;
+                    let mut rng_rest: &mut [StdRng] = &mut nodes.mac_rng;
+                    std::thread::scope(|scope| {
+                        for (s, outbox) in scratch.outboxes.iter_mut().enumerate() {
+                            let range = plan.range(s);
+                            let (macs_s, mac_tail) = mac_rest.split_at_mut(range.len());
+                            mac_rest = mac_tail;
+                            let (rngs_s, rng_tail) = rng_rest.split_at_mut(range.len());
+                            rng_rest = rng_tail;
+                            let slate: &[(u32, u32, u64)] = &scratch.slates[s];
+                            if slate.is_empty() {
+                                continue;
+                            }
+                            let base = range.start;
+                            scope.spawn(move || {
+                                for &(pos, node, gen) in slate {
+                                    let i = node as usize;
+                                    // The same validity gate the
+                                    // sequential dispatcher applies;
+                                    // no commit in this bucket can
+                                    // change another node's verdict.
+                                    if !enabled.get(i) || gens[i][sub] != gen {
+                                        continue;
+                                    }
+                                    let mut view = TickView {
+                                        now,
+                                        node: NodeId(node),
+                                        clock,
+                                        phy,
+                                        queue: &queues[i],
+                                        levels,
+                                        rng: &mut rngs_s[i - base],
+                                        transmitting: medium
+                                            .is_transmitting(qma_phy::PhyNodeId(node)),
+                                    };
+                                    let decided = macs_s[i - base]
+                                        .subslot_decide(&mut view)
+                                        .expect("split-tick MAC must return a plan");
+                                    outbox.push((pos, (NodeId(node), decided)));
+                                }
+                            });
+                        }
+                    });
+                }
+
+                // Phase 2 — the boundary exchange: fold the per-shard
+                // outboxes back in ascending bucket position, which is
+                // exactly the sequential processing order (and is
+                // independent of the shard count).
+                qma_des::merge_by_pos(&mut scratch.outboxes, |_pos, (node, decided)| {
+                    self.world.commit_tick_plan(node, decided, sched);
+                });
+                batch.clear();
+                if !self.world.notices.is_empty() {
+                    self.drain_notices(sched);
+                }
             }
 
             /// Cold outlined part of notice draining; the hot per-event
@@ -1321,7 +1791,33 @@ impl<M: MacProtocol, U: UpperLayer> Sim<M, U> {
             record_learner: self.record_learner,
             delivered: &mut self.delivered_scratch,
         };
-        Executor::new().run_until(&mut driver, &mut self.sched, horizon);
+        let sched = &mut self.sched;
+        let batch = &mut self.batch_scratch;
+        let scratch = &mut self.shard_scratch;
+        let sharded = self.plan.shards() > 1 && self.split_ticks;
+        loop {
+            // Under a multi-shard plan, whole boundary buckets drain
+            // in one scheduler call (when no heap event interleaves)
+            // and large buckets fan their decisions out across cores;
+            // single-shard runs keep the one-merged-head-inspection
+            // loop of the sequential engine untouched. Identical
+            // results either way — batching changes where events
+            // wait, never what the simulation computes.
+            if sharded && sched.drain_boundary_bucket(horizon, batch) > 0 {
+                if batch.len() >= self.shard_batch_min {
+                    driver.handle_subslot_batch(batch, sched, &self.plan, scratch);
+                } else {
+                    for (t, ev) in batch.drain(..) {
+                        driver.handle(t, ev, sched);
+                    }
+                }
+                continue;
+            }
+            match sched.pop_at_or_before(horizon) {
+                Some(entry) => driver.handle(entry.time, entry.event, sched),
+                None => break,
+            }
+        }
         self.world.metrics.close(horizon);
     }
 
@@ -1368,6 +1864,24 @@ impl<M: MacProtocol, U: UpperLayer> Sim<M, U> {
     /// The world (tests, assertions).
     pub fn world(&self) -> &World {
         &self.world
+    }
+
+    /// The shard plan this simulation executes under (one shard for
+    /// the sequential engine).
+    pub fn shard_plan(&self) -> &qma_des::ShardPlan {
+        &self.plan
+    }
+
+    /// Border classification of the spatially partitioned medium —
+    /// `None` for single-shard runs.
+    pub fn shard_partition(&self) -> Option<&qma_phy::MediumPartition> {
+        self.partition.as_ref()
+    }
+
+    /// Whether the parallel boundary sweep is armed (multi-shard plan
+    /// over an all-split-tick MAC population on the wheel scheduler).
+    pub fn sharded_sweep_armed(&self) -> bool {
+        self.plan.shards() > 1 && self.split_ticks
     }
 
     /// Energy report for a node up to the current time.

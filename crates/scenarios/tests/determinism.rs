@@ -18,6 +18,22 @@ use qma_net::{CollectionApp, CollectionConfig, TrafficPattern};
 use qma_netsim::{FrameClock, MacCounters, MacProtocol, NodeId, Sim, SimBuilder, UpperLayer};
 use qma_scenarios::common::collection_upper;
 
+/// Serialises the tests that flip process-wide execution defaults
+/// (`set_default_scheduler_wheel`, `set_default_shards`,
+/// `set_default_shard_batch_min`). The test harness runs this
+/// binary's tests on parallel threads; without the lock, one test's
+/// default could leak into another's sim builds — at best noise, at
+/// worst making an equivalence test vacuous (e.g. the sharded-sweep
+/// test silently comparing sequential against sequential while the
+/// wheel default is off).
+static EXEC_DEFAULTS: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn lock_exec_defaults() -> std::sync::MutexGuard<'static, ()> {
+    EXEC_DEFAULTS
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
 /// Everything a replication observes, flattened for comparison.
 #[derive(Debug, PartialEq)]
 struct Digest {
@@ -145,6 +161,142 @@ fn wheel_and_heap_scheduling_produce_identical_metrics() {
 }
 
 #[test]
+fn boundary_exact_enqueue_never_double_arms_the_tick() {
+    // PR 5 satellite (re-arm double-tick): wheel ticks are
+    // uncancellable, so a node that parks its tick and is re-enqueued
+    // at the *exact* boundary it parked on must end up with exactly
+    // one live tick. The workload forces the case: an `all_cap` clock
+    // with 1 ms subslots and arrivals on exact 1 ms multiples, so
+    // every post-park enqueue lands precisely on a boundary. The
+    // assertion is behavioural (wheel ≡ heap counters plus a sane
+    // armed count) — a duplicated live tick would double-fire the
+    // boundary and desynchronise the two engines' event counts.
+    use qma_des::SimTime;
+    use qma_netsim::{Address, Frame, TxResult, UpperCtx};
+
+    struct BoundaryExactSource {
+        dst: NodeId,
+        remaining: u32,
+    }
+
+    impl qma_netsim::UpperLayer for BoundaryExactSource {
+        fn start(&mut self, ctx: &mut UpperCtx<'_>) {
+            if ctx.node != self.dst {
+                // First arrival at t = 20 ms, an exact boundary.
+                ctx.schedule(SimDuration::from_millis(20), 0);
+            }
+        }
+        fn on_timer(&mut self, ctx: &mut UpperCtx<'_>, _tag: u64) {
+            if self.remaining == 0 {
+                return;
+            }
+            self.remaining -= 1;
+            let node = ctx.node;
+            let f = Frame::data(node, Address::Node(self.dst), self.remaining, 30, true);
+            ctx.metrics().app_generated(node);
+            ctx.enqueue_mac(f);
+            // Long gap (30 subslots) so the queue drains and the MAC
+            // parks before the next boundary-exact arrival.
+            ctx.schedule(SimDuration::from_millis(30), 0);
+        }
+        fn on_deliver(&mut self, ctx: &mut UpperCtx<'_>, _f: &Frame) {
+            ctx.metrics().count("delivered_up", 1.0);
+        }
+        fn on_tx_result(&mut self, _: &mut UpperCtx<'_>, _: &Frame, _: TxResult) {}
+    }
+
+    let run = |wheel: bool| {
+        let mut sim = SimBuilder::new(qma_topo::hidden_star(2).connectivity.clone(), 17)
+            .clock(FrameClock::all_cap(10, 1_000))
+            .scheduler_wheel(wheel)
+            .mac_factory(|_, clock| MacImpl::qma(QmaMacConfig::default(), *clock))
+            .upper_factory(|_, _| {
+                qma_scenarios::common::UpperImpl::custom(BoundaryExactSource {
+                    dst: NodeId(2),
+                    remaining: 40,
+                })
+            })
+            .build();
+        sim.run_until(SimTime::from_secs(3));
+        let armed = sim.world().armed_ticks();
+        (digest(&sim), armed)
+    };
+    let (wheel_digest, wheel_armed) = run(true);
+    let (heap_digest, heap_armed) = run(false);
+    assert_eq!(wheel_digest, heap_digest, "wheel vs heap diverged");
+    assert_eq!(wheel_armed, heap_armed);
+    assert!(
+        wheel_armed <= 3,
+        "at most one live tick per node, got {wheel_armed}"
+    );
+    assert!(wheel_digest.per_node[0].1 > 0, "no packets generated");
+    assert!(
+        wheel_digest.per_node[0].0.tx_attempts > 0,
+        "source never transmitted"
+    );
+}
+
+#[test]
+fn sharded_sweep_is_bit_identical_to_sequential() {
+    use qma_scenarios::{run_scenario, MassiveTopology, ScenarioKind, ScenarioParams};
+
+    let _guard = lock_exec_defaults();
+    // Saturating parameters so boundary buckets exceed the forced
+    // batch minimum and the parallel decide path genuinely runs.
+    let star = ScenarioParams {
+        topology: MassiveTopology::HiddenStar,
+        nodes: 161,
+        delta: 0.8,
+        packets: 4,
+        duration_s: 12,
+        ..ScenarioParams::default()
+    };
+    let grid = ScenarioParams {
+        topology: MassiveTopology::Grid,
+        nodes: 144,
+        delta: 1.0,
+        packets: 4,
+        duration_s: 12,
+        ..ScenarioParams::default()
+    };
+    for p in [star, grid] {
+        p.validate_for(ScenarioKind::Massive).unwrap();
+        let run_with_shards = |k: usize| {
+            qma_netsim::set_default_shards(k);
+            qma_netsim::set_default_shard_batch_min(1);
+            let out: Vec<_> = (0..2u64)
+                .map(|rep| run_scenario(ScenarioKind::Massive, &p, 500 + rep))
+                .collect();
+            qma_netsim::set_default_shards(1);
+            qma_netsim::set_default_shard_batch_min(qma_netsim::SHARD_BATCH_MIN_DEFAULT);
+            out
+        };
+        let sequential = run_with_shards(1);
+        let sharded_2 = run_with_shards(2);
+        let sharded_4 = run_with_shards(4);
+        assert_eq!(sequential, sharded_2, "K=2 diverged from K=1");
+        assert_eq!(sequential, sharded_4, "K=4 diverged from K=1");
+        assert!(sequential.iter().all(|m| m.events > 1_000));
+    }
+
+    // The sweep must actually have been armed under the sharded
+    // default — build one sim directly and check.
+    let topo = qma_topo::hidden_star(160);
+    let mut sim = SimBuilder::new(topo.connectivity.clone(), 1)
+        .clock(FrameClock::dsme_so3())
+        .shards(4)
+        .shard_batch_min(1)
+        .mac_factory(|_, clock| MacImpl::qma(QmaMacConfig::default(), *clock))
+        .build();
+    assert!(sim.sharded_sweep_armed(), "sharded sweep must be armed");
+    assert_eq!(sim.shard_plan().shards(), 4);
+    let stats = sim.shard_partition().expect("partition exists").stats();
+    assert_eq!(stats.shards, 4);
+    assert!(stats.cross_edges > 0, "hidden star is all-border");
+    sim.run_until(qma_des::SimTime::from_secs(1));
+}
+
+#[test]
 fn massive_star_is_scheduler_invariant_serial_and_parallel() {
     use qma_scenarios::{run_scenario, MassiveTopology, ScenarioKind, ScenarioParams};
 
@@ -158,9 +310,9 @@ fn massive_star_is_scheduler_invariant_serial_and_parallel() {
     };
     p.validate_for(ScenarioKind::Massive).unwrap();
     // The scheduler engine is selected per simulation at build time;
-    // flip the process default around each batch. Other tests in this
-    // binary may build sims while the default is flipped — harmless,
-    // because equivalence is exactly what this test asserts.
+    // flip the process default around each batch, holding the
+    // defaults lock so no other test builds sims meanwhile.
+    let _guard = lock_exec_defaults();
     let run_batch = |wheel: bool| {
         qma_netsim::set_default_scheduler_wheel(wheel);
         let serial: Vec<_> = (0..3u64)
