@@ -1,7 +1,7 @@
 //! Machine-readable performance baseline for the perf trajectory.
 //!
 //! Measures the paper-relevant hot paths and writes a flat JSON
-//! report (default `BENCH_pr5.json`, override with `QMA_BENCH_OUT`):
+//! report (default `BENCH_pr6.json`, override with `QMA_BENCH_OUT`):
 //!
 //! * `q_update_f32_ns` / `q_update_fixed16_ns` — one Q-table update,
 //!   the operation the paper bounds at "two multiplications, three
@@ -23,6 +23,9 @@
 //! * `nodes_per_sec_10k` — simulated node-seconds per wall-clock
 //!   second on a 10 000-node massive hidden-star replication, plus
 //!   `massive_events_per_sec` / `massive_pdr_10k` for the same run,
+//! * `chaos_overhead_pct` — wall-clock cost of the same replication
+//!   with an armed-but-empty fault plan (the fault subsystem's
+//!   standing overhead; results are asserted bit-identical),
 //! * `nodes_per_sec_10k_sharded` / `shard_speedup` /
 //!   `nodes_per_sec_per_core` — the same replication with the
 //!   boundary sweep sharded across `shard_count` cores (available
@@ -209,8 +212,10 @@ struct MassiveBench {
 /// timing with the boundary sweep sharded across `shards` worker
 /// threads (1 = the sequential engine): `nodes_per_sec` is simulated
 /// node-seconds per wall second, the scale figure of merit
-/// (events/sec undercounts parked nodes).
-fn bench_massive_10k(fast: bool, shards: usize) -> MassiveBench {
+/// (events/sec undercounts parked nodes). With `armed`, the same
+/// replication carries an armed-but-empty fault plan — the fault
+/// subsystem's standing cost, reported as `chaos_overhead_pct`.
+fn bench_massive_10k(fast: bool, shards: usize, armed: bool) -> MassiveBench {
     let p = qma_scenarios::ScenarioParams {
         nodes: 10_001,
         delta: 0.2,
@@ -220,7 +225,12 @@ fn bench_massive_10k(fast: bool, shards: usize) -> MassiveBench {
         ..qma_scenarios::ScenarioParams::default()
     };
     qma_netsim::set_default_shards(shards);
-    let (run, elapsed) = time_once(|| qma_scenarios::massive::run_once(&p, qma_bench::seed()));
+    let run_one = if armed {
+        qma_scenarios::massive::run_once_armed
+    } else {
+        qma_scenarios::massive::run_once
+    };
+    let (run, elapsed) = time_once(|| run_one(&p, qma_bench::seed()));
     qma_netsim::set_default_shards(1);
     let wall = elapsed.as_secs_f64().max(f64::MIN_POSITIVE);
     MassiveBench {
@@ -233,7 +243,7 @@ fn bench_massive_10k(fast: bool, shards: usize) -> MassiveBench {
 
 fn main() {
     let env = qma_bench::BenchEnv::from_env();
-    let out_path = env.out_or("BENCH_pr5.json");
+    let out_path = env.out_or("BENCH_pr6.json");
     let budget = env.budget();
     let reps = env.reps_or(12);
 
@@ -291,10 +301,29 @@ fn main() {
         heap.events_per_sec
     );
 
-    let massive = bench_massive_10k(env.fast, 1);
+    let massive = bench_massive_10k(env.fast, 1, false);
     println!(
         "massive 10k nodes/sec   {:>10.0}  ({:.0} events/sec, {} nodes, PDR {:.3})",
         massive.nodes_per_sec, massive.events_per_sec, massive.nodes, massive.pdr
+    );
+
+    // The same replication with an armed-but-empty fault plan: the
+    // fault-injection subsystem's standing cost when no fault ever
+    // fires. Results are bit-identical by construction (asserted), so
+    // the wall-clock delta is pure bookkeeping overhead — the design
+    // target is < 1 %, though single-run wall-clock noise means the
+    // reported figure can wobble around zero.
+    let armed = bench_massive_10k(env.fast, 1, true);
+    assert_eq!(
+        massive.pdr.to_bits(),
+        armed.pdr.to_bits(),
+        "an armed-but-empty fault plan must not change simulation results"
+    );
+    let chaos_overhead_pct =
+        (massive.nodes_per_sec / armed.nodes_per_sec.max(f64::MIN_POSITIVE) - 1.0) * 100.0;
+    println!(
+        "chaos overhead (armed)  {:>10.2}  % ({:.0} nodes/sec armed)",
+        chaos_overhead_pct, armed.nodes_per_sec
     );
 
     // The same replication with the boundary sweep sharded across the
@@ -305,7 +334,7 @@ fn main() {
         .map(|n| n.get())
         .unwrap_or(1)
         .min(4);
-    let sharded = bench_massive_10k(env.fast, shard_k);
+    let sharded = bench_massive_10k(env.fast, shard_k, false);
     assert_eq!(
         massive.pdr.to_bits(),
         sharded.pdr.to_bits(),
@@ -330,7 +359,7 @@ fn main() {
     let mut report = JsonReport::new();
     report
         .string("bench", "qma hot paths")
-        .string("pr", "5")
+        .string("pr", "6")
         .integer("threads", rayon::current_num_threads() as u64)
         .integer("replications", reps)
         .number("q_update_f32_ns", q32)
@@ -348,6 +377,7 @@ fn main() {
         .number("nodes_per_sec_10k", massive.nodes_per_sec)
         .number("massive_events_per_sec", massive.events_per_sec)
         .number("massive_pdr_10k", massive.pdr)
+        .number("chaos_overhead_pct", chaos_overhead_pct)
         .integer("shard_count", shard_k as u64)
         .number("nodes_per_sec_10k_sharded", sharded.nodes_per_sec)
         .number(

@@ -32,6 +32,11 @@
 //! directory. Re-running a half-finished campaign resumes: configs
 //! whose rows already exist are skipped and re-emitted verbatim, so
 //! the final artifacts are byte-identical to an uninterrupted run.
+//!
+//! A panicking replication is isolated: its config gets no artifact
+//! row, a `# FAILED` line names the config, replication index, exact
+//! seed and panic message (plus a reproduction command), the rest of
+//! the grid still runs, and the process exits non-zero at the end.
 
 use std::path::PathBuf;
 
@@ -153,6 +158,24 @@ fn run_spec(args: &Args, path: &PathBuf) -> Result<Option<CampaignOutcome>, Stri
     );
     println!("# wrote {}", outcome.csv_path.display());
     println!("# wrote {}", outcome.json_path.display());
+    // Panic-isolated replications: each failure is reported with the
+    // content-addressed seed and a standalone reproduction command;
+    // the campaign still wrote every healthy config's rows.
+    for f in &outcome.failures {
+        eprintln!(
+            "# FAILED {} rep {} seed {}: {}",
+            f.config_key, f.rep, f.seed, f.message
+        );
+        eprintln!(
+            "#   reproduce: cargo run --release -p qma-bench --bin campaign -- {} --serial   \
+             (config `{}` has no artifact row, so it recomputes; seeds are content-addressed, \
+             so rep {} re-runs under seed {})",
+            path.display(),
+            f.config_key,
+            f.rep,
+            f.seed
+        );
+    }
     Ok(Some(outcome))
 }
 
@@ -164,10 +187,19 @@ fn main() {
             std::process::exit(2);
         }
     };
+    let mut failed_reps = 0usize;
     for path in &args.specs {
-        if let Err(e) = run_spec(&args, path) {
-            eprintln!("campaign failed: {e}");
-            std::process::exit(1);
+        match run_spec(&args, path) {
+            Err(e) => {
+                eprintln!("campaign failed: {e}");
+                std::process::exit(1);
+            }
+            Ok(Some(outcome)) => failed_reps += outcome.failures.len(),
+            Ok(None) => {}
         }
+    }
+    if failed_reps > 0 {
+        eprintln!("{failed_reps} replication(s) panicked — see FAILED lines above");
+        std::process::exit(1);
     }
 }

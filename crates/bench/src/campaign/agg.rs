@@ -18,6 +18,10 @@ pub struct ConfigAggregate {
     retry_drops: Welford,
     queue_drops: Welford,
     aux: Welford,
+    recovery_s: Welford,
+    collision_regret: Welford,
+    lost_in_outage: Welford,
+    steady_delta: Welford,
     events: u64,
     sim_seconds: f64,
 }
@@ -36,6 +40,10 @@ impl ConfigAggregate {
         self.retry_drops.push(m.retry_drops as f64);
         self.queue_drops.push(m.queue_drops as f64);
         self.aux.push(m.aux);
+        self.recovery_s.push(m.resilience.recovery_s);
+        self.collision_regret.push(m.resilience.collision_regret);
+        self.lost_in_outage.push(m.resilience.lost_in_outage);
+        self.steady_delta.push(m.resilience.steady_state_delta);
         self.events += m.events;
         self.sim_seconds += m.sim_seconds;
     }
@@ -70,6 +78,28 @@ impl ConfigAggregate {
         ci95_of(&self.aux)
     }
 
+    /// Time-to-recover PDR to 95 % of the pre-fault level, with its
+    /// 95 % CI (all-zero for fault-free scenarios).
+    pub fn recovery_s(&self) -> ConfidenceInterval {
+        ci95_of(&self.recovery_s)
+    }
+
+    /// Mean post-fault collision-rate regret (collisions per
+    /// simulated second versus the pre-fault baseline).
+    pub fn collision_regret_mean(&self) -> f64 {
+        self.collision_regret.mean()
+    }
+
+    /// Mean packets lost during the fault window.
+    pub fn lost_in_outage_mean(&self) -> f64 {
+        self.lost_in_outage.mean()
+    }
+
+    /// Mean steady-state PDR delta once re-learning settled.
+    pub fn steady_delta_mean(&self) -> f64 {
+        self.steady_delta.mean()
+    }
+
     /// Total simulation events across all replications.
     pub fn events_total(&self) -> u64 {
         self.events
@@ -101,6 +131,12 @@ mod tests {
             events,
             sim_seconds: 100.0,
             aux: pdr * 3.0,
+            resilience: qma_scenarios::Resilience {
+                recovery_s: pdr * 20.0,
+                collision_regret: -0.5,
+                lost_in_outage: 12.0,
+                steady_state_delta: pdr - 0.9,
+            },
         }
     }
 
@@ -121,6 +157,10 @@ mod tests {
         assert!((agg.retry_drops_mean() - 2.0).abs() < 1e-12);
         assert!((agg.queue_drops_mean() - 1.0).abs() < 1e-12);
         assert!((agg.aux().mean - batch.mean * 3.0).abs() < 1e-12);
+        assert!((agg.recovery_s().mean - batch.mean * 20.0).abs() < 1e-12);
+        assert!((agg.collision_regret_mean() - -0.5).abs() < 1e-12);
+        assert!((agg.lost_in_outage_mean() - 12.0).abs() < 1e-12);
+        assert!((agg.steady_delta_mean() - (batch.mean - 0.9)).abs() < 1e-10);
     }
 
     #[test]

@@ -38,6 +38,11 @@ const COLUMNS: &[(&str, ColKind)] = &[
     ("aux_name", ColKind::Str),
     ("aux_mean", ColKind::Float),
     ("aux_ci95", ColKind::Float),
+    ("recovery_s_mean", ColKind::Float),
+    ("recovery_s_ci95", ColKind::Float),
+    ("collision_regret_mean", ColKind::Float),
+    ("lost_in_outage_mean", ColKind::Float),
+    ("steady_delta_mean", ColKind::Float),
     ("events_total", ColKind::Int),
     ("events_per_sim_s", ColKind::Float),
 ];
@@ -65,6 +70,7 @@ impl ArtifactRow {
         let pdr = agg.pdr();
         let delay = agg.delay_s();
         let aux = agg.aux();
+        let recovery = agg.recovery_s();
         let values = vec![
             config_key.to_string(),
             scenario.key().to_string(),
@@ -79,6 +85,11 @@ impl ArtifactRow {
             scenario.aux_name().to_string(),
             format!("{:.6}", aux.mean),
             format!("{:.6}", aux.half_width),
+            format!("{:.6}", recovery.mean),
+            format!("{:.6}", recovery.half_width),
+            format!("{:.6}", agg.collision_regret_mean()),
+            format!("{:.6}", agg.lost_in_outage_mean()),
+            format!("{:.6}", agg.steady_delta_mean()),
             agg.events_total().to_string(),
             format!("{:.3}", agg.events_per_sim_sec()),
         ];
@@ -286,6 +297,12 @@ mod tests {
                 events: 5000,
                 sim_seconds: 130.0,
                 aux: 1.5,
+                resilience: qma_scenarios::Resilience {
+                    recovery_s: 4.0,
+                    collision_regret: -1.25,
+                    lost_in_outage: 7.0,
+                    steady_state_delta: 0.002,
+                },
             });
         }
         ArtifactRow::from_aggregate(key, ScenarioKind::HiddenNode, 2021, &agg)

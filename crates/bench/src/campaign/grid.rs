@@ -168,10 +168,38 @@ fn apply_param(p: &mut ScenarioParams, key: &str, value: &ParamValue) -> Result<
             };
             p.topology = MassiveTopology::parse(s).ok_or_else(bad)?;
         }
+        "fault_start_s" => p.chaos.fault_start_s = value.as_u64().ok_or_else(bad)?,
+        "fault_duration_s" => p.chaos.fault_duration_s = value.as_u64().ok_or_else(bad)?,
+        "crash_frac" => p.chaos.crash_frac = value.as_f64().ok_or_else(bad)?,
+        "jam_frac" => p.chaos.jam_frac = value.as_f64().ok_or_else(bad)?,
+        "drift_frac" => p.chaos.drift_frac = value.as_f64().ok_or_else(bad)?,
+        // Signed on purpose: negative skew is the interesting case
+        // (it schedules into the past), so no `as_u64` here.
+        "skew_us" => {
+            let ParamValue::Int(i) = value else {
+                return Err(bad());
+            };
+            p.chaos.skew_us = *i;
+        }
+        "persist_q" => {
+            let ParamValue::Bool(b) = value else {
+                return Err(bad());
+            };
+            p.chaos.persist_q = *b;
+        }
+        "sink_outage" => {
+            let ParamValue::Bool(b) = value else {
+                return Err(bad());
+            };
+            p.chaos.sink_outage = *b;
+        }
+        "clamp_budget" => p.chaos.clamp_budget = value.as_u64().ok_or_else(bad)?,
         other => {
             return Err(format!(
                 "unknown parameter {other} (known: mac, nodes, delta, packets, \
-                 duration_s, alpha, gamma, xi, subslots, max_retries, topology)"
+                 duration_s, alpha, gamma, xi, subslots, max_retries, topology, \
+                 fault_start_s, fault_duration_s, crash_frac, jam_frac, \
+                 drift_frac, skew_us, persist_q, sink_outage, clamp_budget)"
             ))
         }
     }
@@ -308,6 +336,27 @@ mod tests {
         let points = expand_grid(&[("delta".into(), ParamValue::Float(2.0))], &[]).unwrap();
         assert_eq!(points.len(), 1);
         assert_eq!(points[0].key(), "delta=2");
+    }
+
+    #[test]
+    fn chaos_knobs_resolve_including_negative_skew() {
+        let p = ConfigPoint::new(vec![
+            ("crash_frac".into(), ParamValue::Float(0.5)),
+            ("fault_start_s".into(), ParamValue::Int(40)),
+            ("skew_us".into(), ParamValue::Int(-250)),
+            ("persist_q".into(), ParamValue::Bool(true)),
+            ("sink_outage".into(), ParamValue::Bool(true)),
+            ("clamp_budget".into(), ParamValue::Int(1000)),
+        ])
+        .scenario_params()
+        .unwrap();
+        assert_eq!(p.chaos.crash_frac, 0.5);
+        assert_eq!(p.chaos.fault_start_s, 40);
+        assert_eq!(p.chaos.skew_us, -250);
+        assert!(p.chaos.persist_q && p.chaos.sink_outage);
+        assert_eq!(p.chaos.clamp_budget, 1000);
+        let bad = ConfigPoint::new(vec![("skew_us".into(), ParamValue::Float(1.5))]);
+        assert!(bad.scenario_params().is_err());
     }
 
     #[test]

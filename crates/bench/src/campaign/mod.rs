@@ -24,12 +24,13 @@ pub mod artifact;
 pub mod grid;
 pub mod spec;
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 
 use qma_scenarios::{run_scenario, RunMetrics, ScenarioParams};
 use rayon::prelude::*;
 
-use crate::runner::Parallelism;
+use crate::runner::{panic_message, Parallelism};
 use agg::ConfigAggregate;
 use artifact::{ArtifactRow, CampaignMeta};
 use grid::ConfigPoint;
@@ -42,6 +43,11 @@ pub struct CampaignOutcome {
     pub executed: usize,
     /// Configurations skipped because their artifact rows existed.
     pub skipped: usize,
+    /// Configurations whose replications panicked, with everything
+    /// needed to reproduce each failure in isolation. The campaign
+    /// still completes the remaining configs; failed ones get no
+    /// artifact row (a resumed run recomputes them).
+    pub failures: Vec<FailedRep>,
     /// Path of the CSV artifact.
     pub csv_path: PathBuf,
     /// Path of the JSON artifact.
@@ -50,11 +56,34 @@ pub struct CampaignOutcome {
     pub rows: Vec<ArtifactRow>,
 }
 
+/// A replication that panicked mid-campaign. The seed is the exact
+/// content-addressed stream value the replication ran under, so the
+/// failure reproduces standalone via
+/// `run_scenario(scenario, params, seed)` — no campaign context
+/// needed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailedRep {
+    /// Canonical key of the configuration the replication belonged to.
+    pub config_key: String,
+    /// Replication index within the configuration.
+    pub rep: u64,
+    /// The replication's derived seed.
+    pub seed: u64,
+    /// The panic message.
+    pub message: String,
+}
+
 /// Runs (or resumes) a campaign, writing `<name>.csv` and
 /// `<name>.json` into `out_dir`.
 ///
-/// `progress` receives one line per configuration (skipped or
-/// computed) — the binary prints it, tests pass a sink.
+/// `progress` receives one line per configuration (skipped, computed
+/// or failed) — the binary prints it, tests pass a sink.
+///
+/// A panicking replication does not abort the campaign: its config is
+/// recorded in [`CampaignOutcome::failures`] (with the exact seed to
+/// reproduce it) and the remaining configs still run. `Err` is
+/// reserved for campaign-level problems — unreadable specs, invalid
+/// grid points, artifact I/O.
 pub fn run_campaign(
     spec: &CampaignSpec,
     out_dir: &Path,
@@ -82,23 +111,42 @@ pub fn run_campaign(
     let mut rows: Vec<ArtifactRow> = Vec::with_capacity(points.len());
     let mut executed = 0;
     let mut skipped = 0;
-    for (point, p) in points.iter().zip(&params) {
+    let mut failures: Vec<FailedRep> = Vec::new();
+    for (i, (point, p)) in points.iter().zip(&params).enumerate() {
         let key = point.key();
         if let Some(row) = existing.iter().find(|r| r.config_key() == key) {
             rows.push(row.clone());
             skipped += 1;
             progress(&format!(
                 "[{}/{}] {key} — resumed from artifact",
-                rows.len(),
+                i + 1,
                 points.len()
             ));
             continue;
         }
-        let agg = run_config(spec, point, p, mode);
+        let agg = match run_config(spec, point, p, mode) {
+            Ok(agg) => agg,
+            Err(fail) => {
+                // Report and move on: one poisoned config must not
+                // cost the campaign the rest of its grid. No row is
+                // written, so a resumed run recomputes exactly this
+                // config — succeeded configs keep their bytes.
+                progress(&format!(
+                    "[{}/{}] {key} — FAILED at rep {} (seed {}): {}",
+                    i + 1,
+                    points.len(),
+                    fail.rep,
+                    fail.seed,
+                    fail.message
+                ));
+                failures.push(fail);
+                continue;
+            }
+        };
         let row = ArtifactRow::from_aggregate(&key, spec.scenario, spec.master_seed, &agg);
         progress(&format!(
             "[{}/{}] {key} — pdr {} ± {}, {} events",
-            rows.len() + 1,
+            i + 1,
             points.len(),
             row.get("pdr_mean").unwrap_or("?"),
             row.get("pdr_ci95").unwrap_or("?"),
@@ -125,6 +173,7 @@ pub fn run_campaign(
     Ok(CampaignOutcome {
         executed,
         skipped,
+        failures,
         csv_path,
         json_path,
         rows,
@@ -134,35 +183,55 @@ pub fn run_campaign(
 /// Runs every replication of one configuration and folds the results
 /// into a streaming aggregate (in replication order, so serial and
 /// parallel execution aggregate bit-identically).
+///
+/// Each replication runs under `catch_unwind`, so a panicking
+/// simulation (a chaos config blowing its past-clamp budget, say)
+/// surfaces as a [`FailedRep`] carrying the exact seed instead of
+/// tearing down the campaign. Failure selection is deterministic:
+/// results fold in replication order on both execution paths, so the
+/// reported failure is always the lowest-indexed panicking rep.
 fn run_config(
     spec: &CampaignSpec,
     point: &ConfigPoint,
     params: &ScenarioParams,
     mode: Parallelism,
-) -> ConfigAggregate {
+) -> Result<ConfigAggregate, FailedRep> {
     let stream = point.seed_stream(spec.master_seed);
     let scenario = spec.scenario;
-    let run_one = |rep: u64| run_scenario(scenario, params, stream.derive(rep).seed());
+    let run_one = |rep: u64| {
+        let seed = stream.derive(rep).seed();
+        // AssertUnwindSafe: on Err every captured reference is
+        // dropped without being observed again, so a half-mutated
+        // simulation state can never leak into later replications.
+        catch_unwind(AssertUnwindSafe(|| run_scenario(scenario, params, seed))).map_err(|payload| {
+            FailedRep {
+                config_key: point.key(),
+                rep,
+                seed,
+                message: panic_message(payload),
+            }
+        })
+    };
     let mut agg = ConfigAggregate::new();
     match mode {
         Parallelism::Serial => {
             // Genuinely streaming: each record folds and drops.
             for rep in 0..spec.replications {
-                agg.push(&run_one(rep));
+                agg.push(&run_one(rep)?);
             }
         }
         Parallelism::Rayon => {
-            let metrics: Vec<RunMetrics> = (0..spec.replications)
+            let metrics: Vec<Result<RunMetrics, FailedRep>> = (0..spec.replications)
                 .collect::<Vec<u64>>()
                 .into_par_iter()
                 .map(run_one)
                 .collect();
-            for m in &metrics {
-                agg.push(m);
+            for m in metrics {
+                agg.push(&m?);
             }
         }
     }
-    agg
+    Ok(agg)
 }
 
 /// Loads resumable rows from a partial CSV. Rows computed under a
@@ -436,6 +505,88 @@ mac = ["qma", "unslotted_csma"]
             "stale seed-11 rows must not satisfy seed 7"
         );
         assert_eq!(out.skipped, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn panicking_replication_is_isolated_and_reported() {
+        // A chaos config with a −100 ms clock skew and a 4-clamp
+        // budget panics deterministically mid-replication (the budget
+        // abort). The sibling config with no skew must still complete,
+        // the failure must carry the exact reproduction seed, and the
+        // healthy config's artifact bytes must survive re-runs.
+        let dir = tmp_dir("panic");
+        let spec = CampaignSpec::parse(
+            r#"
+[campaign]
+name = "t"
+scenario = "chaos"
+seed = 11
+replications = 2
+
+[fixed]
+nodes = 9
+duration_s = 5
+fault_start_s = 2
+fault_duration_s = 1
+crash_frac = 0.0
+clamp_budget = 4
+
+[grid]
+skew_us = [0, -100000]
+"#,
+        )
+        .unwrap();
+        let mut notes = Vec::new();
+        let out = run_campaign(&spec, &dir, Parallelism::Serial, |l| {
+            notes.push(l.to_string())
+        })
+        .unwrap();
+        assert_eq!(out.executed, 1, "healthy config must still complete");
+        assert_eq!(out.failures.len(), 1);
+        let fail = out.failures[0].clone();
+        assert!(
+            fail.config_key.contains("skew_us=-100000"),
+            "wrong config failed: {}",
+            fail.config_key
+        );
+        assert_eq!(fail.rep, 0, "lowest panicking rep must be reported");
+        assert!(
+            fail.message.contains("past-clamp budget exceeded"),
+            "unhelpful failure message: {}",
+            fail.message
+        );
+        let point = spec
+            .expand()
+            .unwrap()
+            .into_iter()
+            .find(|p| p.key() == fail.config_key)
+            .unwrap();
+        assert_eq!(
+            fail.seed,
+            point.seed_stream(spec.master_seed).derive(0).seed(),
+            "reported seed must be the replication's actual stream seed"
+        );
+        assert!(
+            notes.iter().any(|l| l.contains("FAILED")),
+            "failure not narrated: {notes:?}"
+        );
+
+        // Header + exactly the healthy config's row.
+        let csv = std::fs::read(&out.csv_path).unwrap();
+        assert_eq!(String::from_utf8(csv.clone()).unwrap().lines().count(), 2);
+
+        // A re-run resumes the healthy config verbatim, retries (and
+        // re-fails) the poisoned one — identically even under rayon.
+        let again = run_campaign(&spec, &dir, Parallelism::Rayon, |_| {}).unwrap();
+        assert_eq!(again.skipped, 1);
+        assert_eq!(again.executed, 0);
+        assert_eq!(
+            again.failures,
+            vec![fail],
+            "failure must be deterministic across execution modes"
+        );
+        assert_eq!(std::fs::read(&again.csv_path).unwrap(), csv);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -107,6 +107,20 @@ where
         .collect()
 }
 
+/// Renders a payload caught by `std::panic::catch_unwind` as a
+/// human-readable message. Rust panics carry `&str` or `String`
+/// payloads in practice; anything else gets a stable placeholder so
+/// failure reports never themselves panic.
+pub fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// Convenience wrapper for a single configuration: returns the
 /// replication results in order.
 pub fn run_seeds<R, F>(reps: u64, master_seed: u64, mode: Parallelism, f: F) -> Vec<R>
@@ -185,6 +199,16 @@ mod tests {
             Parallelism::Rayon
         );
         assert_eq!(Parallelism::from_args(Vec::new()), Parallelism::Rayon);
+    }
+
+    #[test]
+    fn panic_message_covers_both_payload_shapes() {
+        let caught = std::panic::catch_unwind(|| panic!("static str")).unwrap_err();
+        assert_eq!(panic_message(caught), "static str");
+        let caught = std::panic::catch_unwind(|| panic!("formatted {}", 7)).unwrap_err();
+        assert_eq!(panic_message(caught), "formatted 7");
+        let caught = std::panic::catch_unwind(|| std::panic::panic_any(42u32)).unwrap_err();
+        assert_eq!(panic_message(caught), "non-string panic payload");
     }
 
     #[test]

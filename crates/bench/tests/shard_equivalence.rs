@@ -79,4 +79,61 @@ topology = ["hidden_star", "grid"]
     qma_netsim::set_default_scheduler_wheel(true);
     assert_eq!(csv_1, csv_heap, "K=4 over the heap scheduler diverges");
     assert_eq!(json_1, json_heap);
+
+    // Fault injection must compose with sharding: a chaos campaign
+    // (crash + jam + drift striking mid-run, resilience columns in
+    // the artifact) stays byte-identical at any K and over the heap
+    // fallback — fault events are plain heap events, serialised at
+    // the boundary barrier like every other world commit.
+    let chaos = CampaignSpec::parse(
+        r#"
+[campaign]
+name = "eq-chaos"
+scenario = "chaos"
+seed = 7
+replications = 2
+
+[fixed]
+delta = 0.6
+duration_s = 12
+fault_start_s = 4
+fault_duration_s = 3
+crash_frac = 0.25
+jam_frac = 0.15
+drift_frac = 0.25
+clamp_budget = 100000
+
+[grid]
+nodes = [120]
+topology = ["hidden_star", "grid"]
+"#,
+    )
+    .unwrap();
+    let (ccsv_1, cjson_1) = artifacts(&chaos, "chaos-k1", 1);
+    let (ccsv_2, cjson_2) = artifacts(&chaos, "chaos-k2", 2);
+    let (ccsv_4, cjson_4) = artifacts(&chaos, "chaos-k4", 4);
+    assert_eq!(
+        ccsv_1, ccsv_2,
+        "chaos CSV bytes diverge between K=1 and K=2"
+    );
+    assert_eq!(
+        ccsv_1, ccsv_4,
+        "chaos CSV bytes diverge between K=1 and K=4"
+    );
+    assert_eq!(cjson_1, cjson_2);
+    assert_eq!(cjson_1, cjson_4);
+    qma_netsim::set_default_scheduler_wheel(false);
+    let (ccsv_heap, cjson_heap) = artifacts(&chaos, "chaos-k4-heap", 4);
+    qma_netsim::set_default_scheduler_wheel(true);
+    assert_eq!(
+        ccsv_1, ccsv_heap,
+        "chaos K=4 over the heap scheduler diverges"
+    );
+    assert_eq!(cjson_1, cjson_heap);
+    // Not vacuous: the artifact must actually carry fault effects.
+    let text = String::from_utf8(ccsv_1).unwrap();
+    assert!(
+        text.contains("recovery_s_mean"),
+        "resilience columns missing"
+    );
 }

@@ -366,6 +366,18 @@ impl MacProtocol for CsmaMac {
             self.begin_attempt(ctx);
         }
     }
+
+    fn on_reboot(&mut self, _persist_learning: bool) {
+        // CSMA/CA learns nothing, so `persist_learning` is moot; the
+        // volatile state machine still has to come back clean —
+        // `start` is a no-op, so a stale `WaitAck` phase with an empty
+        // queue would otherwise wedge the node forever.
+        self.recv = ReceiverCommon::new();
+        self.phase = Phase::Idle;
+        self.nb = 0;
+        self.be = self.cfg.min_be;
+        self.ack_in_flight = false;
+    }
 }
 
 impl CsmaMac {

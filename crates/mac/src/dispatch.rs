@@ -127,6 +127,15 @@ impl MacProtocol for MacImpl {
     }
 
     #[inline]
+    fn on_reboot(&mut self, persist_learning: bool) {
+        match self {
+            MacImpl::Qma(m) => m.on_reboot(persist_learning),
+            MacImpl::Csma(m) => m.on_reboot(persist_learning),
+            MacImpl::Custom(m) => m.on_reboot(persist_learning),
+        }
+    }
+
+    #[inline]
     fn learner_sample(&self) -> Option<LearnerSample> {
         match self {
             MacImpl::Qma(m) => m.learner_sample(),

@@ -438,6 +438,25 @@ impl MacProtocol for QmaMac {
         }
     }
 
+    fn on_reboot(&mut self, persist_learning: bool) {
+        // A power cycle loses everything held in RAM: receiver state
+        // (pending ACK, duplicate cache), the MAC phase machine, and
+        // the tick bookkeeping. `start` re-arms the tick right after.
+        self.recv = ReceiverCommon::new();
+        self.phase = Phase::Quiet;
+        self.overheard = false;
+        self.ack_in_flight = false;
+        self.tick_at = (qma_des::SimTime::ZERO, 0, 0);
+        self.tick_armed = false;
+        if !persist_learning {
+            // Volatile Q-table: the node re-learns from scratch —
+            // the re-learning cost is what chaos scenarios measure.
+            // (`cfg.agent.subslots` was fixed up at construction, so
+            // the rebuilt agent sees the same state space.)
+            self.agent = QmaAgent::new(self.cfg.agent.clone());
+        }
+    }
+
     fn on_enqueue(&mut self, ctx: &mut MacCtx<'_>) {
         // The subslot tick picks the packet up at the next boundary
         // (QMA is strictly subslot-synchronous); if the tick was
@@ -690,6 +709,51 @@ mod tests {
         assert_eq!(m.mac(NodeId(0)).drops_retry, 5);
         // Each packet: 1 + max_retries transmission attempts.
         assert_eq!(m.mac(NodeId(0)).tx_attempts, 5 * 4);
+    }
+
+    #[test]
+    fn reboot_wipes_or_persists_the_q_table() {
+        // Let a lone sender learn for 20 s, power-cycle it briefly,
+        // and read the first post-reboot Q-sum sample: with
+        // `persist_learning` the learned table survives, without it
+        // the node is back at the pessimistic initial values.
+        let last_q = |persist: bool| -> f64 {
+            let plan = qma_netsim::FaultPlan::new().crash_reboot(
+                0,
+                qma_des::SimTime::from_secs(20),
+                SimDuration::from_millis(100),
+                persist,
+            );
+            let mut sim = SimBuilder::new(Connectivity::full(2), 21)
+                .clock(FrameClock::dsme_so3())
+                .mac_factory(qma_factory())
+                .upper_factory(|_, _| {
+                    Box::new(Source {
+                        dst: NodeId(1),
+                        count: 300,
+                        gap_ms: 20,
+                        sent: 0,
+                    })
+                })
+                .fault_plan(plan)
+                .build();
+            sim.run_for(SimDuration::from_secs(21));
+            *sim.metrics()
+                .q_sum_series(NodeId(0))
+                .values()
+                .last()
+                .expect("q-sum samples recorded")
+        };
+        let persisted = last_q(true);
+        let wiped = last_q(false);
+        assert!(
+            wiped <= -400.0,
+            "wiped table should be near its initial Q-sum: {wiped}"
+        );
+        assert!(
+            persisted > wiped + 50.0,
+            "persisted table should keep its learning: {persisted} vs {wiped}"
+        );
     }
 
     #[test]

@@ -58,18 +58,20 @@
 #![warn(missing_docs)]
 
 pub mod clock;
+pub mod faults;
 pub mod frame;
 pub mod metrics;
 pub mod queue;
 pub mod world;
 
 pub use clock::FrameClock;
+pub use faults::{FaultEvent, FaultKind, FaultPlan};
 pub use frame::{Address, AppInfo, Frame, FrameKind, Payload};
 pub use metrics::{LearnerSample, MacCounters, MetricsHub, SlotAction, TxResult};
 pub use queue::TxQueue;
 pub use world::{
     default_scheduler_wheel, default_shard_batch_min, default_shards, set_default_scheduler_wheel,
     set_default_shard_batch_min, set_default_shards, ActiveSet, MacCtx, MacProtocol, MacTimerKind,
-    NodeId, Sim, SimBuilder, TickAction, TickPlan, TickView, UpperCtx, UpperLayer,
-    SHARD_BATCH_MIN_DEFAULT,
+    NodeId, PastClampBudgetExceeded, Sim, SimBuilder, TickAction, TickPlan, TickView, UpperCtx,
+    UpperLayer, SHARD_BATCH_MIN_DEFAULT,
 };

@@ -102,15 +102,23 @@ enum Event {
     UpperTimer {
         node: NodeId,
         tag: u64,
+        gen: u64,
     },
     TxEnd {
         node: NodeId,
+        gen: u64,
     },
     CcaEnd {
         node: NodeId,
         gen: u64,
     },
     FrameBoundary,
+    /// A scheduled fault from the armed [`crate::FaultPlan`] (index
+    /// into its event list). Always heap-scheduled, so the sharded
+    /// boundary sweep serialises around it — see [`crate::faults`].
+    Fault {
+        idx: u32,
+    },
 }
 
 #[derive(Debug)]
@@ -283,6 +291,19 @@ struct Nodes {
     cca: Vec<Option<CcaState>>,
     cca_gen: Vec<u64>,
     mac_timer_gen: Vec<[u64; MacTimerKind::COUNT]>,
+    /// Generation of the current in-flight transmission; a crash
+    /// bumps it so the stale `TxEnd` of an aborted frame is ignored.
+    tx_gen: Vec<u64>,
+    /// Generation of upper-layer timers; a crash bumps it so timers
+    /// armed before the outage cannot fire after the reboot (the
+    /// rebooted upper re-seeds its own schedule in `start`).
+    upper_gen: Vec<u64>,
+    /// Signed local-clock offset per node (µs), set by a
+    /// [`crate::FaultKind::ClockSkew`] fault. Zero when healthy.
+    skew_us: Vec<i64>,
+    /// Fast path: no node has ever been skewed (skips the per-arm
+    /// offset lookup entirely).
+    skew_any: bool,
     mac_rng: Vec<StdRng>,
     upper_rng: Vec<StdRng>,
     /// Nodes whose radio is active (started and not disabled).
@@ -443,8 +464,25 @@ impl World {
         energy.count_tx_attempt();
         energy.set_activity(now.as_micros(), qma_phy::RadioActivity::Transmit);
         self.nodes.in_flight[i] = Some((token, frame, origin));
+        self.nodes.tx_gen[i] += 1;
+        let gen = self.nodes.tx_gen[i];
         self.metrics.mac_mut(node).tx_attempts += 1;
-        sched.schedule_at(now + airtime, Event::TxEnd { node });
+        sched.schedule_at(now + airtime, Event::TxEnd { node, gen });
+    }
+
+    /// Applies a node's fault-injected clock offset to an instant —
+    /// the node's *local* view of `at`. Negative offsets can reach
+    /// into the past; the scheduler clamps and counts those (see
+    /// [`SimBuilder::past_clamp_budget`]). Cold: only ever called
+    /// once a `ClockSkew` fault has fired.
+    #[cold]
+    fn skewed_time(&self, i: usize, at: SimTime) -> SimTime {
+        let s = self.nodes.skew_us[i];
+        if s >= 0 {
+            at + SimDuration::from_micros(s as u64)
+        } else {
+            SimTime::from_micros(at.as_micros().saturating_sub(s.unsigned_abs()))
+        }
     }
 
     /// Arms `node`'s subslot tick for the boundary `(frame_index,
@@ -463,16 +501,21 @@ impl World {
         *gen_slot += 1;
         let gen = *gen_slot;
         self.nodes.tick_armed.set(i, true);
+        let event = Event::MacTimer {
+            node,
+            kind: MacTimerKind::Subslot,
+            gen,
+        };
+        if self.nodes.skew_any && self.nodes.skew_us[i] != 0 {
+            // A skewed node's tick leaves the boundary grid, so it
+            // goes straight to the heap — bucket times in the wheel
+            // stay canonical, and heap events serialise the sharded
+            // sweep around them (exact order at any shard count).
+            sched.schedule_at(self.skewed_time(i, at), event);
+            return;
+        }
         let index = self.clock.boundary_index(frame_index, subslot);
-        sched.schedule_boundary(
-            at,
-            index,
-            Event::MacTimer {
-                node,
-                kind: MacTimerKind::Subslot,
-                gen,
-            },
-        );
+        sched.schedule_boundary(at, index, event);
     }
 
     /// Starts a CCA for `node` — the shared backend of
@@ -645,6 +688,16 @@ pub trait MacProtocol: Send {
     fn on_cca_result(&mut self, ctx: &mut MacCtx<'_>, busy: bool);
     /// The upper layer enqueued a frame into the transmit queue.
     fn on_enqueue(&mut self, ctx: &mut MacCtx<'_>);
+    /// The node lost power and is coming back: reset all volatile
+    /// MAC state (phase machine, pending-frame bookkeeping) before
+    /// [`MacProtocol::start`] runs again. `persist_learning` keeps
+    /// the learned policy (Q-table survives in flash); `false` wipes
+    /// it, so the node pays the full re-learning cost. The default
+    /// is a no-op — correct for memoryless MACs like CSMA whose
+    /// `start` already re-initialises everything.
+    fn on_reboot(&mut self, persist_learning: bool) {
+        let _ = persist_learning;
+    }
     /// Per-frame learning metrics (learning MACs only).
     fn learner_sample(&self) -> Option<LearnerSample> {
         None
@@ -794,13 +847,20 @@ impl<'a> MacCtx<'a> {
         self.world.start_cca_internal(self.node, self.sched);
     }
 
-    /// Arms (or re-arms) a MAC timer `delay` from now.
+    /// Arms (or re-arms) a MAC timer `delay` from now. A
+    /// fault-injected clock skew on this node shifts the expiry by
+    /// the node's offset (its oscillator runs the timer).
     pub fn set_timer(&mut self, kind: MacTimerKind, delay: SimDuration) {
-        let gen_slot = &mut self.world.nodes.mac_timer_gen[self.node.index()][kind.index()];
+        let i = self.node.index();
+        let gen_slot = &mut self.world.nodes.mac_timer_gen[i][kind.index()];
         *gen_slot += 1;
         let gen = *gen_slot;
-        self.sched.schedule_in(
-            delay,
+        let mut at = self.sched.now() + delay;
+        if self.world.nodes.skew_any && self.world.nodes.skew_us[i] != 0 {
+            at = self.world.skewed_time(i, at);
+        }
+        self.sched.schedule_at(
+            at,
             Event::MacTimer {
                 node: self.node,
                 kind,
@@ -954,13 +1014,17 @@ impl<'a> UpperCtx<'a> {
 
     /// Schedules [`UpperLayer::on_timer`] with `tag` after `delay`.
     /// Upper timers are one-shot and not cancellable; stale-tag
-    /// filtering is the upper layer's responsibility.
+    /// filtering is the upper layer's responsibility. A crash fault
+    /// invalidates all of a node's pending upper timers (the rebooted
+    /// upper re-seeds its schedule in [`UpperLayer::start`]).
     pub fn schedule(&mut self, delay: SimDuration, tag: u64) {
+        let gen = self.world.nodes.upper_gen[self.node.index()];
         self.sched.schedule_in(
             delay,
             Event::UpperTimer {
                 node: self.node,
                 tag,
+                gen,
             },
         );
     }
@@ -1026,6 +1090,10 @@ impl<T: MacProtocol + ?Sized> MacProtocol for Box<T> {
         (**self).on_enqueue(ctx)
     }
     #[inline]
+    fn on_reboot(&mut self, persist_learning: bool) {
+        (**self).on_reboot(persist_learning)
+    }
+    #[inline]
     fn learner_sample(&self) -> Option<LearnerSample> {
         (**self).learner_sample()
     }
@@ -1088,6 +1156,8 @@ pub struct SimBuilder<M = Box<dyn MacProtocol>, U = Box<dyn UpperLayer>> {
     scheduler_wheel: bool,
     shards: usize,
     shard_batch_min: usize,
+    fault_plan: Option<crate::faults::FaultPlan>,
+    past_clamp_budget: u64,
 }
 
 /// Process-wide default for [`SimBuilder::scheduler_wheel`] — `true`
@@ -1166,6 +1236,8 @@ impl SimBuilder {
             scheduler_wheel: default_scheduler_wheel(),
             shards: default_shards(),
             shard_batch_min: default_shard_batch_min(),
+            fault_plan: None,
+            past_clamp_budget: u64::MAX,
         }
     }
 }
@@ -1218,6 +1290,8 @@ impl<M: MacProtocol, U: UpperLayer> SimBuilder<M, U> {
             scheduler_wheel: self.scheduler_wheel,
             shards: self.shards,
             shard_batch_min: self.shard_batch_min,
+            fault_plan: self.fault_plan,
+            past_clamp_budget: self.past_clamp_budget,
         }
     }
 
@@ -1244,6 +1318,8 @@ impl<M: MacProtocol, U: UpperLayer> SimBuilder<M, U> {
             scheduler_wheel: self.scheduler_wheel,
             shards: self.shards,
             shard_batch_min: self.shard_batch_min,
+            fault_plan: self.fault_plan,
+            past_clamp_budget: self.past_clamp_budget,
         }
     }
 
@@ -1295,6 +1371,26 @@ impl<M: MacProtocol, U: UpperLayer> SimBuilder<M, U> {
         self
     }
 
+    /// Arms a deterministic fault schedule (see [`crate::faults`]).
+    /// The plan's events are scheduled as first-class DES events at
+    /// build time; an armed-but-empty plan costs nothing measurable.
+    pub fn fault_plan(mut self, plan: crate::faults::FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Caps the number of past-time schedules (clock-skew faults push
+    /// timers into the past, which the scheduler clamps and counts)
+    /// before the run aborts with a structured
+    /// [`PastClampBudgetExceeded`] error instead of silently
+    /// simulating garbage. Default: unlimited. Setting any budget
+    /// also switches the scheduler to tolerant clamping (counting
+    /// instead of the debug-build panic).
+    pub fn past_clamp_budget(mut self, budget: u64) -> Self {
+        self.past_clamp_budget = budget;
+        self
+    }
+
     /// Builds the simulation.
     ///
     /// # Panics
@@ -1316,6 +1412,10 @@ impl<M: MacProtocol, U: UpperLayer> SimBuilder<M, U> {
             cca: (0..n).map(|_| None).collect(),
             cca_gen: vec![0; n],
             mac_timer_gen: vec![[0; MacTimerKind::COUNT]; n],
+            tx_gen: vec![0; n],
+            upper_gen: vec![0; n],
+            skew_us: vec![0; n],
+            skew_any: false,
             mac_rng: (0..n)
                 .map(|i| seeds.derive(1).derive(i as u64).rng())
                 .collect(),
@@ -1348,6 +1448,20 @@ impl<M: MacProtocol, U: UpperLayer> SimBuilder<M, U> {
             }
         }
 
+        // Fault events are heap-scheduled in plan order, so ties at
+        // one instant fire in authoring order and the sharded sweep
+        // serialises around them (see `crate::faults`). A budget or
+        // an armed plan declares past-time clamps expected — counted
+        // against the budget instead of the debug-build panic.
+        if self.past_clamp_budget != u64::MAX || self.fault_plan.is_some() {
+            sched.set_clamp_tolerant(true);
+        }
+        if let Some(plan) = &self.fault_plan {
+            for (idx, ev) in plan.events().iter().enumerate() {
+                sched.schedule_at(ev.at, Event::Fault { idx: idx as u32 });
+            }
+        }
+
         // The sharded sweep only engages when every node's MAC opted
         // into the decide/commit split; a single legacy MAC in the
         // population falls the whole run back to sequential delivery.
@@ -1376,6 +1490,8 @@ impl<M: MacProtocol, U: UpperLayer> SimBuilder<M, U> {
             shard_batch_min: self.shard_batch_min,
             batch_scratch: Vec::new(),
             shard_scratch,
+            fault_plan: self.fault_plan,
+            past_clamp_budget: self.past_clamp_budget,
         }
     }
 }
@@ -1429,17 +1545,66 @@ pub struct Sim<M = Box<dyn MacProtocol>, U = Box<dyn UpperLayer>> {
     batch_scratch: Vec<(SimTime, Event)>,
     /// Reusable per-shard slates/outboxes.
     shard_scratch: ShardScratch,
+    /// The armed fault schedule, if any (see [`crate::faults`]).
+    fault_plan: Option<crate::faults::FaultPlan>,
+    /// Abort threshold for past-time clamps (`u64::MAX` = unlimited).
+    past_clamp_budget: u64,
 }
+
+/// A replication exceeded its [`SimBuilder::past_clamp_budget`]:
+/// fault-injected clock skew pushed more events into the past than
+/// the scenario declared tolerable, so the run aborted instead of
+/// silently simulating garbage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PastClampBudgetExceeded {
+    /// Past-time schedules observed when the run aborted.
+    pub past_clamps: u64,
+    /// The configured budget.
+    pub budget: u64,
+    /// Simulated time at the abort.
+    pub at: SimTime,
+}
+
+impl std::fmt::Display for PastClampBudgetExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "past-clamp budget exceeded: {} past-time schedules > budget {} at t={:.6}s",
+            self.past_clamps,
+            self.budget,
+            self.at.as_secs_f64()
+        )
+    }
+}
+
+impl std::error::Error for PastClampBudgetExceeded {}
 
 impl<M: MacProtocol, U: UpperLayer> Sim<M, U> {
     /// Runs until simulated time `horizon`, then closes metrics.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the [`SimBuilder::past_clamp_budget`] is exceeded
+    /// (use [`Sim::try_run_until`] to handle that case as a value).
     pub fn run_until(&mut self, horizon: SimTime) {
+        if let Err(e) = self.try_run_until(horizon) {
+            panic!("{e}");
+        }
+    }
+
+    /// Like [`Sim::run_until`], but reports a blown past-clamp budget
+    /// as a structured error instead of panicking. Metrics are not
+    /// closed on the error path — the replication is garbage by
+    /// definition.
+    pub fn try_run_until(&mut self, horizon: SimTime) -> Result<(), PastClampBudgetExceeded> {
         struct Driver<'s, M, U> {
             world: &'s mut World,
             macs: &'s mut [M],
             uppers: &'s mut [U],
             node_starts: &'s HashMap<u32, SimTime>,
             record_learner: bool,
+            /// The armed fault schedule's events (empty when none).
+            faults: &'s [crate::faults::FaultEvent],
             /// Enabled clean receivers of the `TxEnd` being handled.
             delivered: &'s mut Vec<NodeId>,
         }
@@ -1459,6 +1624,126 @@ impl<M: MacProtocol, U: UpperLayer> Sim<M, U> {
                     node,
                 };
                 self.uppers[node.index()].start(&mut uctx);
+            }
+
+            /// Power-fails a node: radio off, every pending event
+            /// generation invalidated, queue contents lost, any
+            /// transmission in flight aborted mid-air. MAC and upper
+            /// objects keep their (now unreachable) state until the
+            /// reboot decides what survives.
+            fn crash_node(&mut self, node: NodeId, sched: &mut Scheduler<Event>) {
+                let i = node.index();
+                if !self.world.nodes.enabled.get(i) {
+                    return; // already down (or never started)
+                }
+                let now = sched.now();
+                let nodes = &mut self.world.nodes;
+                nodes.enabled.set(i, false);
+                nodes.tick_armed.set(i, false);
+                for g in nodes.mac_timer_gen[i].iter_mut() {
+                    *g += 1;
+                }
+                nodes.cca_gen[i] += 1;
+                nodes.cca[i] = None;
+                nodes.tx_gen[i] += 1;
+                nodes.upper_gen[i] += 1;
+                if let Some((token, _, _)) = nodes.in_flight[i].take() {
+                    self.world.medium.abort_tx(token);
+                }
+                self.world.medium.drop_rx_lock(node.phy());
+                let lost = {
+                    let queue = &mut self.world.nodes.queue[i];
+                    let mut lost = 0u64;
+                    while queue.pop().is_some() {
+                        lost += 1;
+                    }
+                    lost
+                };
+                self.world.nodes.energy[i]
+                    .set_activity(now.as_micros(), qma_phy::RadioActivity::Sleep);
+                if lost > 0 {
+                    // Queue wipe is a *fault* loss, not a MAC drop —
+                    // tracked separately so resilience metrics can
+                    // attribute it.
+                    self.world.metrics.count("fault_frames_lost", lost as f64);
+                }
+                self.world.metrics.queue_level(node, now, 0);
+                self.world.metrics.count("fault_crashes", 1.0);
+            }
+
+            /// Brings a crashed node back: volatile MAC state is reset
+            /// (policy optionally persisted), then the normal start
+            /// sequence runs — the MAC re-arms its tick, the upper
+            /// re-seeds its traffic schedule.
+            fn reboot_node(
+                &mut self,
+                node: NodeId,
+                persist_learning: bool,
+                sched: &mut Scheduler<Event>,
+            ) {
+                if self.world.nodes.enabled.get(node.index()) {
+                    return; // already up
+                }
+                self.macs[node.index()].on_reboot(persist_learning);
+                self.world.metrics.count("fault_reboots", 1.0);
+                self.enable_node(node, sched);
+            }
+
+            /// Applies one scheduled fault event. Cold by
+            /// construction: plans hold a handful of events per run.
+            #[cold]
+            fn apply_fault(&mut self, idx: u32, sched: &mut Scheduler<Event>) {
+                use crate::faults::FaultKind;
+                // Reborrow the plan slice outside `self` so the match
+                // arms can take `&mut self` freely.
+                let faults = self.faults;
+                match &faults[idx as usize].kind {
+                    FaultKind::Crash { node } => self.crash_node(NodeId(*node), sched),
+                    FaultKind::Reboot {
+                        node,
+                        persist_learning,
+                    } => self.reboot_node(NodeId(*node), *persist_learning, sched),
+                    FaultKind::JamStart { nodes } => {
+                        for &n in nodes {
+                            self.world.medium.set_jammed(PhyNodeId(n), true);
+                            // A CCA window straddling the jam onset
+                            // sees the jammer's energy.
+                            if let Some(cca) = &mut self.world.nodes.cca[n as usize] {
+                                cca.saw_energy = true;
+                            }
+                        }
+                        self.world.metrics.count("fault_jam_bursts", 1.0);
+                    }
+                    FaultKind::JamEnd { nodes } => {
+                        for &n in nodes {
+                            self.world.medium.set_jammed(PhyNodeId(n), false);
+                        }
+                    }
+                    FaultKind::DegradeLinks { links } => {
+                        for &(t, r) in links {
+                            self.world
+                                .medium
+                                .set_link_degraded(PhyNodeId(t), PhyNodeId(r), true);
+                        }
+                        self.world.metrics.count("fault_drift_episodes", 1.0);
+                    }
+                    FaultKind::RestoreLinks { links } => {
+                        for &(t, r) in links {
+                            self.world
+                                .medium
+                                .set_link_degraded(PhyNodeId(t), PhyNodeId(r), false);
+                        }
+                    }
+                    FaultKind::ClockSkew { nodes, offset_us } => {
+                        for &n in nodes {
+                            self.world.nodes.skew_us[n as usize] = *offset_us;
+                        }
+                        if *offset_us != 0 {
+                            self.world.nodes.skew_any = true;
+                        }
+                        self.world.metrics.count("fault_skew_events", 1.0);
+                    }
+                }
             }
 
             /// One drained boundary bucket through the sharded sweep:
@@ -1679,8 +1964,10 @@ impl<M: MacProtocol, U: UpperLayer> Sim<M, U> {
                         };
                         self.macs[i].on_timer(&mut ctx, kind);
                     }
-                    Event::UpperTimer { node, tag } => {
-                        if !self.world.nodes.enabled.get(node.index()) {
+                    Event::UpperTimer { node, tag, gen } => {
+                        if !self.world.nodes.enabled.get(node.index())
+                            || self.world.nodes.upper_gen[node.index()] != gen
+                        {
                             return;
                         }
                         let mut ctx = UpperCtx {
@@ -1690,7 +1977,13 @@ impl<M: MacProtocol, U: UpperLayer> Sim<M, U> {
                         };
                         self.uppers[node.index()].on_timer(&mut ctx, tag);
                     }
-                    Event::TxEnd { node } => {
+                    Event::TxEnd { node, gen } => {
+                        if self.world.nodes.tx_gen[node.index()] != gen {
+                            // The frame was aborted mid-air by a
+                            // crash fault; the medium already
+                            // reconciled its energy.
+                            return;
+                        }
                         let (token, frame, origin) = self.world.nodes.in_flight[node.index()]
                             .take()
                             .expect("TxEnd without in-flight frame");
@@ -1776,6 +2069,9 @@ impl<M: MacProtocol, U: UpperLayer> Sim<M, U> {
                         };
                         self.macs[node.index()].on_cca_result(&mut ctx, busy);
                     }
+                    Event::Fault { idx } => {
+                        self.apply_fault(idx, sched);
+                    }
                 }
                 if !self.world.notices.is_empty() {
                     self.drain_notices(sched);
@@ -1789,13 +2085,24 @@ impl<M: MacProtocol, U: UpperLayer> Sim<M, U> {
             uppers: &mut self.uppers,
             node_starts: &self.node_starts,
             record_learner: self.record_learner,
+            faults: self.fault_plan.as_ref().map(|p| p.events()).unwrap_or(&[]),
             delivered: &mut self.delivered_scratch,
         };
         let sched = &mut self.sched;
         let batch = &mut self.batch_scratch;
         let scratch = &mut self.shard_scratch;
         let sharded = self.plan.shards() > 1 && self.split_ticks;
+        let clamp_budget = self.past_clamp_budget;
         loop {
+            // One load + compare per drained batch/event; with the
+            // default unlimited budget the branch never takes.
+            if sched.past_clamps() > clamp_budget {
+                return Err(PastClampBudgetExceeded {
+                    past_clamps: sched.past_clamps(),
+                    budget: clamp_budget,
+                    at: sched.now(),
+                });
+            }
             // Under a multi-shard plan, whole boundary buckets drain
             // in one scheduler call (when no heap event interleaves)
             // and large buckets fan their decisions out across cores;
@@ -1819,6 +2126,7 @@ impl<M: MacProtocol, U: UpperLayer> Sim<M, U> {
             }
         }
         self.world.metrics.close(horizon);
+        Ok(())
     }
 
     /// Runs for a duration from the current simulated time.
@@ -1836,6 +2144,17 @@ impl<M: MacProtocol, U: UpperLayer> Sim<M, U> {
     /// denominator of the events/sec macro-benchmark).
     pub fn events_processed(&self) -> u64 {
         self.sched.popped_total()
+    }
+
+    /// Past-time schedules clamped so far (clock-skew faults; see
+    /// [`SimBuilder::past_clamp_budget`]).
+    pub fn past_clamps(&self) -> u64 {
+        self.sched.past_clamps()
+    }
+
+    /// The armed fault schedule, if any.
+    pub fn fault_plan(&self) -> Option<&crate::faults::FaultPlan> {
+        self.fault_plan.as_ref()
     }
 
     /// The metrics hub.
@@ -2068,6 +2387,139 @@ mod tests {
             .map(|(v, _)| v);
         assert!(level.is_some(), "piggyback missing");
         assert!(level.unwrap() >= 1);
+    }
+
+    #[test]
+    fn crash_wipes_queue_and_reboot_restarts() {
+        use crate::faults::FaultPlan;
+        let mut sim = SimBuilder::new(Connectivity::full(2), 7)
+            .clock(FrameClock::all_cap(10, 1_000))
+            .mac_factory(|_, _| Box::new(NaiveMac))
+            .upper_factory(move |_, _| Box::new(Sender { count: 5 }))
+            .fault_plan(FaultPlan::new().crash_reboot(
+                0,
+                SimTime::from_millis(1),
+                SimDuration::from_millis(9),
+                true,
+            ))
+            .build();
+        sim.run_for(SimDuration::from_millis(100));
+        assert_eq!(sim.metrics().get("fault_crashes"), 1.0);
+        assert_eq!(sim.metrics().get("fault_reboots"), 1.0);
+        // The crash caught node 0 with a backlog: those frames are
+        // fault losses, not MAC drops.
+        assert!(sim.metrics().get("fault_frames_lost") >= 1.0);
+        assert_eq!(sim.world().queue(NodeId(0)).drops(), 0);
+        // The reboot re-ran the upper's start, so a fresh batch of 5
+        // flowed end-to-end after the outage.
+        assert!(sim.metrics().get("received") >= 5.0);
+        assert!(sim.world().is_enabled(NodeId(0)));
+    }
+
+    #[test]
+    fn crash_of_transmitter_mid_air_aborts_cleanly() {
+        use crate::faults::FaultPlan;
+        // 20-octet frame airtime is ~1 ms; crash node 0 at 200 µs —
+        // mid-flight. The stale TxEnd must be swallowed by the tx
+        // generation gate, the medium's energy reconciled.
+        let mut sim = SimBuilder::new(Connectivity::full(2), 7)
+            .clock(FrameClock::all_cap(10, 1_000))
+            .mac_factory(|_, _| Box::new(NaiveMac))
+            .upper_factory(move |_, _| Box::new(Sender { count: 1 }))
+            .fault_plan(FaultPlan::new().push(
+                SimTime::from_micros(200),
+                crate::faults::FaultKind::Crash { node: 0 },
+            ))
+            .build();
+        sim.run_for(SimDuration::from_millis(50));
+        assert_eq!(sim.metrics().get("received"), 0.0);
+        assert!(!sim.world().is_enabled(NodeId(0)));
+        assert!(!sim.world().medium().is_busy(qma_phy::PhyNodeId(1)));
+        assert_eq!(sim.world().medium().active_count(), 0);
+    }
+
+    #[test]
+    fn jammed_receiver_gets_nothing() {
+        use crate::faults::FaultPlan;
+        let mut sim = SimBuilder::new(Connectivity::full(2), 7)
+            .clock(FrameClock::all_cap(10, 1_000))
+            .mac_factory(|_, _| Box::new(NaiveMac))
+            .upper_factory(move |_, _| Box::new(Sender { count: 3 }))
+            .fault_plan(FaultPlan::new().jam(vec![1], SimTime::ZERO, SimDuration::from_secs(1)))
+            .build();
+        sim.run_for(SimDuration::from_millis(500));
+        assert_eq!(sim.metrics().get("fault_jam_bursts"), 1.0);
+        assert_eq!(sim.metrics().get("received"), 0.0, "jam must block rx");
+        assert!(sim.world().medium().is_jammed(qma_phy::PhyNodeId(1)));
+    }
+
+    /// A MAC that re-arms a 1 ms timer forever — the victim for the
+    /// clock-skew / past-clamp budget tests.
+    struct TickerMac;
+    impl MacProtocol for TickerMac {
+        fn start(&mut self, ctx: &mut MacCtx<'_>) {
+            ctx.set_timer(MacTimerKind::Backoff, SimDuration::from_millis(1));
+        }
+        fn on_timer(&mut self, ctx: &mut MacCtx<'_>, _: MacTimerKind) {
+            ctx.set_timer(MacTimerKind::Backoff, SimDuration::from_millis(1));
+        }
+        fn on_frame(&mut self, _: &mut MacCtx<'_>, _: &Frame) {}
+        fn on_tx_end(&mut self, _: &mut MacCtx<'_>) {}
+        fn on_cca_result(&mut self, _: &mut MacCtx<'_>, _: bool) {}
+        fn on_enqueue(&mut self, _: &mut MacCtx<'_>) {}
+    }
+
+    #[test]
+    fn negative_skew_trips_past_clamp_budget() {
+        use crate::faults::FaultPlan;
+        // A −10 ms skew on a 1 ms re-arm pushes every expiry into the
+        // past: simulated time stops advancing and clamps pile up.
+        // The budget aborts the run instead of looping forever.
+        let mut sim = SimBuilder::new(Connectivity::full(2), 7)
+            .clock(FrameClock::all_cap(10, 1_000))
+            .mac_factory(|_, _| Box::new(TickerMac))
+            .fault_plan(FaultPlan::new().clock_skew(vec![0], SimTime::from_millis(5), -10_000))
+            .past_clamp_budget(50)
+            .build();
+        let err = sim
+            .try_run_until(SimTime::from_millis(100))
+            .expect_err("budget must trip");
+        assert!(err.past_clamps > 50);
+        assert_eq!(err.budget, 50);
+        assert!(err.to_string().contains("past-clamp budget exceeded"));
+    }
+
+    #[test]
+    fn positive_skew_only_delays_timers() {
+        use crate::faults::FaultPlan;
+        let mut sim = SimBuilder::new(Connectivity::full(2), 7)
+            .clock(FrameClock::all_cap(10, 1_000))
+            .mac_factory(|_, _| Box::new(TickerMac))
+            .fault_plan(FaultPlan::new().clock_skew(vec![0], SimTime::from_millis(5), 2_500))
+            .past_clamp_budget(0)
+            .build();
+        sim.try_run_until(SimTime::from_millis(100))
+            .expect("positive skew never clamps");
+        assert_eq!(sim.past_clamps(), 0);
+    }
+
+    #[test]
+    fn armed_empty_plan_changes_nothing() {
+        use crate::faults::FaultPlan;
+        let mut plain = two_node_sim(5);
+        let mut armed = SimBuilder::new(Connectivity::full(2), 7)
+            .clock(FrameClock::all_cap(10, 1_000))
+            .mac_factory(|_, _| Box::new(NaiveMac))
+            .upper_factory(move |_, _| Box::new(Sender { count: 5 }))
+            .fault_plan(FaultPlan::new())
+            .build();
+        plain.run_for(SimDuration::from_secs(2));
+        armed.run_for(SimDuration::from_secs(2));
+        assert_eq!(
+            plain.metrics().get("received"),
+            armed.metrics().get("received")
+        );
+        assert_eq!(plain.events_processed(), armed.events_processed());
     }
 
     #[test]

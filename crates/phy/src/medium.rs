@@ -20,6 +20,7 @@
 use crate::geo::Position;
 use crate::pathloss::PathLoss;
 use crate::units::Dbm;
+use std::collections::HashSet;
 
 /// Index of a node known to the medium.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -268,6 +269,10 @@ struct ReceiverState {
     transmitting: bool,
     /// The channel this node's receiver is tuned to.
     listen_channel: u8,
+    /// Is this node inside an active jammer's footprint? A jammed
+    /// receiver cannot lock onto new frames and its CCA always reads
+    /// busy; a reception already in progress is corrupted.
+    jammed: bool,
 }
 
 /// The shared medium.
@@ -303,6 +308,12 @@ pub struct Medium {
     /// Reusable buffer for [`Medium::end_tx`]'s delivered set, so the
     /// per-transmission hot path performs no allocation.
     delivered_scratch: Vec<PhyNodeId>,
+    /// Directed links `(tx, rx)` currently degraded below the decoding
+    /// threshold: the receiver still senses the energy (interference,
+    /// CCA busy) but can no longer lock onto frames from that
+    /// transmitter. Empty in the fault-free case, so the hot path pays
+    /// one `is_empty` branch.
+    degraded: HashSet<(u32, u32)>,
 }
 
 impl Medium {
@@ -329,6 +340,7 @@ impl Medium {
                     lock: None,
                     transmitting: false,
                     listen_channel: 0,
+                    jammed: false,
                 };
                 n
             ],
@@ -338,6 +350,7 @@ impl Medium {
             collisions: 0,
             clean_receptions: 0,
             delivered_scratch: Vec::new(),
+            degraded: HashSet::new(),
         }
     }
 
@@ -414,6 +427,7 @@ impl Medium {
             lock.clean = false;
         }
 
+        let degraded_any = !self.degraded.is_empty();
         for &r in self.conn.listeners(tx_node) {
             let st = &mut self.receivers[r.index()];
             st.energy[channel as usize] += 1;
@@ -430,11 +444,16 @@ impl Medium {
                     lock.clean = false;
                 }
                 None => {
-                    if st.energy[channel as usize] == 1 {
+                    if st.energy[channel as usize] == 1
+                        && !st.jammed
+                        && !(degraded_any && self.degraded.contains(&(tx_node.0, r.0)))
+                    {
                         st.lock = Some(RxLock { token, clean: true });
                     }
                     // energy > 1 without a lock: mid-air join, the new
-                    // frame is not receivable.
+                    // frame is not receivable. A jammed receiver or a
+                    // degraded link senses the energy but cannot
+                    // decode the frame.
                 }
             }
         }
@@ -489,12 +508,101 @@ impl Medium {
         &self.delivered_scratch
     }
 
+    /// Aborts the transmission identified by `token` without
+    /// delivering it — the transmitter's radio died mid-frame. Energy
+    /// is released at all listeners; any receiver locked onto the
+    /// frame loses it and the truncated frame counts as a collision
+    /// (a real radio sees a bad CRC, not silence).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the token is unknown.
+    pub fn abort_tx(&mut self, token: TxToken) {
+        let idx = self
+            .active
+            .iter()
+            .position(|a| a.token == token)
+            .expect("abort_tx with unknown token");
+        let tx = self.active.swap_remove(idx);
+
+        self.receivers[tx.tx_node.index()].transmitting = false;
+        for &r in self.conn.listeners(tx.tx_node) {
+            let st = &mut self.receivers[r.index()];
+            let energy = &mut st.energy[tx.channel as usize];
+            debug_assert!(*energy > 0, "energy underflow at {r}");
+            *energy -= 1;
+            if let Some(lock) = st.lock {
+                if lock.token == token {
+                    st.lock = None;
+                    self.collisions += 1;
+                }
+            }
+        }
+    }
+
+    /// Drops any reception in progress at `node` — its radio was
+    /// reset. Energy bookkeeping is untouched: the frame is still in
+    /// the air, the node just stops decoding it.
+    pub fn drop_rx_lock(&mut self, node: PhyNodeId) {
+        self.receivers[node.index()].lock = None;
+    }
+
+    /// Places `node` inside (or removes it from) a jammer's
+    /// footprint. While jammed, the node's CCA always reads busy and
+    /// it cannot lock onto new frames; a reception already in progress
+    /// is corrupted (the jammer tramples its tail). The node can still
+    /// transmit — its frames are corrupted only at *jammed* receivers.
+    pub fn set_jammed(&mut self, node: PhyNodeId, jammed: bool) {
+        let st = &mut self.receivers[node.index()];
+        st.jammed = jammed;
+        if jammed {
+            if let Some(lock) = &mut st.lock {
+                lock.clean = false;
+            }
+        }
+    }
+
+    /// Is `node` currently inside a jammer's footprint?
+    pub fn is_jammed(&self, node: PhyNodeId) -> bool {
+        self.receivers[node.index()].jammed
+    }
+
+    /// Marks the directed link `tx → rx` as degraded below the
+    /// decoding threshold (or restores it). A degraded link still
+    /// carries energy — it interferes and trips CCA — but the
+    /// receiver can no longer lock onto frames from `tx`; a reception
+    /// from `tx` already in progress at `rx` is corrupted.
+    pub fn set_link_degraded(&mut self, tx: PhyNodeId, rx: PhyNodeId, degraded: bool) {
+        if degraded {
+            self.degraded.insert((tx.0, rx.0));
+            let locked_from_tx = match self.receivers[rx.index()].lock {
+                Some(lock) => self
+                    .active
+                    .iter()
+                    .any(|a| a.token == lock.token && a.tx_node == tx),
+                None => false,
+            };
+            if locked_from_tx {
+                if let Some(lock) = &mut self.receivers[rx.index()].lock {
+                    lock.clean = false;
+                }
+            }
+        } else {
+            self.degraded.remove(&(tx.0, rx.0));
+        }
+    }
+
+    /// Is the directed link `tx → rx` currently degraded?
+    pub fn is_link_degraded(&self, tx: PhyNodeId, rx: PhyNodeId) -> bool {
+        self.degraded.contains(&(tx.0, rx.0))
+    }
+
     /// Clear-channel assessment at `node` on its listen channel:
-    /// `true` iff any audible transmission is in flight there or the
-    /// node itself is transmitting.
+    /// `true` iff any audible transmission is in flight there, a
+    /// jammer covers the node, or the node itself is transmitting.
     pub fn is_busy(&self, node: PhyNodeId) -> bool {
         let st = &self.receivers[node.index()];
-        st.energy[st.listen_channel as usize] > 0 || st.transmitting
+        st.jammed || st.energy[st.listen_channel as usize] > 0 || st.transmitting
     }
 
     /// Is this node currently transmitting?
@@ -753,5 +861,109 @@ mod tests {
     fn channel_out_of_range_panics() {
         let mut m = Medium::with_channels(Connectivity::full(2), 2);
         let _ = m.start_tx_on(PhyNodeId(0), 2);
+    }
+
+    // ---- Fault hooks (jam, drift, crash-abort) ----
+
+    #[test]
+    fn jammed_receiver_reads_busy_and_locks_nothing() {
+        let (mut m, a, b, c) = hidden_node_medium();
+        m.set_jammed(b, true);
+        assert!(m.is_jammed(b));
+        assert!(m.is_busy(b), "jammed CCA must read busy with no tx");
+        assert!(!m.is_busy(c));
+        let t = m.start_tx(a);
+        assert!(!m.is_receiving(b), "jammed node must not lock");
+        assert_eq!(m.end_tx(t), vec![], "no delivery into the jam");
+        m.set_jammed(b, false);
+        assert!(!m.is_busy(b), "energy consistent after jam");
+        // After the jam lifts, reception works again.
+        let t = m.start_tx(a);
+        assert_eq!(m.end_tx(t), vec![b]);
+    }
+
+    #[test]
+    fn jam_mid_flight_corrupts_reception() {
+        let (mut m, a, b, _c) = hidden_node_medium();
+        let t = m.start_tx(a);
+        assert!(m.is_receiving(b));
+        m.set_jammed(b, true);
+        assert_eq!(m.end_tx(t), vec![], "jam must trample the tail");
+        assert_eq!(m.collisions(), 1);
+        m.set_jammed(b, false);
+        assert!(!m.is_busy(b));
+    }
+
+    #[test]
+    fn degraded_link_blocks_lock_but_still_interferes() {
+        let (mut m, a, b, c) = hidden_node_medium();
+        m.set_link_degraded(a, b, true);
+        assert!(m.is_link_degraded(a, b));
+        let ta = m.start_tx(a);
+        assert!(!m.is_receiving(b), "degraded link must not lock");
+        assert!(m.is_busy(b), "degraded energy still trips CCA");
+        // C's frame arrives while A's (undecodable) energy is present:
+        // mid-air join, so B cannot lock onto C either — the degraded
+        // link still interferes.
+        let tc = m.start_tx(c);
+        assert!(!m.is_receiving(b));
+        assert_eq!(m.end_tx(ta), vec![]);
+        assert_eq!(m.end_tx(tc), vec![]);
+        assert!(!m.is_busy(b), "energy consistent after degraded tx");
+        // The reverse direction is unaffected.
+        let tb = m.start_tx(b);
+        assert_eq!(m.end_tx(tb), vec![a, c]);
+        // Restoring the link restores reception.
+        m.set_link_degraded(a, b, false);
+        let ta = m.start_tx(a);
+        assert_eq!(m.end_tx(ta), vec![b]);
+    }
+
+    #[test]
+    fn drift_mid_flight_corrupts_reception() {
+        let (mut m, a, b, _c) = hidden_node_medium();
+        let t = m.start_tx(a);
+        assert!(m.is_receiving(b));
+        m.set_link_degraded(a, b, true);
+        assert_eq!(m.end_tx(t), vec![], "drift must corrupt in-flight frame");
+        assert_eq!(m.collisions(), 1);
+        assert!(!m.is_busy(b));
+    }
+
+    #[test]
+    fn abort_tx_releases_energy_and_counts_collision() {
+        let (mut m, a, b, _c) = hidden_node_medium();
+        let t = m.start_tx(a);
+        assert!(m.is_receiving(b));
+        m.abort_tx(t);
+        assert_eq!(m.active_count(), 0);
+        assert!(!m.is_busy(b), "aborted tx must release its energy");
+        assert!(!m.is_receiving(b));
+        assert_eq!(m.collisions(), 1, "truncated frame is a bad CRC");
+        assert_eq!(m.clean_receptions(), 0);
+        // The transmitter's radio is free again after reboot.
+        let t = m.start_tx(a);
+        assert_eq!(m.end_tx(t), vec![b]);
+    }
+
+    #[test]
+    fn drop_rx_lock_loses_frame_keeps_energy() {
+        let (mut m, a, b, _c) = hidden_node_medium();
+        let t = m.start_tx(a);
+        assert!(m.is_receiving(b));
+        m.drop_rx_lock(b);
+        assert!(!m.is_receiving(b));
+        assert!(m.is_busy(b), "frame is still in the air");
+        assert_eq!(m.end_tx(t), vec![], "reset radio must lose the frame");
+        assert!(!m.is_busy(b));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown token")]
+    fn abort_then_end_panics() {
+        let (mut m, a, _, _) = hidden_node_medium();
+        let t = m.start_tx(a);
+        m.abort_tx(t);
+        m.end_tx(t);
     }
 }

@@ -19,6 +19,7 @@
 //! | [`tables`] | Tables 1–4 |
 //! | [`params`] | parameterized grid-point runs for campaign sweeps |
 //! | [`massive`] | 1k–50k-node massive-access stress runs |
+//! | [`chaos`] | fault-injected runs with recovery metrics |
 //!
 //! Every experiment takes a master seed and a `quick` flag: `quick`
 //! shrinks replication counts and durations for CI while preserving
@@ -28,6 +29,7 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod chaos;
 pub mod common;
 pub mod convergence;
 pub mod dsme_scale;
@@ -41,4 +43,6 @@ pub mod tables;
 pub mod testbed;
 
 pub use common::{MacKind, UpperImpl};
-pub use params::{run_scenario, MassiveTopology, RunMetrics, ScenarioKind, ScenarioParams};
+pub use params::{
+    run_scenario, ChaosKnobs, MassiveTopology, Resilience, RunMetrics, ScenarioKind, ScenarioParams,
+};

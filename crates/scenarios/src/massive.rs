@@ -144,6 +144,16 @@ pub fn run_grid(p: &ScenarioParams, seed: u64) -> RunMetrics {
 /// [`run_grid`] over an already-built topology (so callers that also
 /// need the topology, like [`run_once`], build it only once).
 fn run_with_topology(topo: &qma_topo::Topology, p: &ScenarioParams, seed: u64) -> RunMetrics {
+    run_with_plan(topo, p, seed, None)
+}
+
+/// The simulation body, optionally with a fault plan armed.
+fn run_with_plan(
+    topo: &qma_topo::Topology,
+    p: &ScenarioParams,
+    seed: u64,
+    plan: Option<qma_netsim::FaultPlan>,
+) -> RunMetrics {
     let parents: Vec<Option<NodeId>> = topo
         .parent
         .iter()
@@ -155,7 +165,7 @@ fn run_with_topology(topo: &qma_topo::Topology, p: &ScenarioParams, seed: u64) -
     let qma_cfg = p.qma_mac_config();
     let delta = p.delta;
     let packets = p.packets;
-    let mut sim = SimBuilder::new(topo.connectivity.clone(), seed)
+    let mut builder = SimBuilder::new(topo.connectivity.clone(), seed)
         .clock(p.clock())
         // At 10k+ nodes, per-frame learner sampling would dominate
         // both time and memory; massive runs collect aggregates only.
@@ -172,8 +182,11 @@ fn run_with_topology(topo: &qma_topo::Topology, p: &ScenarioParams, seed: u64) -
                 TrafficPattern::Silent
             };
             UpperImpl::Massive(MassiveApp::new(pattern, parents[node.index()], 60))
-        })
-        .build();
+        });
+    if let Some(plan) = plan {
+        builder = builder.fault_plan(plan);
+    }
+    let mut sim = builder.build();
     sim.run_until(SimTime::from_secs(p.duration_s));
 
     let m = sim.metrics();
@@ -201,9 +214,26 @@ pub struct MassiveRunSummary {
 /// Runs one replication and reports size/coverage (the bench binary
 /// wraps this in wall-clock timing to derive node-seconds/sec).
 pub fn run_once(p: &ScenarioParams, seed: u64) -> MassiveRunSummary {
+    summarize(p, seed, None)
+}
+
+/// [`run_once`] with an **armed but empty** fault plan: the fault
+/// machinery (tolerant clamping, plan cursor) is switched on yet
+/// never fires. The bench binary times this against [`run_once`] to
+/// report the subsystem's standing cost (`chaos_overhead_pct`);
+/// results are bit-identical by construction.
+pub fn run_once_armed(p: &ScenarioParams, seed: u64) -> MassiveRunSummary {
+    summarize(p, seed, Some(qma_netsim::FaultPlan::new()))
+}
+
+fn summarize(
+    p: &ScenarioParams,
+    seed: u64,
+    plan: Option<qma_netsim::FaultPlan>,
+) -> MassiveRunSummary {
     let topo = build_topology(p);
     let nodes = topo.len();
-    let m = run_with_topology(&topo, p, seed);
+    let m = run_with_plan(&topo, p, seed, plan);
     MassiveRunSummary {
         nodes,
         sim_seconds: m.sim_seconds,

@@ -33,15 +33,20 @@ pub enum ScenarioKind {
     /// topologies (the slot-kernel scale workload; see
     /// [`crate::massive`]).
     Massive,
+    /// Massive-access topology under a deterministic fault plan —
+    /// node churn, jammer bursts, link drift, sink outage — measuring
+    /// recovery instead of steady state (see [`crate::chaos`]).
+    Chaos,
 }
 
 impl ScenarioKind {
     /// All scenario kinds.
-    pub const ALL: [ScenarioKind; 4] = [
+    pub const ALL: [ScenarioKind; 5] = [
         ScenarioKind::HiddenNode,
         ScenarioKind::Convergence,
         ScenarioKind::Fluctuating,
         ScenarioKind::Massive,
+        ScenarioKind::Chaos,
     ];
 
     /// Canonical spec-file name, the inverse of [`ScenarioKind::parse`].
@@ -51,6 +56,7 @@ impl ScenarioKind {
             ScenarioKind::Convergence => "convergence",
             ScenarioKind::Fluctuating => "fluctuating",
             ScenarioKind::Massive => "massive",
+            ScenarioKind::Chaos => "chaos",
         }
     }
 
@@ -67,6 +73,7 @@ impl ScenarioKind {
             ScenarioKind::Convergence => "settle_time_s",
             ScenarioKind::Fluctuating => "q_adaptation",
             ScenarioKind::Massive => "delivered_per_s",
+            ScenarioKind::Chaos => "delivered_per_s",
         }
     }
 }
@@ -114,6 +121,56 @@ impl std::fmt::Display for MassiveTopology {
     }
 }
 
+/// Fault-injection knobs of the [`ScenarioKind::Chaos`] scenario.
+/// All disturbances strike together at `fault_start_s` and lift
+/// `fault_duration_s` later; the cohorts they hit are drawn from the
+/// replication seed, so a grid point's disturbance trace is exactly
+/// as reproducible as its traffic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosKnobs {
+    /// When the disturbances strike, in simulated seconds. Must leave
+    /// a pre-fault window after the 1 s traffic start to baseline
+    /// PDR and collision rate against.
+    pub fault_start_s: u64,
+    /// How long they last (outage / burst / drift episode length).
+    pub fault_duration_s: u64,
+    /// Fraction of sources that crash (and reboot after the outage).
+    pub crash_frac: f64,
+    /// Fraction of nodes inside the jammer's footprint.
+    pub jam_frac: f64,
+    /// Fraction of source uplinks degraded below decodability.
+    pub drift_frac: f64,
+    /// Clock skew in µs applied to a tenth of the sources (`0`
+    /// disables the skew axis; negative values schedule into the past
+    /// and consume [`ChaosKnobs::clamp_budget`]).
+    pub skew_us: i64,
+    /// Do crashed nodes keep their learned Q-table across the reboot?
+    pub persist_q: bool,
+    /// Also take the sink down for the fault window?
+    pub sink_outage: bool,
+    /// Past-clamp budget for the replication (`u64::MAX` = unlimited).
+    /// A negative skew requires a finite budget: a tick pushed behind
+    /// `now` re-arms at the same instant forever, and only the budget
+    /// turns that livelock into a structured abort.
+    pub clamp_budget: u64,
+}
+
+impl Default for ChaosKnobs {
+    fn default() -> Self {
+        ChaosKnobs {
+            fault_start_s: 30,
+            fault_duration_s: 10,
+            crash_frac: 0.25,
+            jam_frac: 0.0,
+            drift_frac: 0.0,
+            skew_us: 0,
+            persist_q: false,
+            sink_outage: false,
+            clamp_budget: u64::MAX,
+        }
+    }
+}
+
 /// Every knob a campaign grid can sweep. Defaults reproduce the
 /// paper's evaluation setting (3 nodes, δ = 25 pkt/s, α = 0.5,
 /// γ = 0.9, ξ = 1, M = 54 subslots).
@@ -142,9 +199,12 @@ pub struct ScenarioParams {
     pub subslots: u16,
     /// N_R — retransmissions before a packet is dropped.
     pub max_retries: u8,
-    /// Topology family ([`ScenarioKind::Massive`] only; the star
-    /// scenarios are hidden-star by construction).
+    /// Topology family ([`ScenarioKind::Massive`] and
+    /// [`ScenarioKind::Chaos`]; the star scenarios are hidden-star by
+    /// construction).
     pub topology: MassiveTopology,
+    /// Fault-injection knobs ([`ScenarioKind::Chaos`] only).
+    pub chaos: ChaosKnobs,
 }
 
 impl Default for ScenarioParams {
@@ -162,6 +222,7 @@ impl Default for ScenarioParams {
             subslots: 54,
             max_retries: mac_defaults.max_retries,
             topology: MassiveTopology::default(),
+            chaos: ChaosKnobs::default(),
         }
     }
 }
@@ -273,9 +334,82 @@ impl ScenarioParams {
                     return Err(format!("nodes = {} cannot form a grid lattice", self.nodes));
                 }
             }
+            // The resilience measurement needs a pre-fault baseline
+            // (traffic starts at 1 s), the fault window itself, and a
+            // post-fault recovery window — all inside the horizon.
+            ScenarioKind::Chaos => {
+                let c = &self.chaos;
+                if c.fault_start_s < 2 {
+                    return Err(format!(
+                        "chaos.fault_start_s = {} leaves no pre-fault baseline \
+                         after the 1 s traffic start",
+                        c.fault_start_s
+                    ));
+                }
+                if c.fault_duration_s == 0 {
+                    return Err("chaos.fault_duration_s must be positive".into());
+                }
+                if self.duration_s < c.fault_start_s + c.fault_duration_s + 2 {
+                    return Err(format!(
+                        "duration_s = {} leaves no recovery window after the \
+                         fault clears at t = {} s",
+                        self.duration_s,
+                        c.fault_start_s + c.fault_duration_s
+                    ));
+                }
+                for (name, v) in [
+                    ("crash_frac", c.crash_frac),
+                    ("jam_frac", c.jam_frac),
+                    ("drift_frac", c.drift_frac),
+                ] {
+                    if !(0.0..=1.0).contains(&v) {
+                        return Err(format!("chaos.{name} = {v} outside [0, 1]"));
+                    }
+                }
+                if c.skew_us < 0 && c.clamp_budget == u64::MAX {
+                    return Err("chaos.skew_us < 0 requires a finite chaos.clamp_budget: a \
+                         timer skewed behind `now` re-arms at the same instant \
+                         forever, and only the budget turns that livelock into \
+                         a structured abort"
+                        .into());
+                }
+                if self.nodes > 200_000 {
+                    return Err(format!(
+                        "nodes = {} exceeds the 200k massive-scenario cap",
+                        self.nodes
+                    ));
+                }
+                if self.topology == MassiveTopology::Grid && self.nodes < 4 {
+                    return Err(format!("nodes = {} cannot form a grid lattice", self.nodes));
+                }
+            }
         }
         Ok(())
     }
+}
+
+/// Resilience metrics of a faulted replication: how hard the
+/// disturbance hit and how fast the network came back. All-zero for
+/// scenarios without a fault plan (`Default`), so the aggregation
+/// pipeline carries one uniform record shape — no `NaN`s, no
+/// `Option`s in the CSV.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Resilience {
+    /// Seconds after the fault cleared until the windowed PDR first
+    /// reached 95 % of the pre-fault level (censored at the horizon:
+    /// a network that never recovers reports the full post-fault
+    /// window).
+    pub recovery_s: f64,
+    /// Post-fault collision rate minus pre-fault collision rate, in
+    /// collisions per simulated second (negative means the re-learned
+    /// schedule collides *less* than before the fault).
+    pub collision_regret: f64,
+    /// Packets generated during the fault window that were not
+    /// delivered within it.
+    pub lost_in_outage: f64,
+    /// PDR over the final fifth of the horizon minus the pre-fault
+    /// PDR — the permanent damage (or gain) once re-learning settled.
+    pub steady_state_delta: f64,
 }
 
 /// Uniform per-replication metrics: what every scenario reports into
@@ -296,6 +430,9 @@ pub struct RunMetrics {
     pub sim_seconds: f64,
     /// Scenario-specific extra (see [`ScenarioKind::aux_name`]).
     pub aux: f64,
+    /// Recovery metrics (all-zero unless a fault plan was armed; see
+    /// [`Resilience`]).
+    pub resilience: Resilience,
 }
 
 /// Builds the star simulation for one grid point: `p.nodes − 1`
@@ -354,6 +491,7 @@ pub fn collect_metrics(sim: &Sim<MacImpl, UpperImpl>, sources: &[NodeId], aux: f
         events: sim.events_processed(),
         sim_seconds: sim.now().as_micros() as f64 / 1e6,
         aux,
+        resilience: Resilience::default(),
     }
 }
 
@@ -364,6 +502,7 @@ pub fn run_scenario(kind: ScenarioKind, p: &ScenarioParams, seed: u64) -> RunMet
         ScenarioKind::Convergence => crate::convergence::run_grid(p, seed),
         ScenarioKind::Fluctuating => crate::fluctuating::run_grid(p, seed),
         ScenarioKind::Massive => crate::massive::run_grid(p, seed),
+        ScenarioKind::Chaos => crate::chaos::run_grid(p, seed),
     }
 }
 

@@ -6,7 +6,10 @@
 //!   escape hatch (the PR 2 devirtualization), and
 //! * subslot ticks are scheduled through the O(1) boundary wheel or
 //!   the plain binary heap (the PR 4 slot kernel) — the wheel changes
-//!   *where events wait*, never *what the simulation computes*.
+//!   *where events wait*, never *what the simulation computes*, and
+//! * fault plans (crash/jam/drift chaos runs) are active — fault
+//!   events are heap events, so they compose with the sharded
+//!   boundary sweep and both scheduler engines bit-identically.
 //!
 //! (The byte-identical-campaign-CSV half of the wheel/heap guarantee
 //! lives in `crates/bench/tests/scheduler_equivalence.rs`, next to
@@ -294,6 +297,59 @@ fn sharded_sweep_is_bit_identical_to_sequential() {
     assert_eq!(stats.shards, 4);
     assert!(stats.cross_edges > 0, "hidden star is all-border");
     sim.run_until(qma_des::SimTime::from_secs(1));
+}
+
+#[test]
+fn chaos_faults_are_shard_and_scheduler_invariant() {
+    use qma_scenarios::{run_scenario, ChaosKnobs, MassiveTopology, ScenarioKind, ScenarioParams};
+
+    let _guard = lock_exec_defaults();
+    // Crash + jam + drift striking at t = 4 s. Fault events live on
+    // the binary heap, so they serialise the sharded boundary sweep
+    // exactly like any other heap event: every per-counter metric —
+    // including the resilience block — must be bit-identical at any
+    // shard count and under either scheduler engine.
+    let p = ScenarioParams {
+        topology: MassiveTopology::HiddenStar,
+        nodes: 121,
+        delta: 0.8,
+        packets: 4,
+        duration_s: 14,
+        chaos: ChaosKnobs {
+            fault_start_s: 4,
+            fault_duration_s: 3,
+            crash_frac: 0.25,
+            jam_frac: 0.15,
+            drift_frac: 0.25,
+            ..ChaosKnobs::default()
+        },
+        ..ScenarioParams::default()
+    };
+    p.validate_for(ScenarioKind::Chaos).unwrap();
+    let run_with = |k: usize, wheel: bool| {
+        qma_netsim::set_default_scheduler_wheel(wheel);
+        qma_netsim::set_default_shards(k);
+        qma_netsim::set_default_shard_batch_min(1);
+        let out: Vec<_> = (0..2u64)
+            .map(|rep| run_scenario(ScenarioKind::Chaos, &p, 700 + rep))
+            .collect();
+        qma_netsim::set_default_shards(1);
+        qma_netsim::set_default_shard_batch_min(qma_netsim::SHARD_BATCH_MIN_DEFAULT);
+        qma_netsim::set_default_scheduler_wheel(true);
+        out
+    };
+    let baseline = run_with(1, true);
+    for (k, wheel) in [(2, true), (4, true), (1, false), (4, false)] {
+        assert_eq!(
+            baseline,
+            run_with(k, wheel),
+            "chaos run diverged at K={k}, wheel={wheel}"
+        );
+    }
+    assert!(baseline.iter().all(|m| m.events > 1_000));
+    // Different seeds must still produce different runs — identical
+    // outputs across K would be vacuous if the workload collapsed.
+    assert_ne!(baseline[0], baseline[1]);
 }
 
 #[test]
