@@ -97,6 +97,23 @@ impl ArtifactRow {
         ArtifactRow { values }
     }
 
+    /// Rebuilds a row from pre-formatted cells, validating them
+    /// against the schema exactly like [`parse_csv`] does. The fabric
+    /// stores one rendered row per per-config shard file and folds
+    /// them back through this constructor at merge time — the
+    /// validation is what turns a corrupted shard into a hard error
+    /// instead of a silently wrong artifact.
+    pub fn from_cells(values: Vec<String>) -> Result<ArtifactRow, String> {
+        validate_cells(&values)?;
+        Ok(ArtifactRow { values })
+    }
+
+    /// The row as one rendered CSV line (no trailing newline) —
+    /// byte-identical to its slice of [`render_csv`].
+    pub fn to_csv_line(&self) -> String {
+        self.values.join(",")
+    }
+
     /// The row's `config_key` cell.
     pub fn config_key(&self) -> &str {
         &self.values[0]
@@ -197,32 +214,38 @@ pub fn parse_csv(text: &str) -> Result<Vec<ArtifactRow>, String> {
             continue;
         }
         let values: Vec<String> = line.split(',').map(str::to_string).collect();
-        for ((name, kind), value) in COLUMNS.iter().zip(&values) {
-            let ok = match kind {
-                ColKind::Str => true,
-                ColKind::Int => value.parse::<u64>().is_ok(),
-                ColKind::Float => value.parse::<f64>().map(f64::is_finite).unwrap_or(false),
-            };
-            if !ok {
-                return Err(format!(
-                    "artifact row {}: cell {name} = {value:?} is not a valid \
-                     {kind:?}; delete the corrupted artifact to recompute",
-                    i + 2
-                ));
-            }
-        }
-        if values.len() != COLUMNS.len() {
-            return Err(format!(
-                "artifact row {} has {} cells, expected {} — truncated write? \
-                 delete the artifact to recompute",
-                i + 2,
-                values.len(),
-                COLUMNS.len()
-            ));
-        }
+        validate_cells(&values).map_err(|e| format!("artifact row {}: {e}", i + 2))?;
         rows.push(ArtifactRow { values });
     }
     Ok(rows)
+}
+
+/// Schema validation shared by [`parse_csv`] and
+/// [`ArtifactRow::from_cells`]: every cell must parse as its column's
+/// type, and the cell count must match the schema.
+fn validate_cells(values: &[String]) -> Result<(), String> {
+    for ((name, kind), value) in COLUMNS.iter().zip(values) {
+        let ok = match kind {
+            ColKind::Str => true,
+            ColKind::Int => value.parse::<u64>().is_ok(),
+            ColKind::Float => value.parse::<f64>().map(f64::is_finite).unwrap_or(false),
+        };
+        if !ok {
+            return Err(format!(
+                "cell {name} = {value:?} is not a valid {kind:?}; \
+                 delete the corrupted artifact to recompute"
+            ));
+        }
+    }
+    if values.len() != COLUMNS.len() {
+        return Err(format!(
+            "{} cells, expected {} — truncated write? \
+             delete the artifact to recompute",
+            values.len(),
+            COLUMNS.len()
+        ));
+    }
+    Ok(())
 }
 
 /// Campaign-level metadata carried in the JSON report.
@@ -277,7 +300,7 @@ pub fn render_json(meta: &CampaignMeta, rows: &[ArtifactRow]) -> String {
     out
 }
 
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     format!("\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\""))
 }
 

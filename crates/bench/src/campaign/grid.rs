@@ -120,6 +120,15 @@ impl ConfigPoint {
         SeedSequence::new(master_seed).derive(self.seed_label())
     }
 
+    /// A filesystem-safe stem for the config's fabric files (lease,
+    /// shard, attempt and quarantine records): the hex-rendered
+    /// [`ConfigPoint::seed_label`]. Content-addressed like the seed
+    /// itself, so every worker derives the same stem with no
+    /// coordination and no key character ever needs escaping.
+    pub fn stem(&self) -> String {
+        format!("{:016x}", self.seed_label())
+    }
+
     /// The sorted parameter assignments.
     pub fn entries(&self) -> &[(String, ParamValue)] {
         &self.entries

@@ -21,20 +21,44 @@
 
 pub mod agg;
 pub mod artifact;
+pub mod fabric;
 pub mod grid;
 pub mod spec;
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
+use std::time::Duration;
 
 use qma_scenarios::{run_scenario, RunMetrics, ScenarioParams};
 use rayon::prelude::*;
 
-use crate::runner::{panic_message, Parallelism};
+use crate::runner::{panic_message, run_with_watchdog, Parallelism, WatchdogError};
 use agg::ConfigAggregate;
 use artifact::{ArtifactRow, CampaignMeta};
 use grid::ConfigPoint;
 use spec::CampaignSpec;
+
+/// Execution options shared by the single-process runner and the
+/// distributed fabric workers.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CampaignOptions {
+    /// Replication execution mode within one configuration.
+    pub mode: Parallelism,
+    /// Per-replication wall-clock watchdog: a replication that takes
+    /// longer becomes a [`FailedRep`] (with its reproduction seed)
+    /// instead of hanging the campaign. `None` disables the watchdog
+    /// — and with it the per-replication helper-thread hop.
+    pub rep_timeout: Option<Duration>,
+}
+
+impl From<Parallelism> for CampaignOptions {
+    fn from(mode: Parallelism) -> CampaignOptions {
+        CampaignOptions {
+            mode,
+            rep_timeout: None,
+        }
+    }
+}
 
 /// What one [`run_campaign`] call did.
 #[derive(Debug, Clone)]
@@ -88,6 +112,17 @@ pub fn run_campaign(
     spec: &CampaignSpec,
     out_dir: &Path,
     mode: Parallelism,
+    progress: impl FnMut(&str),
+) -> Result<CampaignOutcome, String> {
+    run_campaign_opts(spec, out_dir, &CampaignOptions::from(mode), progress)
+}
+
+/// [`run_campaign`] with full [`CampaignOptions`] (notably the
+/// per-replication wall-clock watchdog).
+pub fn run_campaign_opts(
+    spec: &CampaignSpec,
+    out_dir: &Path,
+    opts: &CampaignOptions,
     mut progress: impl FnMut(&str),
 ) -> Result<CampaignOutcome, String> {
     let points = spec.expand()?;
@@ -124,7 +159,7 @@ pub fn run_campaign(
             ));
             continue;
         }
-        let agg = match run_config(spec, point, p, mode) {
+        let agg = match run_config(spec, point, p, opts) {
             Ok(agg) => agg,
             Err(fail) => {
                 // Report and move on: one poisoned config must not
@@ -187,33 +222,59 @@ pub fn run_campaign(
 /// Each replication runs under `catch_unwind`, so a panicking
 /// simulation (a chaos config blowing its past-clamp budget, say)
 /// surfaces as a [`FailedRep`] carrying the exact seed instead of
-/// tearing down the campaign. Failure selection is deterministic:
-/// results fold in replication order on both execution paths, so the
-/// reported failure is always the lowest-indexed panicking rep.
-fn run_config(
+/// tearing down the campaign; with a [`CampaignOptions::rep_timeout`]
+/// armed, the same holds for a replication that *hangs* (the
+/// watchdog detaches it and reports the seed). Failure selection is
+/// deterministic: results fold in replication order on both
+/// execution paths, so the reported failure is always the
+/// lowest-indexed panicking rep.
+pub(crate) fn run_config(
     spec: &CampaignSpec,
     point: &ConfigPoint,
     params: &ScenarioParams,
-    mode: Parallelism,
+    opts: &CampaignOptions,
 ) -> Result<ConfigAggregate, FailedRep> {
     let stream = point.seed_stream(spec.master_seed);
     let scenario = spec.scenario;
     let run_one = |rep: u64| {
         let seed = stream.derive(rep).seed();
-        // AssertUnwindSafe: on Err every captured reference is
-        // dropped without being observed again, so a half-mutated
-        // simulation state can never leak into later replications.
-        catch_unwind(AssertUnwindSafe(|| run_scenario(scenario, params, seed))).map_err(|payload| {
-            FailedRep {
-                config_key: point.key(),
-                rep,
-                seed,
-                message: panic_message(payload),
+        let fail = |message: String| FailedRep {
+            config_key: point.key(),
+            rep,
+            seed,
+            message,
+        };
+        match opts.rep_timeout {
+            // AssertUnwindSafe: on Err every captured reference is
+            // dropped without being observed again, so a half-mutated
+            // simulation state can never leak into later replications.
+            None => catch_unwind(AssertUnwindSafe(|| run_scenario(scenario, params, seed)))
+                .map_err(|payload| fail(panic_message(payload))),
+            Some(timeout) => {
+                // The watchdog thread needs `'static` inputs: clone
+                // the params (cheap — plain scalars) so a detached
+                // hung replication can never observe freed state.
+                let params = params.clone();
+                let job = move || {
+                    catch_unwind(AssertUnwindSafe(|| run_scenario(scenario, &params, seed)))
+                };
+                match run_with_watchdog(timeout, job) {
+                    Ok(Ok(metrics)) => Ok(metrics),
+                    Ok(Err(payload)) => Err(fail(panic_message(payload))),
+                    Err(WatchdogError::TimedOut) => Err(fail(format!(
+                        "replication exceeded the {:.3}s wall-clock watchdog \
+                         (livelocked or thrashing; worker thread detached)",
+                        timeout.as_secs_f64()
+                    ))),
+                    Err(WatchdogError::Died) => {
+                        Err(fail("replication thread died without reporting".into()))
+                    }
+                }
             }
-        })
+        }
     };
     let mut agg = ConfigAggregate::new();
-    match mode {
+    match opts.mode {
         Parallelism::Serial => {
             // Genuinely streaming: each record folds and drops.
             for rep in 0..spec.replications {
@@ -299,7 +360,7 @@ fn discard_stale_json(json_path: &Path, spec: &CampaignSpec, progress: &mut impl
 /// returned as the raw token up to the next `,`/newline/`}` (strings
 /// keep their quotes). Formatting-agnostic on whitespace; good enough
 /// for the four scalar metadata fields our own renderer emits.
-fn json_field(text: &str, key: &str) -> Option<String> {
+pub(crate) fn json_field(text: &str, key: &str) -> Option<String> {
     let needle = format!("\"{key}\":");
     let at = text.find(&needle)? + needle.len();
     let rest = text[at..].trim_start();
@@ -309,10 +370,29 @@ fn json_field(text: &str, key: &str) -> Option<String> {
 
 /// Writes via a temp file + rename so an interrupt never leaves a
 /// half-written artifact for resume to trip over.
-fn write_atomic(path: &Path, contents: &str) -> Result<(), String> {
+pub(crate) fn write_atomic(path: &Path, contents: &str) -> Result<(), String> {
     let tmp = path.with_extension("tmp");
     std::fs::write(&tmp, contents).map_err(|e| format!("write {}: {e}", tmp.display()))?;
     std::fs::rename(&tmp, path).map_err(|e| format!("rename {}: {e}", path.display()))
+}
+
+/// Renders the deterministic failure report shared by the
+/// single-process runner and the fabric merge: one `# FAILED` line
+/// per failure, sorted by `(config_key, rep)` — so an N-worker fabric
+/// run and a single-process run print byte-identical reports no
+/// matter which worker observed which failure, or in what order.
+pub fn failure_report(failures: &[FailedRep]) -> Vec<String> {
+    let mut sorted: Vec<&FailedRep> = failures.iter().collect();
+    sorted.sort_by(|a, b| (a.config_key.as_str(), a.rep).cmp(&(b.config_key.as_str(), b.rep)));
+    sorted
+        .iter()
+        .map(|f| {
+            format!(
+                "# FAILED {} rep {} seed {}: {}",
+                f.config_key, f.rep, f.seed, f.message
+            )
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -588,6 +668,85 @@ skew_us = [0, -100000]
         );
         assert_eq!(std::fs::read(&again.csv_path).unwrap(), csv);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rep_timeout_watchdog_converts_a_slow_rep_into_a_failed_rep() {
+        // A 1 ms budget no real replication can meet: every config
+        // must fail through the watchdog, each failure carrying its
+        // reproduction seed; the campaign still completes (no rows,
+        // resumable). A generous budget must change nothing.
+        let dir = tmp_dir("watchdog");
+        let spec = tiny_spec("t");
+        let strict = CampaignOptions {
+            mode: Parallelism::Serial,
+            rep_timeout: Some(std::time::Duration::from_millis(1)),
+        };
+        let out = run_campaign_opts(&spec, &dir, &strict, |_| {}).unwrap();
+        assert_eq!(out.executed, 0);
+        assert_eq!(out.failures.len(), 2, "every config must trip the watchdog");
+        for fail in &out.failures {
+            assert!(
+                fail.message.contains("wall-clock watchdog"),
+                "unhelpful watchdog message: {}",
+                fail.message
+            );
+            let point = spec
+                .expand()
+                .unwrap()
+                .into_iter()
+                .find(|p| p.key() == fail.config_key)
+                .unwrap();
+            assert_eq!(
+                fail.seed,
+                point.seed_stream(spec.master_seed).derive(fail.rep).seed(),
+                "watchdog failure must carry the replication's stream seed"
+            );
+        }
+
+        let generous = CampaignOptions {
+            mode: Parallelism::Serial,
+            rep_timeout: Some(std::time::Duration::from_secs(600)),
+        };
+        let out = run_campaign_opts(&spec, &dir, &generous, |_| {}).unwrap();
+        assert_eq!(out.executed, 2);
+        assert!(out.failures.is_empty());
+
+        // The watchdog hop must not perturb determinism: bytes match
+        // a plain run.
+        let plain_dir = tmp_dir("watchdog-plain");
+        let plain = run_campaign(&spec, &plain_dir, Parallelism::Serial, |_| {}).unwrap();
+        assert_eq!(
+            std::fs::read(&out.csv_path).unwrap(),
+            std::fs::read(&plain.csv_path).unwrap()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&plain_dir);
+    }
+
+    #[test]
+    fn failure_report_orders_by_config_key_then_rep() {
+        let fail = |key: &str, rep: u64| FailedRep {
+            config_key: key.into(),
+            rep,
+            seed: 9,
+            message: "boom".into(),
+        };
+        // Arrival order scrambled (as N workers would produce).
+        let report = failure_report(&[
+            fail("b=1", 1),
+            fail("a=1", 2),
+            fail("b=1", 0),
+            fail("a=1", 0),
+        ]);
+        let heads: Vec<&str> = report
+            .iter()
+            .map(|l| l.strip_prefix("# FAILED ").unwrap())
+            .collect();
+        assert!(heads[0].starts_with("a=1 rep 0"));
+        assert!(heads[1].starts_with("a=1 rep 2"));
+        assert!(heads[2].starts_with("b=1 rep 0"));
+        assert!(heads[3].starts_with("b=1 rep 1"));
     }
 
     #[test]

@@ -1156,6 +1156,7 @@ pub struct SimBuilder<M = Box<dyn MacProtocol>, U = Box<dyn UpperLayer>> {
     scheduler_wheel: bool,
     shards: usize,
     shard_batch_min: usize,
+    shard_pool: bool,
     fault_plan: Option<crate::faults::FaultPlan>,
     past_clamp_budget: u64,
 }
@@ -1218,6 +1219,23 @@ pub fn default_shard_batch_min() -> usize {
     SHARD_BATCH_MIN.load(std::sync::atomic::Ordering::SeqCst)
 }
 
+/// Process-wide default for [`SimBuilder::shard_pool`] — `true`
+/// unless overridden. Exists so the determinism suite can pin the
+/// scoped fork/join path underneath scenario code that builds its
+/// simulations internally, and diff it against the pool.
+static SHARD_POOL_DEFAULT: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(true);
+
+/// Sets the process-wide default for the persistent shard worker pool
+/// (see [`SimBuilder::shard_pool`]).
+pub fn set_default_shard_pool(enabled: bool) {
+    SHARD_POOL_DEFAULT.store(enabled, std::sync::atomic::Ordering::SeqCst);
+}
+
+/// The current process-wide shard-pool default.
+pub fn default_shard_pool() -> bool {
+    SHARD_POOL_DEFAULT.load(std::sync::atomic::Ordering::SeqCst)
+}
+
 impl SimBuilder {
     /// Starts a builder over a connectivity graph with a master seed.
     pub fn new(conn: Connectivity, seed: u64) -> Self {
@@ -1236,6 +1254,7 @@ impl SimBuilder {
             scheduler_wheel: default_scheduler_wheel(),
             shards: default_shards(),
             shard_batch_min: default_shard_batch_min(),
+            shard_pool: default_shard_pool(),
             fault_plan: None,
             past_clamp_budget: u64::MAX,
         }
@@ -1290,6 +1309,7 @@ impl<M: MacProtocol, U: UpperLayer> SimBuilder<M, U> {
             scheduler_wheel: self.scheduler_wheel,
             shards: self.shards,
             shard_batch_min: self.shard_batch_min,
+            shard_pool: self.shard_pool,
             fault_plan: self.fault_plan,
             past_clamp_budget: self.past_clamp_budget,
         }
@@ -1318,6 +1338,7 @@ impl<M: MacProtocol, U: UpperLayer> SimBuilder<M, U> {
             scheduler_wheel: self.scheduler_wheel,
             shards: self.shards,
             shard_batch_min: self.shard_batch_min,
+            shard_pool: self.shard_pool,
             fault_plan: self.fault_plan,
             past_clamp_budget: self.past_clamp_budget,
         }
@@ -1368,6 +1389,18 @@ impl<M: MacProtocol, U: UpperLayer> SimBuilder<M, U> {
     /// parallel path on small worlds.
     pub fn shard_batch_min(mut self, min: usize) -> Self {
         self.shard_batch_min = min.max(1);
+        self
+    }
+
+    /// Runs the sharded boundary sweep on a persistent condvar-parked
+    /// worker pool (default: the process-wide default, normally on)
+    /// instead of a per-boundary `std::thread::scope` fork/join.
+    /// Results are **bit-identical either way** — the pool changes
+    /// where decide tasks run, never what they compute — and the
+    /// determinism suite diffs the two paths to prove it. Irrelevant
+    /// for single-shard plans (no threads either way).
+    pub fn shard_pool(mut self, on: bool) -> Self {
+        self.shard_pool = on;
         self
     }
 
@@ -1467,6 +1500,12 @@ impl<M: MacProtocol, U: UpperLayer> SimBuilder<M, U> {
         // population falls the whole run back to sequential delivery.
         let split_ticks = self.scheduler_wheel && macs.iter().all(|m| m.supports_split_tick());
         let shard_scratch = ShardScratch::new(plan.shards());
+        // One persistent pool per simulation (K − 1 threads: the
+        // driver thread participates in every barrier), parked on a
+        // condvar between boundaries. Only built when the sharded
+        // sweep can actually engage.
+        let shard_pool = (self.shard_pool && plan.shards() > 1 && split_ticks)
+            .then(|| qma_des::ShardPool::new(plan.shards() - 1));
 
         Sim {
             world: World {
@@ -1490,6 +1529,7 @@ impl<M: MacProtocol, U: UpperLayer> SimBuilder<M, U> {
             shard_batch_min: self.shard_batch_min,
             batch_scratch: Vec::new(),
             shard_scratch,
+            shard_pool,
             fault_plan: self.fault_plan,
             past_clamp_budget: self.past_clamp_budget,
         }
@@ -1545,6 +1585,9 @@ pub struct Sim<M = Box<dyn MacProtocol>, U = Box<dyn UpperLayer>> {
     batch_scratch: Vec<(SimTime, Event)>,
     /// Reusable per-shard slates/outboxes.
     shard_scratch: ShardScratch,
+    /// Persistent decide workers (`None` ⇒ per-boundary scoped
+    /// fork/join, or an unsharded plan).
+    shard_pool: Option<qma_des::ShardPool>,
     /// The armed fault schedule, if any (see [`crate::faults`]).
     fault_plan: Option<crate::faults::FaultPlan>,
     /// Abort threshold for past-time clamps (`u64::MAX` = unlimited).
@@ -1597,6 +1640,58 @@ impl<M: MacProtocol, U: UpperLayer> Sim<M, U> {
     /// closed on the error path — the replication is garbage by
     /// definition.
     pub fn try_run_until(&mut self, horizon: SimTime) -> Result<(), PastClampBudgetExceeded> {
+        /// One shard's slice of a boundary bucket: everything phase 1
+        /// of the sharded sweep needs to decide its ticks without
+        /// touching shared mutable state. Built per boundary from
+        /// disjoint `split_at_mut` slices; executed on the persistent
+        /// pool or a scoped thread — bit-identical either way, since
+        /// the job only writes its own slices and outbox and the
+        /// commit fold replays in global bucket order.
+        struct DecideJob<'a, M> {
+            now: SimTime,
+            base: usize,
+            sub: usize,
+            slate: &'a [(u32, u32, u64)],
+            macs: &'a mut [M],
+            rngs: &'a mut [StdRng],
+            outbox: &'a mut Vec<(u32, (NodeId, TickPlan))>,
+            queues: &'a [TxQueue],
+            gens: &'a [[u64; MacTimerKind::COUNT]],
+            enabled: &'a ActiveSet,
+            levels: &'a NeighborLevels,
+            medium: &'a Medium,
+            clock: &'a FrameClock,
+            phy: &'a PhyTiming,
+        }
+
+        impl<M: MacProtocol> DecideJob<'_, M> {
+            fn run(&mut self) {
+                for &(pos, node, gen) in self.slate {
+                    let i = node as usize;
+                    // The same validity gate the sequential dispatcher
+                    // applies; no commit in this bucket can change
+                    // another node's verdict.
+                    if !self.enabled.get(i) || self.gens[i][self.sub] != gen {
+                        continue;
+                    }
+                    let mut view = TickView {
+                        now: self.now,
+                        node: NodeId(node),
+                        clock: self.clock,
+                        phy: self.phy,
+                        queue: &self.queues[i],
+                        levels: self.levels,
+                        rng: &mut self.rngs[i - self.base],
+                        transmitting: self.medium.is_transmitting(qma_phy::PhyNodeId(node)),
+                    };
+                    let decided = self.macs[i - self.base]
+                        .subslot_decide(&mut view)
+                        .expect("split-tick MAC must return a plan");
+                    self.outbox.push((pos, (NodeId(node), decided)));
+                }
+            }
+        }
+
         struct Driver<'s, M, U> {
             world: &'s mut World,
             macs: &'s mut [M],
@@ -1760,6 +1855,7 @@ impl<M: MacProtocol, U: UpperLayer> Sim<M, U> {
                 sched: &mut Scheduler<Event>,
                 plan: &qma_des::ShardPlan,
                 scratch: &mut ShardScratch,
+                pool: Option<&mut qma_des::ShardPool>,
             ) {
                 for slate in scratch.slates.iter_mut() {
                     slate.clear();
@@ -1799,6 +1895,10 @@ impl<M: MacProtocol, U: UpperLayer> Sim<M, U> {
                     // neighbour levels, medium, clock and PHY are
                     // shared read-only, and no commit runs until every
                     // worker has joined — the wheel-cursor barrier.
+                    // The jobs run either on the persistent shard pool
+                    // (default) or on per-boundary scoped threads;
+                    // identical results by construction, since a job
+                    // only writes its own slices and outbox.
                     let world = &mut *self.world;
                     let nodes = &mut world.nodes;
                     let queues: &[TxQueue] = &nodes.queue;
@@ -1811,47 +1911,52 @@ impl<M: MacProtocol, U: UpperLayer> Sim<M, U> {
                     let sub = MacTimerKind::Subslot.index();
                     let mut mac_rest: &mut [M] = &mut *self.macs;
                     let mut rng_rest: &mut [StdRng] = &mut nodes.mac_rng;
-                    std::thread::scope(|scope| {
-                        for (s, outbox) in scratch.outboxes.iter_mut().enumerate() {
-                            let range = plan.range(s);
-                            let (macs_s, mac_tail) = mac_rest.split_at_mut(range.len());
-                            mac_rest = mac_tail;
-                            let (rngs_s, rng_tail) = rng_rest.split_at_mut(range.len());
-                            rng_rest = rng_tail;
-                            let slate: &[(u32, u32, u64)] = &scratch.slates[s];
-                            if slate.is_empty() {
-                                continue;
-                            }
-                            let base = range.start;
-                            scope.spawn(move || {
-                                for &(pos, node, gen) in slate {
-                                    let i = node as usize;
-                                    // The same validity gate the
-                                    // sequential dispatcher applies;
-                                    // no commit in this bucket can
-                                    // change another node's verdict.
-                                    if !enabled.get(i) || gens[i][sub] != gen {
-                                        continue;
-                                    }
-                                    let mut view = TickView {
-                                        now,
-                                        node: NodeId(node),
-                                        clock,
-                                        phy,
-                                        queue: &queues[i],
-                                        levels,
-                                        rng: &mut rngs_s[i - base],
-                                        transmitting: medium
-                                            .is_transmitting(qma_phy::PhyNodeId(node)),
-                                    };
-                                    let decided = macs_s[i - base]
-                                        .subslot_decide(&mut view)
-                                        .expect("split-tick MAC must return a plan");
-                                    outbox.push((pos, (NodeId(node), decided)));
+                    let mut jobs: Vec<DecideJob<'_, M>> = Vec::with_capacity(plan.shards());
+                    for (s, outbox) in scratch.outboxes.iter_mut().enumerate() {
+                        let range = plan.range(s);
+                        let (macs_s, mac_tail) = mac_rest.split_at_mut(range.len());
+                        mac_rest = mac_tail;
+                        let (rngs_s, rng_tail) = rng_rest.split_at_mut(range.len());
+                        rng_rest = rng_tail;
+                        let slate: &[(u32, u32, u64)] = &scratch.slates[s];
+                        if slate.is_empty() {
+                            continue;
+                        }
+                        jobs.push(DecideJob {
+                            now,
+                            base: range.start,
+                            sub,
+                            slate,
+                            macs: macs_s,
+                            rngs: rngs_s,
+                            outbox,
+                            queues,
+                            gens,
+                            enabled,
+                            levels,
+                            medium,
+                            clock,
+                            phy,
+                        });
+                    }
+                    match pool {
+                        Some(pool) => {
+                            let mut closures: Vec<_> =
+                                jobs.iter_mut().map(|job| move || job.run()).collect();
+                            let mut refs: Vec<&mut (dyn FnMut() + Send)> = closures
+                                .iter_mut()
+                                .map(|c| c as &mut (dyn FnMut() + Send))
+                                .collect();
+                            pool.scope_run(&mut refs);
+                        }
+                        None => {
+                            std::thread::scope(|scope| {
+                                for job in jobs.iter_mut() {
+                                    scope.spawn(move || job.run());
                                 }
                             });
                         }
-                    });
+                    }
                 }
 
                 // Phase 2 — the boundary exchange: fold the per-shard
@@ -2112,7 +2217,13 @@ impl<M: MacProtocol, U: UpperLayer> Sim<M, U> {
             // wait, never what the simulation computes.
             if sharded && sched.drain_boundary_bucket(horizon, batch) > 0 {
                 if batch.len() >= self.shard_batch_min {
-                    driver.handle_subslot_batch(batch, sched, &self.plan, scratch);
+                    driver.handle_subslot_batch(
+                        batch,
+                        sched,
+                        &self.plan,
+                        scratch,
+                        self.shard_pool.as_mut(),
+                    );
                 } else {
                     for (t, ev) in batch.drain(..) {
                         driver.handle(t, ev, sched);

@@ -300,6 +300,45 @@ fn sharded_sweep_is_bit_identical_to_sequential() {
 }
 
 #[test]
+fn persistent_shard_pool_is_bit_identical_to_scoped_threads() {
+    use qma_scenarios::{run_scenario, MassiveTopology, ScenarioKind, ScenarioParams};
+
+    let _guard = lock_exec_defaults();
+    // PR 7 satellite: the persistent condvar-parked shard pool
+    // replaces the per-boundary `std::thread::scope` fork/join. The
+    // pool changes *who runs* each decide job, never what it computes
+    // or the order commits fold in — so a sharded run must be
+    // bit-identical with the pool on (default) and off (the scoped
+    // fallback kept exactly for this proof and for A/B benchmarks).
+    let p = ScenarioParams {
+        topology: MassiveTopology::Grid,
+        nodes: 144,
+        delta: 1.0,
+        packets: 4,
+        duration_s: 12,
+        ..ScenarioParams::default()
+    };
+    p.validate_for(ScenarioKind::Massive).unwrap();
+    let run_with_pool = |pooled: bool| {
+        qma_netsim::set_default_shard_pool(pooled);
+        qma_netsim::set_default_shards(4);
+        qma_netsim::set_default_shard_batch_min(1);
+        let out: Vec<_> = (0..2u64)
+            .map(|rep| run_scenario(ScenarioKind::Massive, &p, 900 + rep))
+            .collect();
+        qma_netsim::set_default_shards(1);
+        qma_netsim::set_default_shard_batch_min(qma_netsim::SHARD_BATCH_MIN_DEFAULT);
+        qma_netsim::set_default_shard_pool(true);
+        out
+    };
+    let pooled = run_with_pool(true);
+    let scoped = run_with_pool(false);
+    assert_eq!(pooled, scoped, "shard pool diverged from scoped threads");
+    assert!(pooled.iter().all(|m| m.events > 1_000));
+    assert_ne!(pooled[0], pooled[1], "seeds collapsed — vacuous comparison");
+}
+
+#[test]
 fn chaos_faults_are_shard_and_scheduler_invariant() {
     use qma_scenarios::{run_scenario, ChaosKnobs, MassiveTopology, ScenarioKind, ScenarioParams};
 
