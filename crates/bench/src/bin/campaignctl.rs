@@ -1,0 +1,153 @@
+//! `campaignctl` — the client for a running (or resting) `qmad`
+//! service root.
+//!
+//! ```text
+//! campaignctl --root DIR submit SPEC.toml   # queue a campaign
+//! campaignctl --root DIR status             # print status.json
+//! campaignctl --root DIR cancel ID          # request cancellation
+//! ```
+//!
+//! Everything is plain directory protocol — no socket, no daemon
+//! round-trip. `submit` runs the same admission checks the daemon
+//! enforces (queue depth, disk budget, drain flag) and refuses with
+//! the daemon's machine-readable reason; a refusal is also recorded
+//! under `<root>/rejected/<id>.json`. Exit codes: 0 accepted/ok,
+//! 1 refused or unknown id, 2 usage error.
+
+use std::path::PathBuf;
+
+use qma_bench::service::intake::{submit, Submission};
+use qma_bench::service::status::StatusSnapshot;
+use qma_bench::service::{ServiceConfig, ServicePaths};
+
+fn usage() -> String {
+    "usage: campaignctl --root DIR [--max-queue-depth N] [--disk-budget-bytes B] \
+     submit SPEC.toml | status | cancel ID"
+        .into()
+}
+
+enum Action {
+    Submit(PathBuf),
+    Status,
+    Cancel(String),
+}
+
+fn parse_args() -> Result<(ServiceConfig, Action), String> {
+    let mut root = None;
+    let mut action = None;
+    let mut cfg = ServiceConfig::new(PathBuf::new(), PathBuf::from("qmad"));
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--root" => root = argv.next().map(PathBuf::from),
+            "--max-queue-depth" => {
+                cfg.max_queue_depth = argv
+                    .next()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .filter(|&n| n >= 1)
+                    .ok_or("--max-queue-depth needs a positive count")?;
+            }
+            "--disk-budget-bytes" => {
+                cfg.disk_budget_bytes = Some(
+                    argv.next()
+                        .and_then(|v| v.parse::<u64>().ok())
+                        .ok_or("--disk-budget-bytes needs a byte count")?,
+                );
+            }
+            "submit" => {
+                let spec = argv.next().ok_or("submit needs a SPEC.toml path")?;
+                action = Some(Action::Submit(PathBuf::from(spec)));
+            }
+            "status" => action = Some(Action::Status),
+            "cancel" => {
+                let id = argv.next().ok_or("cancel needs a campaign id")?;
+                action = Some(Action::Cancel(id));
+            }
+            "--help" | "-h" => return Err(usage()),
+            other => return Err(format!("unknown argument {other} ({})", usage())),
+        }
+    }
+    cfg.root = root.ok_or_else(usage)?;
+    let action = action.ok_or_else(usage)?;
+    Ok((cfg, action))
+}
+
+fn run(cfg: &ServiceConfig, paths: &ServicePaths, action: Action) -> Result<i32, String> {
+    match action {
+        Action::Submit(spec) => {
+            paths.create()?;
+            // Prefer the daemon's own last verdict when one is
+            // available — it reflects thresholds this client may not
+            // have been told about.
+            if let Ok(text) = std::fs::read_to_string(&paths.status) {
+                if let Some(snap) = StatusSnapshot::parse(&text) {
+                    if !snap.accepting {
+                        let code = snap.reason_code.unwrap_or_else(|| "draining".into());
+                        println!("{{ \"accepted\": false, \"reason_code\": \"{code}\" }}");
+                        return Ok(1);
+                    }
+                }
+            }
+            match submit(cfg, paths, &spec)? {
+                Submission::Queued(id) => {
+                    println!("{{ \"accepted\": true, \"id\": \"{id}\", \"queued\": true }}");
+                    Ok(0)
+                }
+                Submission::Duplicate(id) => {
+                    println!("{{ \"accepted\": true, \"id\": \"{id}\", \"duplicate\": true }}");
+                    Ok(0)
+                }
+                Submission::Rejected(id, reason) => {
+                    println!(
+                        "{{ \"accepted\": false, \"id\": \"{id}\", \"reason_code\": \"{}\", \
+                         \"detail\": \"{}\" }}",
+                        reason.code(),
+                        reason.detail().replace('"', "'"),
+                    );
+                    Ok(1)
+                }
+            }
+        }
+        Action::Status => {
+            match std::fs::read_to_string(&paths.status) {
+                Ok(text) => print!("{text}"),
+                Err(_) => println!("{{ \"daemon_pid\": 0, \"accepting\": false, \"reason_code\": \
+                     \"no_status\", \"detail\": \"no status.json at this root (daemon never ran?)\" }}"),
+            }
+            Ok(0)
+        }
+        Action::Cancel(id) => {
+            let known = paths.queued_spec(&id).exists()
+                || paths.active_spec(&id).exists()
+                || paths.journal_file(&id).exists();
+            if !known {
+                eprintln!("unknown campaign id {id}");
+                return Ok(1);
+            }
+            std::fs::create_dir_all(&paths.cancel)
+                .map_err(|e| format!("create {}: {e}", paths.cancel.display()))?;
+            std::fs::write(paths.cancel_marker(&id), "cancel\n")
+                .map_err(|e| format!("write cancel marker: {e}"))?;
+            println!("{{ \"cancelled\": \"{id}\" }}");
+            Ok(0)
+        }
+    }
+}
+
+fn main() {
+    let (cfg, action) = match parse_args() {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let paths = cfg.paths();
+    match run(&cfg, &paths, action) {
+        Ok(code) => std::process::exit(code),
+        Err(e) => {
+            eprintln!("campaignctl: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -44,8 +44,10 @@ use std::time::Duration;
 
 use qma_scenarios::ScenarioParams;
 
+use super::agg::ConfigAggregate;
 use super::artifact::{self, json_str, ArtifactRow, CampaignMeta};
-use super::grid::ConfigPoint;
+use super::durable::{fsync_dir, rename_durable};
+use super::grid::{fnv1a64, ConfigPoint};
 use super::spec::CampaignSpec;
 use super::{json_field, run_config, write_atomic, CampaignOptions, FailedRep};
 use crate::runner::Parallelism;
@@ -78,6 +80,13 @@ pub struct FabricConfig {
     pub rep_timeout: Option<Duration>,
     /// Replication execution mode within one config.
     pub mode: Parallelism,
+    /// Lame-duck flag: when this file exists, the worker acquires no
+    /// new leases — it finishes the config it holds (if any), flushes
+    /// its shard, and returns with [`FabricOutcome::drained`] set
+    /// instead of spinning until the grid resolves. The service
+    /// daemon's SIGTERM path creates the file; `None` (the default)
+    /// disables the check entirely.
+    pub drain_flag: Option<PathBuf>,
 }
 
 impl Default for FabricConfig {
@@ -91,7 +100,16 @@ impl Default for FabricConfig {
             backoff_cap: Duration::from_secs(2),
             rep_timeout: None,
             mode: Parallelism::Serial,
+            drain_flag: None,
         }
+    }
+}
+
+impl FabricConfig {
+    /// `true` once the worker's drain flag exists — the signal to
+    /// stop acquiring leases and return.
+    fn drain_requested(&self) -> bool {
+        self.drain_flag.as_deref().is_some_and(Path::exists)
     }
 }
 
@@ -163,6 +181,12 @@ pub struct FabricOutcome {
     pub resumed: usize,
     /// Stale leases this worker reclaimed from dead peers.
     pub reclaimed: usize,
+    /// `true` when the worker stopped early because its drain flag
+    /// appeared while configs were still unresolved: no merge ran,
+    /// [`FabricOutcome::rows`] is empty and the artifact paths may
+    /// not exist yet. A later (or resumed) worker completes the
+    /// campaign.
+    pub drained: bool,
     /// Quarantined configs, in grid order — the permanent failures
     /// (the only condition a fabric run exits non-zero for).
     pub quarantined: Vec<QuarantineRecord>,
@@ -184,6 +208,35 @@ pub struct FabricOutcome {
 pub fn backoff_delay(cfg: &FabricConfig, round: u32) -> Duration {
     let factor = 1u32 << round.min(16);
     cfg.backoff_cap.min(cfg.backoff_base.saturating_mul(factor))
+}
+
+/// The worker's deterministic de-synchronisation factor in `[0, 1)`:
+/// FNV-1a over the worker id. A pure function of the id — the same
+/// worker always jitters identically (reproducible schedules), while
+/// distinct workers spread out instead of acting in lockstep.
+fn worker_jitter01(worker_id: &str) -> f64 {
+    (fnv1a64(worker_id.as_bytes()) % 1024) as f64 / 1024.0
+}
+
+/// The worker's heartbeat renewal cadence: the configured cadence
+/// scaled into `[0.75, 1.0)` by the id-derived jitter. Renewing
+/// *early* is always safe (a lease can only look fresher), so the
+/// staleness threshold's `≥ 2× heartbeat` contract is unaffected —
+/// while a fleet of workers started in the same instant stops
+/// hammering the shared directory on one synchronized beat.
+pub fn heartbeat_cadence(cfg: &FabricConfig) -> Duration {
+    cfg.heartbeat
+        .mul_f64(0.75 + 0.25 * worker_jitter01(&cfg.worker_id))
+}
+
+/// [`backoff_delay`] stretched into `[1.0, 1.5)` by the id-derived
+/// jitter — the delay before a worker re-scans for stale leases when
+/// everything is leased by peers. Without it, N workers that joined
+/// together wake on the same round schedule and stampede the reclaim
+/// scan (and the `remove_file` race) in lockstep; with it, their
+/// scans interleave deterministically.
+pub fn reclaim_scan_delay(cfg: &FabricConfig, round: u32) -> Duration {
+    backoff_delay(cfg, round).mul_f64(1.0 + 0.5 * worker_jitter01(&cfg.worker_id))
 }
 
 /// The fabric coordination directory of one campaign.
@@ -263,6 +316,11 @@ impl Lease {
             .and_then(|()| file.sync_all())
             .map_err(|e| format!("write lease {}: {e}", path.display()))?;
         drop(file);
+        // The claim must be durable before the config runs: a lease
+        // whose directory entry evaporates in a power loss would let
+        // two recovered workers run the same config concurrently
+        // with neither able to see the other.
+        fsync_dir(&dirs.leases)?;
 
         // The heartbeat thread renews the lease (refreshing its mtime
         // via tmp + rename) while the config runs; it dies with the
@@ -275,7 +333,10 @@ impl Lease {
         let (stop, stopped) = std::sync::mpsc::channel::<()>();
         let hb_path = path.clone();
         let hb_id = cfg.worker_id.clone();
-        let cadence = cfg.heartbeat;
+        // Id-jittered cadence (always ≤ the configured heartbeat):
+        // a fleet of workers spawned together renews out of phase
+        // instead of stampeding the directory in lockstep.
+        let cadence = heartbeat_cadence(cfg);
         let heartbeat = std::thread::Builder::new()
             .name("qma-lease-heartbeat".into())
             .spawn(move || loop {
@@ -286,7 +347,8 @@ impl Lease {
                             Ok(cur) if lease_owner(&cur) == Some(hb_id.as_str()) => {
                                 let tmp = hb_path.with_extension(format!("renew-{hb_id}"));
                                 let renewed = std::fs::write(&tmp, &cur)
-                                    .and_then(|()| std::fs::rename(&tmp, &hb_path));
+                                    .map_err(|e| e.to_string())
+                                    .and_then(|()| rename_durable(&tmp, &hb_path));
                                 if renewed.is_err() {
                                     return;
                                 }
@@ -399,9 +461,14 @@ fn read_note(path: &Path, key: &str, master_seed: u64) -> Option<QuarantineRecor
     Some(note)
 }
 
-/// Removes the config's lease if its heartbeat is stale, returning
-/// the dead worker's lease body (for attempt accounting).
-fn reclaim_stale(dirs: &FabricDirs, stem: &str, stale: Duration) -> Option<String> {
+/// Returns the config's lease body if its heartbeat is stale —
+/// without removing the lease. Reclaim is a two-step sequence (read
+/// body, record the dead attempt, *then* [`remove_stale_lease`]) so
+/// the dead worker's consumed attempt is durably on disk while the
+/// stale lease file still blocks acquisition; removing first would
+/// open a window where a racing acquirer reads the attempt count
+/// without the death in it.
+fn stale_lease_body(dirs: &FabricDirs, stem: &str, stale: Duration) -> Option<String> {
     let path = dirs.lease(stem);
     let meta = std::fs::metadata(&path).ok()?;
     let modified = meta.modified().ok()?;
@@ -409,14 +476,40 @@ fn reclaim_stale(dirs: &FabricDirs, stem: &str, stale: Duration) -> Option<Strin
     if age <= stale {
         return None;
     }
-    let body = std::fs::read_to_string(&path).unwrap_or_default();
-    // The remove can race a peer's reclaim of the same lease; both
-    // observing success only double-counts the dead attempt, which is
-    // harmless (a genuinely poisoned config fails either way, a
-    // healthy one succeeds on its next run and the count is ignored).
-    std::fs::remove_file(&path).ok()?;
-    Some(body)
+    std::fs::read_to_string(&path).ok()
 }
+
+/// Removes a stale lease once its dead attempt is recorded,
+/// re-checking staleness at the last instant. The remove can race a
+/// peer's reclaim or a late heartbeat renewal; a double-recorded dead
+/// attempt is harmless (attempt accounting is monotonic — see
+/// [`record_attempt`] — and a config that succeeds anyway has its
+/// count ignored at merge).
+fn remove_stale_lease(dirs: &FabricDirs, stem: &str, stale: Duration) -> bool {
+    let path = dirs.lease(stem);
+    let Ok(meta) = std::fs::metadata(&path) else {
+        return false;
+    };
+    let stale_now = meta
+        .modified()
+        .ok()
+        .and_then(|m| std::time::SystemTime::now().duration_since(m).ok())
+        .is_some_and(|age| age > stale);
+    stale_now && std::fs::remove_file(&path).is_ok()
+}
+
+/// How one config executes inside a fabric worker. Production is
+/// [`run_config`] (real simulations); the state-machine property
+/// tests inject scripted executors to drive hundreds of
+/// claim/crash/reclaim/retry interleavings without simulating.
+pub(crate) type ConfigRunner<'a> = dyn Fn(
+        &CampaignSpec,
+        &ConfigPoint,
+        &ScenarioParams,
+        &CampaignOptions,
+    ) -> Result<ConfigAggregate, FailedRep>
+    + Sync
+    + 'a;
 
 /// Runs one fabric worker over the spec until every config is
 /// resolved, then merges. See the module docs for the protocol.
@@ -425,6 +518,17 @@ pub fn run_fabric(
     out_dir: &Path,
     cfg: &FabricConfig,
     progress: &(dyn Fn(&str) + Sync),
+) -> Result<FabricOutcome, String> {
+    run_fabric_with(spec, out_dir, cfg, progress, &run_config)
+}
+
+/// [`run_fabric`] with an injected per-config executor.
+pub(crate) fn run_fabric_with(
+    spec: &CampaignSpec,
+    out_dir: &Path,
+    cfg: &FabricConfig,
+    progress: &(dyn Fn(&str) + Sync),
+    exec: &ConfigRunner,
 ) -> Result<FabricOutcome, String> {
     if cfg.lease_stale < cfg.heartbeat * 2 {
         return Err(format!(
@@ -476,6 +580,11 @@ pub fn run_fabric(
                 continue;
             }
             unresolved += 1;
+            if cfg.drain_requested() {
+                // Lame duck: finish nothing new. The config stays
+                // unresolved for a peer or a restart to pick up.
+                continue;
+            }
             let attempts = read_note(&dirs.attempt(&stem), &key, spec.master_seed)
                 .map(|n| n.attempts)
                 .unwrap_or(0);
@@ -492,6 +601,19 @@ pub fn run_fabric(
                 leased_by_peers.push(i);
                 continue;
             };
+            // The attempt count was read before the acquire; only the
+            // lease serializes attempt accounting. If a peer's reclaim
+            // recorded a dead attempt in between, the lease body (and
+            // the attempt number any failure below would record) is
+            // stale — release and re-read on the next pass.
+            let under_lease = read_note(&dirs.attempt(&stem), &key, spec.master_seed)
+                .map(|n| n.attempts)
+                .unwrap_or(0);
+            if under_lease != attempts {
+                drop(lease);
+                progressed = true;
+                continue;
+            }
             progressed = true;
             progress(&format!(
                 "[{}/{}] {key} — attempt {}/{} (worker {})",
@@ -501,7 +623,7 @@ pub fn run_fabric(
                 cfg.max_attempts,
                 cfg.worker_id
             ));
-            match run_config(spec, point, p, &opts) {
+            match exec(spec, point, p, &opts) {
                 Ok(agg) => {
                     let row =
                         ArtifactRow::from_aggregate(&key, spec.scenario, spec.master_seed, &agg);
@@ -539,6 +661,27 @@ pub fn run_fabric(
         if unresolved == 0 {
             break;
         }
+        if cfg.drain_requested() {
+            // Configs remain but the worker must not take them:
+            // report a clean partial stop, no merge. Everything
+            // already shard-written stays durable for whoever
+            // finishes the campaign.
+            progress(&format!(
+                "worker {} draining: {unresolved} config(s) left unresolved",
+                cfg.worker_id
+            ));
+            return Ok(FabricOutcome {
+                executed,
+                resumed: points.len() - unresolved - executed,
+                reclaimed,
+                drained: true,
+                quarantined: Vec::new(),
+                failures: Vec::new(),
+                csv_path: out_dir.join(format!("{}.csv", spec.name)),
+                json_path: out_dir.join(format!("{}.json", spec.name)),
+                rows: Vec::new(),
+            });
+        }
         if progressed {
             round = 0;
             continue;
@@ -549,24 +692,28 @@ pub fn run_fabric(
         for &i in &leased_by_peers {
             let point = &points[i];
             let stem = point.stem();
-            if let Some(body) = reclaim_stale(&dirs, &stem, cfg.lease_stale) {
-                // The dead worker's in-flight attempt counts: a
-                // config that reliably kills its worker must converge
-                // on quarantine instead of killing every worker that
-                // ever joins the fabric.
-                let dead_attempt = lease_attempt(&body).unwrap_or(1);
-                let owner = lease_owner(&body).unwrap_or("?").to_string();
-                let key = point.key();
-                let fail = FailedRep {
-                    config_key: key.clone(),
-                    rep: 0,
-                    seed: point.seed_stream(spec.master_seed).derive(0).seed(),
-                    message: format!(
-                        "worker '{owner}' died or hung mid-config (lease went stale \
-                         at attempt {dead_attempt}; reclaimed)"
-                    ),
-                };
-                record_attempt(&dirs, &stem, spec, cfg, dead_attempt, &fail)?;
+            let Some(body) = stale_lease_body(&dirs, &stem, cfg.lease_stale) else {
+                continue;
+            };
+            // The dead worker's in-flight attempt counts: a config
+            // that reliably kills its worker must converge on
+            // quarantine instead of killing every worker that ever
+            // joins the fabric. Record it while the stale lease still
+            // blocks acquisition, then remove the lease.
+            let dead_attempt = lease_attempt(&body).unwrap_or(1);
+            let owner = lease_owner(&body).unwrap_or("?").to_string();
+            let key = point.key();
+            let fail = FailedRep {
+                config_key: key.clone(),
+                rep: 0,
+                seed: point.seed_stream(spec.master_seed).derive(0).seed(),
+                message: format!(
+                    "worker '{owner}' died or hung mid-config (lease went stale \
+                     at attempt {dead_attempt}; reclaimed)"
+                ),
+            };
+            record_attempt(&dirs, &stem, spec, cfg, dead_attempt, &fail)?;
+            if remove_stale_lease(&dirs, &stem, cfg.lease_stale) {
                 progress(&format!(
                     "reclaimed stale lease of worker '{owner}' on {key} (attempt {dead_attempt})"
                 ));
@@ -578,7 +725,7 @@ pub fn run_fabric(
             round = 0;
             continue;
         }
-        std::thread::sleep(backoff_delay(cfg, round));
+        std::thread::sleep(reclaim_scan_delay(cfg, round));
         round = round.saturating_add(1);
     }
 
@@ -605,6 +752,7 @@ pub fn run_fabric(
         executed,
         resumed: points.len() - executed - quarantined.len(),
         reclaimed,
+        drained: false,
         quarantined,
         failures,
         csv_path,
@@ -613,8 +761,11 @@ pub fn run_fabric(
     })
 }
 
-/// Records a failed attempt (under the config's lease, so attempt
-/// accounting is serialized between live workers).
+/// Records a failed attempt. Monotonic: live workers record under
+/// the config's lease, but a reclaimer records a dead worker's
+/// attempt without one, so concurrent recorders are possible — the
+/// consumed-attempt count must never roll backwards or the budget a
+/// poisoned config burns before quarantine becomes unbounded.
 fn record_attempt(
     dirs: &FabricDirs,
     stem: &str,
@@ -623,6 +774,11 @@ fn record_attempt(
     attempts: u32,
     fail: &FailedRep,
 ) -> Result<(), String> {
+    if read_note(&dirs.attempt(stem), &fail.config_key, spec.master_seed)
+        .is_some_and(|existing| existing.attempts >= attempts)
+    {
+        return Ok(());
+    }
     let note = QuarantineRecord {
         config_key: fail.config_key.clone(),
         attempts,
@@ -998,6 +1154,68 @@ skew_us = [0, -100000]
     }
 
     #[test]
+    fn worker_jitter_is_deterministic_and_bounded() {
+        let mk = |id: &str| FabricConfig {
+            worker_id: id.into(),
+            heartbeat: Duration::from_millis(400),
+            backoff_base: Duration::from_millis(25),
+            backoff_cap: Duration::from_millis(400),
+            ..FabricConfig::default()
+        };
+        for id in ["w0", "w1", "host-a-t7", "w0g3"] {
+            let cfg = mk(id);
+            // Pure function of the id: identical across calls.
+            assert_eq!(heartbeat_cadence(&cfg), heartbeat_cadence(&cfg));
+            assert_eq!(reclaim_scan_delay(&cfg, 2), reclaim_scan_delay(&cfg, 2));
+            // Heartbeat only ever shrinks (renewing early is safe), so
+            // the `lease_stale ≥ 2× heartbeat` contract stays intact.
+            let hb = heartbeat_cadence(&cfg);
+            assert!(hb <= cfg.heartbeat, "{id}: {hb:?}");
+            assert!(hb >= cfg.heartbeat.mul_f64(0.75), "{id}: {hb:?}");
+            // Reclaim scan only ever stretches.
+            let scan = reclaim_scan_delay(&cfg, 2);
+            assert!(scan >= backoff_delay(&cfg, 2), "{id}: {scan:?}");
+            assert!(
+                scan <= backoff_delay(&cfg, 2).mul_f64(1.5),
+                "{id}: {scan:?}"
+            );
+        }
+        // Distinct ids de-synchronize (the point of the jitter).
+        assert_ne!(heartbeat_cadence(&mk("w0")), heartbeat_cadence(&mk("w1")));
+    }
+
+    #[test]
+    fn drain_flag_stops_lease_acquisition_and_resumes_cleanly() {
+        let fabric_dir = tmp_dir("drain");
+        let plain_dir = tmp_dir("drain-plain");
+        let spec = tiny_spec("t");
+        let flag = fabric_dir.join("drain.flag");
+        std::fs::create_dir_all(&fabric_dir).unwrap();
+        std::fs::write(&flag, "drain\n").unwrap();
+        let mut cfg = fast_cfg("w0");
+        cfg.drain_flag = Some(flag.clone());
+
+        // A pre-drained worker takes nothing and merges nothing.
+        let out = run_fabric(&spec, &fabric_dir, &cfg, &|_| {}).unwrap();
+        assert!(out.drained);
+        assert_eq!(out.executed, 0);
+        assert!(!out.csv_path.exists(), "a drained worker must not merge");
+
+        // Clearing the flag resumes to byte-identical artifacts.
+        std::fs::remove_file(&flag).unwrap();
+        let out = run_fabric(&spec, &fabric_dir, &cfg, &|_| {}).unwrap();
+        assert!(!out.drained);
+        assert_eq!(out.executed, 2);
+        let plain = run_campaign(&spec, &plain_dir, Parallelism::Serial, |_| {}).unwrap();
+        assert_eq!(
+            std::fs::read(&out.csv_path).unwrap(),
+            std::fs::read(&plain.csv_path).unwrap()
+        );
+        let _ = std::fs::remove_dir_all(&fabric_dir);
+        let _ = std::fs::remove_dir_all(&plain_dir);
+    }
+
+    #[test]
     fn misconfigured_heartbeat_is_rejected() {
         let spec = tiny_spec("t");
         let cfg = FabricConfig {
@@ -1007,5 +1225,224 @@ skew_us = [0, -100000]
         };
         let err = run_fabric(&spec, &tmp_dir("misconf"), &cfg, &|_| {}).unwrap_err();
         assert!(err.contains("lease_stale"), "unhelpful error: {err}");
+    }
+
+    mod interleavings {
+        //! The lease/quarantine state-machine property test: across
+        //! arbitrary interleavings of claim, scripted failure (crash),
+        //! planted dead-worker reclaim and retry — under 1–3
+        //! concurrent workers — every grid config must land in
+        //! exactly one terminal set (merged XOR quarantined), nothing
+        //! lost, nothing duplicated, and the merged bytes must be a
+        //! pure function of the failure script.
+
+        use super::*;
+        use proptest::prelude::*;
+        use std::collections::HashMap;
+        use std::sync::Mutex;
+
+        /// A four-config grid; simulation is replaced by a scripted
+        /// executor, so the spec only has to expand and validate.
+        fn grid_spec() -> CampaignSpec {
+            CampaignSpec::parse(
+                r#"
+[campaign]
+name = "t"
+scenario = "hidden_node"
+seed = 11
+replications = 2
+
+[fixed]
+packets = 20
+
+[grid]
+mac = ["qma", "unslotted_csma"]
+delta = [30.0, 50.0]
+"#,
+            )
+            .unwrap()
+        }
+
+        /// Deterministic synthetic metrics: a pure function of the
+        /// config key and replication index, so merged artifacts are
+        /// comparable across runs without simulating.
+        fn synthetic_agg(spec: &CampaignSpec, point: &ConfigPoint) -> ConfigAggregate {
+            let mut agg = ConfigAggregate::new();
+            for rep in 0..spec.replications {
+                let h = fnv1a64(format!("{}#{rep}", point.key()).as_bytes());
+                agg.push(&qma_scenarios::RunMetrics {
+                    pdr: (h % 1000) as f64 / 1000.0,
+                    delay_s: (h % 97) as f64 / 1000.0,
+                    retry_drops: h % 5,
+                    queue_drops: h % 3,
+                    events: 1000 + h % 100,
+                    sim_seconds: 100.0,
+                    aux: (h % 77) as f64,
+                    resilience: qma_scenarios::Resilience::default(),
+                });
+            }
+            agg
+        }
+
+        /// Runs `workers` concurrent fabric workers whose executor
+        /// fails each config's first `fails[key]` invocations, over a
+        /// directory optionally pre-planted with dead-worker leases.
+        /// Returns the surviving outcome (any worker's — merged state
+        /// is shared).
+        fn run_scripted(
+            dir: &Path,
+            spec: &CampaignSpec,
+            fails: &HashMap<String, u32>,
+            planted: &[usize],
+            workers: usize,
+        ) -> FabricOutcome {
+            let points = spec.expand().unwrap();
+            let dirs = FabricDirs::new(dir, &spec.name);
+            dirs.create().unwrap();
+            for &i in planted {
+                // A dead peer: lease file, no heartbeat behind it.
+                // Backdated so it is stale immediately, letting the
+                // live-lease staleness threshold stay generous enough
+                // that a loaded CI box never misreclaims a live one.
+                let lease = dirs.lease(&points[i].stem());
+                std::fs::write(&lease, lease_body("victim", 1, &points[i].key())).unwrap();
+                let long_dead = std::time::SystemTime::now() - Duration::from_secs(3600);
+                std::fs::File::options()
+                    .write(true)
+                    .open(&lease)
+                    .unwrap()
+                    .set_times(std::fs::FileTimes::new().set_modified(long_dead))
+                    .unwrap();
+            }
+            let invocations: Mutex<HashMap<String, u32>> = Mutex::new(HashMap::new());
+            let exec = move |spec: &CampaignSpec,
+                             point: &ConfigPoint,
+                             _params: &ScenarioParams,
+                             _opts: &CampaignOptions|
+                  -> Result<ConfigAggregate, FailedRep> {
+                let key = point.key();
+                let so_far = {
+                    let mut counts = invocations.lock().unwrap();
+                    let c = counts.entry(key.clone()).or_insert(0);
+                    *c += 1;
+                    *c
+                };
+                if so_far <= fails.get(&key).copied().unwrap_or(0) {
+                    Err(FailedRep {
+                        config_key: key,
+                        rep: 0,
+                        seed: point.seed_stream(spec.master_seed).derive(0).seed(),
+                        message: "scripted crash".into(),
+                    })
+                } else {
+                    Ok(synthetic_agg(spec, point))
+                }
+            };
+            let cfg = |id: String| FabricConfig {
+                worker_id: id,
+                max_attempts: 2,
+                heartbeat: Duration::from_millis(20),
+                lease_stale: Duration::from_secs(2),
+                backoff_base: Duration::from_millis(1),
+                backoff_cap: Duration::from_millis(10),
+                ..FabricConfig::default()
+            };
+            let outcomes: Vec<FabricOutcome> = std::thread::scope(|scope| {
+                (0..workers)
+                    .map(|t| {
+                        let exec = &exec;
+                        scope.spawn(move || {
+                            run_fabric_with(spec, dir, &cfg(format!("p{t}")), &|_| {}, exec)
+                                .unwrap()
+                        })
+                    })
+                    .collect::<Vec<_>>()
+                    .into_iter()
+                    .map(|h| h.join().unwrap())
+                    .collect()
+            });
+            outcomes.into_iter().next_back().unwrap()
+        }
+
+        proptest! {
+            #[test]
+            fn every_config_lands_in_exactly_one_terminal_set(
+                fail_counts in prop::collection::vec(0u32..4, 4),
+                plant_mask in 0usize..16,
+                workers in 1usize..4,
+            ) {
+                let spec = grid_spec();
+                let points = spec.expand().unwrap();
+                prop_assert_eq!(points.len(), 4);
+                let fails: HashMap<String, u32> = points
+                    .iter()
+                    .zip(&fail_counts)
+                    .map(|(p, &f)| (p.key(), f))
+                    .collect();
+                let planted: Vec<usize> =
+                    (0..4).filter(|i| plant_mask & (1 << i) != 0).collect();
+
+                let dir = tmp_dir(&format!(
+                    "prop-{}-{plant_mask}-{workers}",
+                    fail_counts.iter().map(u32::to_string).collect::<Vec<_>>().join("")
+                ));
+                let out = run_scripted(&dir, &spec, &fails, &planted, workers);
+
+                // Partition: merged ∪ quarantined == grid, disjoint,
+                // no duplicates, nothing lost.
+                let merged: Vec<String> =
+                    out.rows.iter().map(|r| r.config_key().to_string()).collect();
+                let quarantined: Vec<String> =
+                    out.quarantined.iter().map(|q| q.config_key.clone()).collect();
+                let mut all: Vec<String> =
+                    merged.iter().chain(quarantined.iter()).cloned().collect();
+                all.sort();
+                let mut expected: Vec<String> = points.iter().map(|p| p.key()).collect();
+                expected.sort();
+                prop_assert_eq!(&all, &expected, "lost or duplicated config");
+                for key in &merged {
+                    prop_assert!(!quarantined.contains(key), "{} in both terminal sets", key);
+                }
+
+                // The terminal set is the predicted pure function of
+                // the script: one planted dead attempt plus scripted
+                // failures reach the 2-attempt limit or they don't.
+                for (i, point) in points.iter().enumerate() {
+                    let effective =
+                        fail_counts[i] + u32::from(planted.contains(&i));
+                    let key = point.key();
+                    if effective >= 2 {
+                        prop_assert!(
+                            quarantined.contains(&key),
+                            "{} should be quarantined ({} effective failures)",
+                            key,
+                            effective
+                        );
+                    } else {
+                        prop_assert!(
+                            merged.contains(&key),
+                            "{} should be merged ({} effective failures)",
+                            key,
+                            effective
+                        );
+                    }
+                }
+
+                // Byte-determinism: an uncontended fresh run under the
+                // same script merges identical artifacts.
+                let ref_dir = tmp_dir(&format!(
+                    "propref-{}-{plant_mask}-{workers}",
+                    fail_counts.iter().map(u32::to_string).collect::<Vec<_>>().join("")
+                ));
+                let reference = run_scripted(&ref_dir, &spec, &fails, &planted, 1);
+                prop_assert_eq!(
+                    std::fs::read(&out.csv_path).unwrap(),
+                    std::fs::read(&reference.csv_path).unwrap(),
+                    "interleaving leaked into artifact bytes"
+                );
+                let _ = std::fs::remove_dir_all(&dir);
+                let _ = std::fs::remove_dir_all(&ref_dir);
+            }
+        }
     }
 }

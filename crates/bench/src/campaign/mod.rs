@@ -21,6 +21,7 @@
 
 pub mod agg;
 pub mod artifact;
+pub mod durable;
 pub mod fabric;
 pub mod grid;
 pub mod spec;
@@ -368,13 +369,7 @@ pub(crate) fn json_field(text: &str, key: &str) -> Option<String> {
     Some(rest[..end].trim_end().to_string())
 }
 
-/// Writes via a temp file + rename so an interrupt never leaves a
-/// half-written artifact for resume to trip over.
-pub(crate) fn write_atomic(path: &Path, contents: &str) -> Result<(), String> {
-    let tmp = path.with_extension("tmp");
-    std::fs::write(&tmp, contents).map_err(|e| format!("write {}: {e}", tmp.display()))?;
-    std::fs::rename(&tmp, path).map_err(|e| format!("rename {}: {e}", path.display()))
-}
+pub(crate) use durable::write_atomic;
 
 /// Renders the deterministic failure report shared by the
 /// single-process runner and the fabric merge: one `# FAILED` line

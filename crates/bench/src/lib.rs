@@ -26,6 +26,13 @@
 //! resumable CSV/JSON artifacts. [`env`] holds the typed
 //! `QMA_BENCH_*` configuration shared by the `bench` and `campaign`
 //! binaries.
+//!
+//! The [`service`] module is the standing layer above both: the
+//! `qmad` daemon supervises a crash-safe spec intake queue and a
+//! fleet of fabric worker processes (journalled lifecycle, heartbeat
+//! supervision, circuit breaker, lame-duck drain), and `campaignctl`
+//! submits/inspects/cancels campaigns through the same directory
+//! protocol.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,6 +40,7 @@
 pub mod campaign;
 pub mod env;
 pub mod runner;
+pub mod service;
 pub mod timing;
 
 pub use env::BenchEnv;

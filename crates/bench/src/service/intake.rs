@@ -1,0 +1,310 @@
+//! Crash-safe spec intake: submission, admission control, and the
+//! daemon-side claim.
+//!
+//! Submission publishes the spec under `queue/<id>.toml` with the
+//! shared durable write discipline; the daemon claims it by *atomic
+//! rename* into `active/` — the same single-winner primitive the
+//! fabric uses for leases, so a daemon killed mid-claim leaves the
+//! spec in exactly one of the two directories, never both, never
+//! neither.
+//!
+//! Admission is checked at both ends: `campaignctl submit` reads the
+//! daemon's last `status.json` verdict (fast refusal with the
+//! daemon's own reason), and the submission path re-checks locally —
+//! so a stampede of clients racing one status snapshot still cannot
+//! overfill the queue or blow the disk budget.
+
+use std::path::Path;
+
+use super::{campaign_id, ServiceConfig, ServicePaths};
+use crate::campaign::durable::{rename_durable, write_atomic};
+
+/// Why the service refuses a submission. Rendered machine-readable:
+/// stable `reason_code` strings, human detail separate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdmissionReason {
+    /// `queue/` already holds the configured maximum.
+    QueueDepth {
+        /// Specs currently queued.
+        depth: usize,
+        /// The configured maximum.
+        max: usize,
+    },
+    /// The service root exceeds its byte budget.
+    DiskPressure {
+        /// Bytes currently used under the root.
+        used: u64,
+        /// The configured budget.
+        budget: u64,
+    },
+    /// The daemon is draining (SIGTERM received) and accepts nothing.
+    Draining,
+}
+
+impl AdmissionReason {
+    /// The stable machine-readable code.
+    pub fn code(&self) -> &'static str {
+        match self {
+            AdmissionReason::QueueDepth { .. } => "queue_depth",
+            AdmissionReason::DiskPressure { .. } => "disk_pressure",
+            AdmissionReason::Draining => "draining",
+        }
+    }
+
+    /// The human-readable detail line.
+    pub fn detail(&self) -> String {
+        match self {
+            AdmissionReason::QueueDepth { depth, max } => {
+                format!("queue holds {depth} spec(s), maximum is {max}")
+            }
+            AdmissionReason::DiskPressure { used, budget } => {
+                format!("service root uses {used} bytes, budget is {budget}")
+            }
+            AdmissionReason::Draining => "daemon is draining and accepts no new specs".into(),
+        }
+    }
+
+    /// The refusal as a machine-readable JSON object.
+    pub fn render(&self) -> String {
+        format!(
+            "{{\n  \"accepted\": false,\n  \"reason_code\": \"{}\",\n  \"detail\": \"{}\"\n}}\n",
+            self.code(),
+            self.detail().replace('"', "'"),
+        )
+    }
+}
+
+/// Counts specs waiting in `queue/`.
+pub fn queue_depth(paths: &ServicePaths) -> usize {
+    std::fs::read_dir(&paths.queue)
+        .map(|entries| {
+            entries
+                .flatten()
+                .filter(|e| e.path().extension().is_some_and(|x| x == "toml"))
+                .count()
+        })
+        .unwrap_or(0)
+}
+
+/// The admission verdict for one prospective submission. `Ok(())`
+/// admits; `Err` carries the machine-readable refusal.
+pub fn admit(cfg: &ServiceConfig, paths: &ServicePaths) -> Result<(), AdmissionReason> {
+    if paths.drain_flag.exists() {
+        return Err(AdmissionReason::Draining);
+    }
+    let depth = queue_depth(paths);
+    if depth >= cfg.max_queue_depth {
+        return Err(AdmissionReason::QueueDepth {
+            depth,
+            max: cfg.max_queue_depth,
+        });
+    }
+    if let Some(budget) = cfg.disk_budget_bytes {
+        let used = paths.bytes_used();
+        if used > budget {
+            return Err(AdmissionReason::DiskPressure { used, budget });
+        }
+    }
+    Ok(())
+}
+
+/// What a [`submit`] call did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Submission {
+    /// Freshly queued under this campaign id.
+    Queued(String),
+    /// Identical bytes were already queued, active or archived —
+    /// submission is idempotent, the existing campaign stands.
+    Duplicate(String),
+    /// Refused by admission control (also recorded under
+    /// `rejected/<id>.json`).
+    Rejected(String, AdmissionReason),
+}
+
+impl Submission {
+    /// The campaign id the submission resolved to.
+    pub fn id(&self) -> &str {
+        match self {
+            Submission::Queued(id) | Submission::Duplicate(id) | Submission::Rejected(id, _) => id,
+        }
+    }
+}
+
+/// Submits a spec file to the service: derives the content-addressed
+/// campaign id, runs admission, and durably publishes the spec into
+/// `queue/`. Safe to call concurrently from many clients — the id is
+/// content-addressed, so racers submitting the same bytes converge on
+/// one campaign.
+pub fn submit(
+    cfg: &ServiceConfig,
+    paths: &ServicePaths,
+    spec_path: &Path,
+) -> Result<Submission, String> {
+    let text = std::fs::read_to_string(spec_path)
+        .map_err(|e| format!("read {}: {e}", spec_path.display()))?;
+    let id = campaign_id(spec_path, &text);
+    // Idempotence first: a resubmission of known bytes is a no-op
+    // regardless of admission state.
+    if paths.queued_spec(&id).exists()
+        || paths.active_spec(&id).exists()
+        || paths.archive.join(&id).exists()
+        || paths.quarantine.join(&id).exists()
+        || paths.journal_file(&id).exists()
+    {
+        return Ok(Submission::Duplicate(id));
+    }
+    if let Err(reason) = admit(cfg, paths) {
+        write_atomic(&paths.rejection(&id), &reason.render())?;
+        return Ok(Submission::Rejected(id, reason));
+    }
+    write_atomic(&paths.queued_spec(&id), &text)?;
+    Ok(Submission::Queued(id))
+}
+
+/// Claims the oldest queued spec by atomic rename into `active/`,
+/// returning its campaign id. Ties (equal mtimes) break on the id, so
+/// the claim order is deterministic. `Ok(None)` means the queue is
+/// empty.
+pub fn claim_next(paths: &ServicePaths) -> Result<Option<String>, String> {
+    let mut queued: Vec<(std::time::SystemTime, String)> = Vec::new();
+    let entries = match std::fs::read_dir(&paths.queue) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(format!("scan {}: {e}", paths.queue.display())),
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.extension().is_none_or(|x| x != "toml") {
+            continue;
+        }
+        let Some(id) = path.file_stem().map(|s| s.to_string_lossy().into_owned()) else {
+            continue;
+        };
+        let at = entry
+            .metadata()
+            .and_then(|m| m.modified())
+            .unwrap_or(std::time::SystemTime::UNIX_EPOCH);
+        queued.push((at, id));
+    }
+    queued.sort();
+    for (_, id) in queued {
+        match rename_durable(&paths.queued_spec(&id), &paths.active_spec(&id)) {
+            Ok(()) => return Ok(Some(id)),
+            // A racing claimant (or a crash replayed) took it: move on.
+            Err(_) if !paths.queued_spec(&id).exists() => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn service(tag: &str) -> (ServiceConfig, ServicePaths) {
+        let root =
+            std::env::temp_dir().join(format!("qma-intake-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let cfg = ServiceConfig::new(root, PathBuf::from("qmad"));
+        let paths = cfg.paths();
+        paths.create().unwrap();
+        (cfg, paths)
+    }
+
+    fn spec_file(paths: &ServicePaths, name: &str, body: &str) -> PathBuf {
+        let path = paths.root.join(name);
+        std::fs::write(&path, body).unwrap();
+        path
+    }
+
+    #[test]
+    fn submit_claim_roundtrip_is_single_winner() {
+        let (cfg, paths) = service("claim");
+        let spec = spec_file(&paths, "a.toml", "[campaign]\nname='a'\n");
+        let Submission::Queued(id) = submit(&cfg, &paths, &spec).unwrap() else {
+            panic!("fresh spec must queue");
+        };
+        assert!(paths.queued_spec(&id).exists());
+
+        // Resubmitting identical bytes is idempotent.
+        assert_eq!(
+            submit(&cfg, &paths, &spec).unwrap(),
+            Submission::Duplicate(id.clone())
+        );
+
+        let claimed = claim_next(&paths).unwrap().unwrap();
+        assert_eq!(claimed, id);
+        assert!(!paths.queued_spec(&id).exists(), "claim moves the spec");
+        assert!(paths.active_spec(&id).exists());
+        assert_eq!(claim_next(&paths).unwrap(), None, "queue now empty");
+
+        // Still a duplicate while active.
+        assert_eq!(
+            submit(&cfg, &paths, &spec).unwrap(),
+            Submission::Duplicate(id)
+        );
+        let _ = std::fs::remove_dir_all(&paths.root);
+    }
+
+    #[test]
+    fn claim_order_is_queue_arrival_order() {
+        let (cfg, paths) = service("order");
+        let first = spec_file(&paths, "first.toml", "a=1\n");
+        let second = spec_file(&paths, "second.toml", "b=2\n");
+        let Submission::Queued(id1) = submit(&cfg, &paths, &first).unwrap() else {
+            panic!()
+        };
+        let Submission::Queued(id2) = submit(&cfg, &paths, &second).unwrap() else {
+            panic!()
+        };
+        assert_eq!(claim_next(&paths).unwrap(), Some(id1));
+        assert_eq!(claim_next(&paths).unwrap(), Some(id2));
+        let _ = std::fs::remove_dir_all(&paths.root);
+    }
+
+    #[test]
+    fn queue_depth_refusal_is_machine_readable() {
+        let (mut cfg, paths) = service("depth");
+        cfg.max_queue_depth = 1;
+        let a = spec_file(&paths, "a.toml", "a=1\n");
+        let b = spec_file(&paths, "b.toml", "b=2\n");
+        assert!(matches!(
+            submit(&cfg, &paths, &a).unwrap(),
+            Submission::Queued(_)
+        ));
+        let Submission::Rejected(id, reason) = submit(&cfg, &paths, &b).unwrap() else {
+            panic!("over-depth submission must be refused");
+        };
+        assert_eq!(reason.code(), "queue_depth");
+        let record = std::fs::read_to_string(paths.rejection(&id)).unwrap();
+        assert!(record.contains("\"accepted\": false"), "{record}");
+        assert!(
+            record.contains("\"reason_code\": \"queue_depth\""),
+            "{record}"
+        );
+        let _ = std::fs::remove_dir_all(&paths.root);
+    }
+
+    #[test]
+    fn disk_pressure_and_drain_refuse() {
+        let (mut cfg, paths) = service("disk");
+        cfg.disk_budget_bytes = Some(4); // anything refuses
+        spec_file(&paths, "filler.bin", "well over four bytes");
+        let a = spec_file(&paths, "a.toml", "a=1\n");
+        let Submission::Rejected(_, reason) = submit(&cfg, &paths, &a).unwrap() else {
+            panic!("disk pressure must refuse");
+        };
+        assert_eq!(reason.code(), "disk_pressure");
+
+        cfg.disk_budget_bytes = None;
+        std::fs::write(&paths.drain_flag, "").unwrap();
+        let b = spec_file(&paths, "b.toml", "b=2\n");
+        let Submission::Rejected(_, reason) = submit(&cfg, &paths, &b).unwrap() else {
+            panic!("draining daemon must refuse");
+        };
+        assert_eq!(reason.code(), "draining");
+        let _ = std::fs::remove_dir_all(&paths.root);
+    }
+}

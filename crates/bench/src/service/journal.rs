@@ -1,0 +1,501 @@
+//! The per-campaign lifecycle journal.
+//!
+//! Every campaign the service accepts is driven through an explicit
+//! state machine:
+//!
+//! ```text
+//! queued → expanding → running ⇄ draining
+//!                         │         │
+//!                         ▼         ▼
+//!                       merging → archived
+//!   (any non-terminal state) ──→ failed
+//! ```
+//!
+//! The journal is the machine's durable spine: one append-only file
+//! per campaign, one `\n`-framed record per transition, each append
+//! fsynced ([`crate::campaign::durable::append_durable`]). `kill -9`
+//! of the daemon can therefore tear at most the final line — replay
+//! discards an unterminated tail and resumes from the last complete
+//! record, and because every state's action is idempotent (the
+//! fabric's determinism does the heavy lifting), re-entering the
+//! recorded state always converges on the same terminal artifacts.
+
+use std::path::{Path, PathBuf};
+
+use crate::campaign::durable::append_durable;
+
+/// The lifecycle states of a serviced campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CampaignState {
+    /// Spec claimed from the intake queue, nothing validated yet.
+    Queued,
+    /// Spec parse + grid expansion in progress.
+    Expanding,
+    /// Worker fleet executing the grid on the fabric.
+    Running,
+    /// Lame duck: workers finish held leases, acquire nothing new.
+    Draining,
+    /// Grid resolved; folding shards into the final artifacts and
+    /// moving them into the archive.
+    Merging,
+    /// Terminal: merged artifacts live under `archive/<id>/`.
+    Archived,
+    /// Terminal: the campaign cannot make progress (invalid spec,
+    /// circuit-broken fleet, cancellation).
+    Failed,
+}
+
+impl CampaignState {
+    /// Every state, in lifecycle order.
+    pub const ALL: [CampaignState; 7] = [
+        CampaignState::Queued,
+        CampaignState::Expanding,
+        CampaignState::Running,
+        CampaignState::Draining,
+        CampaignState::Merging,
+        CampaignState::Archived,
+        CampaignState::Failed,
+    ];
+
+    /// The state's journal/status key.
+    pub fn key(self) -> &'static str {
+        match self {
+            CampaignState::Queued => "queued",
+            CampaignState::Expanding => "expanding",
+            CampaignState::Running => "running",
+            CampaignState::Draining => "draining",
+            CampaignState::Merging => "merging",
+            CampaignState::Archived => "archived",
+            CampaignState::Failed => "failed",
+        }
+    }
+
+    /// Parses a journal/status key.
+    pub fn parse(key: &str) -> Option<CampaignState> {
+        CampaignState::ALL.into_iter().find(|s| s.key() == key)
+    }
+
+    /// `true` for states no transition leaves.
+    pub fn is_terminal(self) -> bool {
+        matches!(self, CampaignState::Archived | CampaignState::Failed)
+    }
+
+    /// The legal transition relation. `Draining → Running` is the
+    /// restart path: a daemon killed mid-drain resumes the fleet.
+    pub fn can_transition_to(self, next: CampaignState) -> bool {
+        use CampaignState::*;
+        match (self, next) {
+            (Queued, Expanding)
+            | (Expanding, Running)
+            | (Running, Draining)
+            | (Running, Merging)
+            | (Draining, Running)
+            | (Draining, Merging)
+            | (Merging, Archived) => true,
+            (from, Failed) => !from.is_terminal(),
+            _ => false,
+        }
+    }
+}
+
+impl std::fmt::Display for CampaignState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.key())
+    }
+}
+
+/// One journal record: a state plus an optional reason (failure
+/// cause, drain trigger…).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalEntry {
+    /// Monotonic record index, starting at 1.
+    pub seq: u64,
+    /// The state entered.
+    pub state: CampaignState,
+    /// Free-text context (newlines escaped in the file).
+    pub reason: Option<String>,
+}
+
+impl JournalEntry {
+    fn render(&self) -> String {
+        match &self.reason {
+            Some(reason) => format!(
+                "seq={} state={} reason={}\n",
+                self.seq,
+                self.state.key(),
+                escape(reason)
+            ),
+            None => format!("seq={} state={}\n", self.seq, self.state.key()),
+        }
+    }
+
+    fn parse(line: &str) -> Result<JournalEntry, String> {
+        let mut seq = None;
+        let mut state = None;
+        let mut reason = None;
+        for field in line.splitn(3, ' ') {
+            if let Some(v) = field.strip_prefix("seq=") {
+                seq = v.parse::<u64>().ok();
+            } else if let Some(v) = field.strip_prefix("state=") {
+                state = CampaignState::parse(v);
+            } else if let Some(v) = field.strip_prefix("reason=") {
+                reason = Some(unescape(v));
+            }
+        }
+        match (seq, state) {
+            (Some(seq), Some(state)) => Ok(JournalEntry { seq, state, reason }),
+            _ => Err(format!("malformed journal record {line:?}")),
+        }
+    }
+}
+
+fn escape(reason: &str) -> String {
+    reason
+        .replace('\\', "\\\\")
+        .replace('\n', "\\n")
+        .replace('\r', "\\r")
+}
+
+fn unescape(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    let mut chars = raw.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some(other) => out.push(other),
+            None => out.push('\\'),
+        }
+    }
+    out
+}
+
+/// A campaign's lifecycle journal: replayable, append-only,
+/// crash-durable.
+#[derive(Debug, Clone)]
+pub struct Journal {
+    path: PathBuf,
+    /// Entries replayed from disk plus those appended this session.
+    entries: Vec<JournalEntry>,
+}
+
+impl Journal {
+    /// Opens (replaying) or creates the journal at `path`.
+    ///
+    /// Replay discards an unterminated final line — the signature of
+    /// a crash mid-append — but rejects corruption in terminated
+    /// records and illegal transitions: those were durably written,
+    /// so they indicate a bug or a mutated file, not a crash.
+    pub fn open(path: &Path) -> Result<Journal, String> {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Ok(Journal {
+                    path: path.to_path_buf(),
+                    entries: Vec::new(),
+                })
+            }
+            Err(e) => return Err(format!("read journal {}: {e}", path.display())),
+        };
+        let complete = match text.rfind('\n') {
+            Some(last) => &text[..last + 1],
+            None => "", // even the first record is torn
+        };
+        if complete.len() < text.len() {
+            // A crash tore the final append mid-line. Discarding it
+            // from parsing is not enough: the torn bytes must leave
+            // the *file* too, or the next append would fuse onto them
+            // and produce a genuinely corrupt record.
+            std::fs::OpenOptions::new()
+                .write(true)
+                .open(path)
+                .and_then(|f| f.set_len(complete.len() as u64).map(|()| f))
+                .and_then(|f| f.sync_all())
+                .map_err(|e| format!("truncate torn journal {}: {e}", path.display()))?;
+        }
+        let mut entries: Vec<JournalEntry> = Vec::new();
+        for line in complete.lines() {
+            if line.is_empty() {
+                continue;
+            }
+            let entry =
+                JournalEntry::parse(line).map_err(|e| format!("{}: {e}", path.display()))?;
+            if let Some(prev) = entries.last() {
+                if entry.seq != prev.seq + 1 {
+                    return Err(format!(
+                        "{}: journal seq jumped {} → {}",
+                        path.display(),
+                        prev.seq,
+                        entry.seq
+                    ));
+                }
+                if !prev.state.can_transition_to(entry.state) {
+                    return Err(format!(
+                        "{}: illegal journal transition {} → {}",
+                        path.display(),
+                        prev.state,
+                        entry.state
+                    ));
+                }
+            } else if entry.state != CampaignState::Queued {
+                return Err(format!(
+                    "{}: journal must start at queued, found {}",
+                    path.display(),
+                    entry.state
+                ));
+            }
+            entries.push(entry);
+        }
+        Ok(Journal {
+            path: path.to_path_buf(),
+            entries,
+        })
+    }
+
+    /// The current state, if any transition was ever recorded.
+    pub fn state(&self) -> Option<CampaignState> {
+        self.entries.last().map(|e| e.state)
+    }
+
+    /// The most recent recorded reason, from the latest entry that
+    /// carries one.
+    pub fn last_reason(&self) -> Option<&str> {
+        self.entries.iter().rev().find_map(|e| e.reason.as_deref())
+    }
+
+    /// All replayed + appended entries, in order.
+    pub fn entries(&self) -> &[JournalEntry] {
+        &self.entries
+    }
+
+    /// Durably appends a transition to `state`, validating it
+    /// against the current state first. Appending the state the
+    /// journal is already in is a no-op (idempotent re-entry after a
+    /// crash-restart must not corrupt the record).
+    pub fn transition(&mut self, state: CampaignState, reason: Option<&str>) -> Result<(), String> {
+        if self.state() == Some(state) {
+            return Ok(());
+        }
+        if let Some(cur) = self.state() {
+            if !cur.can_transition_to(state) {
+                return Err(format!(
+                    "{}: illegal transition {cur} → {state}",
+                    self.path.display()
+                ));
+            }
+        } else if state != CampaignState::Queued {
+            return Err(format!(
+                "{}: first transition must be queued, not {state}",
+                self.path.display()
+            ));
+        }
+        let entry = JournalEntry {
+            seq: self.entries.last().map(|e| e.seq + 1).unwrap_or(1),
+            state,
+            reason: reason.map(str::to_string),
+        };
+        append_durable(&self.path, &entry.render())?;
+        self.entries.push(entry);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn tmp_journal(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("qma-journal-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("c.journal")
+    }
+
+    #[test]
+    fn happy_path_roundtrips() {
+        let path = tmp_journal("happy");
+        let mut j = Journal::open(&path).unwrap();
+        assert_eq!(j.state(), None);
+        for state in [
+            CampaignState::Queued,
+            CampaignState::Expanding,
+            CampaignState::Running,
+            CampaignState::Merging,
+            CampaignState::Archived,
+        ] {
+            j.transition(state, None).unwrap();
+        }
+        let replayed = Journal::open(&path).unwrap();
+        assert_eq!(replayed.state(), Some(CampaignState::Archived));
+        assert_eq!(replayed.entries(), j.entries());
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn illegal_transitions_are_rejected() {
+        let path = tmp_journal("illegal");
+        let mut j = Journal::open(&path).unwrap();
+        j.transition(CampaignState::Queued, None).unwrap();
+        let err = j.transition(CampaignState::Merging, None).unwrap_err();
+        assert!(err.contains("illegal transition"), "{err}");
+        // Terminal states are final.
+        j.transition(CampaignState::Failed, Some("bad spec"))
+            .unwrap();
+        assert!(j.transition(CampaignState::Running, None).is_err());
+        assert!(j.transition(CampaignState::Archived, None).is_err());
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn reentry_is_idempotent() {
+        let path = tmp_journal("reentry");
+        let mut j = Journal::open(&path).unwrap();
+        j.transition(CampaignState::Queued, None).unwrap();
+        j.transition(CampaignState::Expanding, None).unwrap();
+        j.transition(CampaignState::Expanding, None).unwrap();
+        assert_eq!(j.entries().len(), 2, "same-state re-entry must not append");
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn drain_resume_loop_is_legal() {
+        let path = tmp_journal("drain");
+        let mut j = Journal::open(&path).unwrap();
+        for state in [
+            CampaignState::Queued,
+            CampaignState::Expanding,
+            CampaignState::Running,
+            CampaignState::Draining,
+            CampaignState::Running, // daemon restarted mid-drain
+            CampaignState::Draining,
+            CampaignState::Merging, // drain finished the grid
+            CampaignState::Archived,
+        ] {
+            j.transition(state, None).unwrap();
+        }
+        assert_eq!(
+            Journal::open(&path).unwrap().state(),
+            Some(CampaignState::Archived)
+        );
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn torn_tail_is_discarded_and_resumable() {
+        let path = tmp_journal("torn");
+        let mut j = Journal::open(&path).unwrap();
+        j.transition(CampaignState::Queued, None).unwrap();
+        j.transition(CampaignState::Expanding, None).unwrap();
+        j.transition(CampaignState::Running, Some("fleet of 2"))
+            .unwrap();
+        let full = std::fs::read_to_string(&path).unwrap();
+
+        // Tear the final record mid-line (crash mid-append): replay
+        // falls back to the previous state and the machine can
+        // re-take the lost transition.
+        std::fs::write(&path, &full[..full.len() - 7]).unwrap();
+        let mut replayed = Journal::open(&path).unwrap();
+        assert_eq!(replayed.state(), Some(CampaignState::Expanding));
+        replayed.transition(CampaignState::Running, None).unwrap();
+        assert_eq!(
+            Journal::open(&path).unwrap().state(),
+            Some(CampaignState::Running)
+        );
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn corrupt_terminated_record_is_a_hard_error() {
+        let path = tmp_journal("corrupt");
+        std::fs::write(&path, "seq=1 state=queued\ngarbage line\n").unwrap();
+        assert!(Journal::open(&path).is_err());
+        std::fs::write(&path, "seq=1 state=running\n").unwrap();
+        assert!(
+            Journal::open(&path).is_err(),
+            "journal must start at queued"
+        );
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn reasons_with_newlines_and_backslashes_roundtrip() {
+        let path = tmp_journal("escape");
+        let nasty = "line one\nline \\two\r\nend";
+        let mut j = Journal::open(&path).unwrap();
+        j.transition(CampaignState::Queued, Some(nasty)).unwrap();
+        let replayed = Journal::open(&path).unwrap();
+        assert_eq!(replayed.last_reason(), Some(nasty));
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    /// A strategy producing random legal walks through the state
+    /// machine, as (state, has_reason) steps starting from Queued.
+    fn walk_strategy() -> impl Strategy<Value = Vec<(CampaignState, bool)>> {
+        prop::collection::vec((0u8..7, any::<bool>()), 1..20).prop_map(|choices| {
+            let mut walk = vec![(CampaignState::Queued, false)];
+            let mut cur = CampaignState::Queued;
+            for (pick, reason) in choices {
+                let nexts: Vec<CampaignState> = CampaignState::ALL
+                    .into_iter()
+                    .filter(|&n| cur.can_transition_to(n))
+                    .collect();
+                if nexts.is_empty() {
+                    break;
+                }
+                let next = nexts[pick as usize % nexts.len()];
+                walk.push((next, reason));
+                cur = next;
+            }
+            walk
+        })
+    }
+
+    proptest! {
+        /// The satellite property: replay from **any byte prefix** of
+        /// the journal lands on a legal ancestor state, and appending
+        /// the not-yet-durable suffix of the walk from there reaches
+        /// exactly the same terminal state as the uninterrupted
+        /// journal — i.e. a crash at any point during any append is
+        /// recoverable and convergent.
+        #[test]
+        fn replay_from_any_prefix_reaches_the_same_terminal_state(
+            walk in walk_strategy(),
+            cut_frac in 0.0f64..1.0,
+        ) {
+            let path = tmp_journal("prop");
+            let mut j = Journal::open(&path).unwrap();
+            for (state, with_reason) in &walk {
+                j.transition(*state, with_reason.then_some("ctx, with\nnoise")).unwrap();
+            }
+            let final_state = j.state().unwrap();
+            let full = std::fs::read(&path).unwrap();
+
+            // Crash: the file survives only up to an arbitrary byte.
+            let cut = (full.len() as f64 * cut_frac) as usize;
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let mut replayed = Journal::open(&path).unwrap();
+            let recovered = replayed.entries().len();
+            prop_assert!(recovered <= walk.len());
+            // Whatever replay recovered is an exact prefix of the walk.
+            for (entry, (state, _)) in replayed.entries().iter().zip(&walk) {
+                prop_assert_eq!(entry.state, *state);
+            }
+            // Re-taking the lost transitions converges on the same
+            // terminal state, byte-identically past the cut point.
+            for (state, with_reason) in &walk[recovered..] {
+                replayed
+                    .transition(*state, with_reason.then_some("ctx, with\nnoise"))
+                    .unwrap();
+            }
+            prop_assert_eq!(replayed.state().unwrap(), final_state);
+            prop_assert_eq!(std::fs::read(&path).unwrap(), full);
+            let _ = std::fs::remove_dir_all(path.parent().unwrap());
+        }
+    }
+}

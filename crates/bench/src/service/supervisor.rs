@@ -1,0 +1,381 @@
+//! Worker-fleet supervision: a standing pool of fabric worker
+//! *processes*, health-checked, respawned with capped deterministic
+//! backoff, and counted against the campaign's circuit breaker.
+//!
+//! Workers are real child processes (the daemon's own executable in
+//! `--worker` mode), not threads: `kill -9` of a worker is then a
+//! genuine process death — its fabric lease goes stale and a peer
+//! reclaims it — which is exactly the failure mode the service must
+//! survive, and exactly what the CI smoke job injects.
+//!
+//! The worker exit-code protocol:
+//!
+//! | code | meaning                                        |
+//! |------|------------------------------------------------|
+//! | 0    | grid resolved, merged, no quarantine           |
+//! | 1    | grid resolved, merged, some configs quarantined|
+//! | 2    | campaign-level error (bad spec, artifact I/O)  |
+//! | 3    | drained: lame-duck stop, grid left unresolved  |
+//! | else | worker death (signal, OOM, panic-abort)        |
+//!
+//! Only the last row counts as a *death*: deaths trip respawn backoff
+//! and, past [`super::ServiceConfig::worker_kill_limit`], the circuit
+//! breaker that quarantines the campaign instead of feeding it more
+//! workers.
+
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use super::status::WorkerStatus;
+use super::ServiceConfig;
+
+/// How one worker incarnation ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkerExit {
+    /// Exit 0: merged, clean.
+    MergedClean,
+    /// Exit 1: merged, with quarantined configs.
+    MergedQuarantined,
+    /// Exit 2: campaign-level error; the String is the worker's
+    /// final stderr line (the actionable message).
+    Failed(String),
+    /// Exit 3: clean lame-duck stop.
+    Drained,
+    /// Signal or unexpected code — a death, in circuit-breaker terms.
+    Died(String),
+}
+
+impl WorkerExit {
+    /// `true` for the exits that mean the grid is resolved and merged.
+    pub fn merged(&self) -> bool {
+        matches!(
+            self,
+            WorkerExit::MergedClean | WorkerExit::MergedQuarantined
+        )
+    }
+}
+
+/// One supervised event, attributed to the worker slot that produced
+/// it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetEvent {
+    /// The incarnation's fabric worker id.
+    pub worker_id: String,
+    /// How it exited.
+    pub exit: WorkerExit,
+}
+
+enum SlotState {
+    Running {
+        child: Child,
+        id: String,
+    },
+    /// Dead; respawn scheduled (capped deterministic backoff).
+    Respawning {
+        due: Instant,
+    },
+    /// Finished for this campaign (merged, drained, failed, or
+    /// respawns frozen).
+    Settled(WorkerExit),
+}
+
+struct Slot {
+    index: usize,
+    state: SlotState,
+    respawns: u32,
+    last_pid: u32,
+    last_id: String,
+}
+
+/// The deterministic respawn backoff: `base · 2^deaths`, capped —
+/// the same shape as the fabric's claim backoff, indexed by how many
+/// times this slot has died.
+pub fn respawn_backoff(cfg: &ServiceConfig, deaths: u32) -> Duration {
+    let factor = 1u32 << deaths.min(16);
+    cfg.respawn_cap.min(cfg.respawn_base.saturating_mul(factor))
+}
+
+/// A standing pool of fabric worker processes over one campaign.
+pub struct Fleet {
+    cfg: ServiceConfig,
+    campaign_id: String,
+    spec_path: PathBuf,
+    out_dir: PathBuf,
+    drain_flag: PathBuf,
+    slots: Vec<Slot>,
+    deaths: u32,
+    frozen: bool,
+}
+
+impl Fleet {
+    /// Spawns `cfg.workers` workers over the campaign.
+    pub fn spawn(
+        cfg: &ServiceConfig,
+        campaign_id: &str,
+        spec_path: &Path,
+        out_dir: &Path,
+        drain_flag: &Path,
+    ) -> Result<Fleet, String> {
+        let mut fleet = Fleet {
+            cfg: cfg.clone(),
+            campaign_id: campaign_id.to_string(),
+            spec_path: spec_path.to_path_buf(),
+            out_dir: out_dir.to_path_buf(),
+            drain_flag: drain_flag.to_path_buf(),
+            slots: Vec::new(),
+            deaths: 0,
+            frozen: false,
+        };
+        for index in 0..cfg.workers.max(1) {
+            let slot = fleet.spawn_slot(index, 0)?;
+            fleet.slots.push(slot);
+        }
+        Ok(fleet)
+    }
+
+    fn worker_id(&self, index: usize, generation: u32) -> String {
+        // The generation suffix keeps every incarnation's fabric id
+        // (and thus its jitter phase) distinct from its predecessor's.
+        if generation == 0 {
+            format!("w{index}")
+        } else {
+            format!("w{index}g{generation}")
+        }
+    }
+
+    fn spawn_slot(&self, index: usize, generation: u32) -> Result<Slot, String> {
+        let id = self.worker_id(index, generation);
+        let log = std::fs::File::create(self.out_dir.join(format!("worker-{id}.log")))
+            .map_err(|e| format!("worker log: {e}"))?;
+        let mut cmd = Command::new(&self.cfg.worker_exe);
+        cmd.arg("--worker")
+            .arg("--spec")
+            .arg(&self.spec_path)
+            .arg("--out")
+            .arg(&self.out_dir)
+            .arg("--worker-id")
+            .arg(&id)
+            .arg("--drain-flag")
+            .arg(&self.drain_flag)
+            .arg("--heartbeat-ms")
+            .arg(self.cfg.heartbeat.as_millis().to_string())
+            .arg("--lease-stale-ms")
+            .arg(self.cfg.lease_stale.as_millis().to_string())
+            .arg("--max-attempts")
+            .arg(self.cfg.max_attempts.to_string())
+            .stdin(Stdio::null())
+            .stdout(log.try_clone().map_err(|e| format!("worker log: {e}"))?)
+            .stderr(log);
+        if let Some(timeout) = self.cfg.rep_timeout {
+            cmd.arg("--rep-timeout-ms")
+                .arg(timeout.as_millis().to_string());
+        }
+        let child = cmd
+            .spawn()
+            .map_err(|e| format!("spawn worker {id} ({}): {e}", self.cfg.worker_exe.display()))?;
+        let pid = child.id();
+        Ok(Slot {
+            index,
+            state: SlotState::Running {
+                child,
+                id: id.clone(),
+            },
+            respawns: generation,
+            last_pid: pid,
+            last_id: id,
+        })
+    }
+
+    /// Total worker deaths so far — the circuit-breaker counter.
+    pub fn deaths(&self) -> u32 {
+        self.deaths
+    }
+
+    /// Stops respawning dead workers (circuit break, drain, merge
+    /// complete). Running workers are untouched.
+    pub fn freeze(&mut self) {
+        self.frozen = true;
+        for slot in &mut self.slots {
+            if let SlotState::Respawning { .. } = slot.state {
+                slot.state =
+                    SlotState::Settled(WorkerExit::Died("respawn cancelled (fleet frozen)".into()));
+            }
+        }
+    }
+
+    /// `true` when no child process is running and no respawn is
+    /// pending.
+    pub fn quiet(&self) -> bool {
+        self.slots
+            .iter()
+            .all(|s| matches!(s.state, SlotState::Settled(_)))
+    }
+
+    /// `true` if any settled worker reported a merged grid.
+    pub fn any_merged(&self) -> bool {
+        self.slots.iter().any(|s| match &s.state {
+            SlotState::Settled(exit) => exit.merged(),
+            _ => false,
+        })
+    }
+
+    /// Reaps exited workers, schedules/performs respawns, and
+    /// returns the exit events observed this poll.
+    pub fn poll(&mut self) -> Result<Vec<FleetEvent>, String> {
+        let mut events = Vec::new();
+        let now = Instant::now();
+        let mut respawn_requests: Vec<usize> = Vec::new();
+        for slot in &mut self.slots {
+            match &mut slot.state {
+                SlotState::Running { child, id, .. } => {
+                    let status = match child.try_wait() {
+                        Ok(Some(status)) => status,
+                        Ok(None) => continue,
+                        Err(e) => return Err(format!("wait worker {id}: {e}")),
+                    };
+                    let worker_id = id.clone();
+                    let exit = classify(status.code(), &self.out_dir, &worker_id);
+                    events.push(FleetEvent {
+                        worker_id,
+                        exit: exit.clone(),
+                    });
+                    if let WorkerExit::Died(_) = &exit {
+                        self.deaths += 1;
+                        if !self.frozen {
+                            slot.state = SlotState::Respawning {
+                                due: now + respawn_backoff(&self.cfg, slot.respawns),
+                            };
+                            continue;
+                        }
+                    }
+                    slot.state = SlotState::Settled(exit);
+                }
+                SlotState::Respawning { due } => {
+                    if self.frozen {
+                        slot.state = SlotState::Settled(WorkerExit::Died(
+                            "respawn cancelled (fleet frozen)".into(),
+                        ));
+                    } else if *due <= now {
+                        respawn_requests.push(slot.index);
+                    }
+                }
+                SlotState::Settled(_) => {}
+            }
+        }
+        for index in respawn_requests {
+            let generation = self.slots[index].respawns + 1;
+            let fresh = self.spawn_slot(index, generation)?;
+            let slot = &mut self.slots[index];
+            slot.state = fresh.state;
+            slot.respawns = generation;
+            slot.last_pid = fresh.last_pid;
+            slot.last_id = fresh.last_id;
+        }
+        Ok(events)
+    }
+
+    /// SIGKILLs every running worker (drain-deadline expiry, circuit
+    /// break). Their leases go stale and the next run reclaims them —
+    /// correctness is untouched, by fabric design.
+    pub fn kill_all(&mut self) {
+        self.frozen = true;
+        for slot in &mut self.slots {
+            match &mut slot.state {
+                SlotState::Running { child, id, .. } => {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    self.deaths += 1;
+                    slot.state =
+                        SlotState::Settled(WorkerExit::Died(format!("{id}: killed by daemon")));
+                }
+                SlotState::Respawning { .. } => {
+                    slot.state = SlotState::Settled(WorkerExit::Died(
+                        "respawn cancelled (fleet frozen)".into(),
+                    ));
+                }
+                SlotState::Settled(_) => {}
+            }
+        }
+    }
+
+    /// The fleet's `status.json` lines.
+    pub fn statuses(&self) -> Vec<WorkerStatus> {
+        self.slots
+            .iter()
+            .map(|slot| WorkerStatus {
+                id: slot.last_id.clone(),
+                pid: slot.last_pid,
+                alive: matches!(slot.state, SlotState::Running { .. }),
+                respawns: slot.respawns,
+            })
+            .collect()
+    }
+
+    /// The campaign this fleet serves.
+    pub fn campaign_id(&self) -> &str {
+        &self.campaign_id
+    }
+}
+
+impl Drop for Fleet {
+    fn drop(&mut self) {
+        // A dropped fleet must not leak orphan simulators.
+        self.kill_all();
+    }
+}
+
+/// Maps a worker's exit status onto the protocol. For exit 2 the
+/// worker's log tail is surfaced — that is where the actionable
+/// campaign error landed.
+fn classify(code: Option<i32>, out_dir: &Path, worker_id: &str) -> WorkerExit {
+    match code {
+        Some(0) => WorkerExit::MergedClean,
+        Some(1) => WorkerExit::MergedQuarantined,
+        Some(2) => WorkerExit::Failed(log_tail(out_dir, worker_id)),
+        Some(3) => WorkerExit::Drained,
+        Some(other) => WorkerExit::Died(format!("{worker_id}: unexpected exit code {other}")),
+        None => WorkerExit::Died(format!("{worker_id}: killed by signal")),
+    }
+}
+
+fn log_tail(out_dir: &Path, worker_id: &str) -> String {
+    std::fs::read_to_string(out_dir.join(format!("worker-{worker_id}.log")))
+        .ok()
+        .and_then(|log| log.lines().last().map(str::to_string))
+        .unwrap_or_else(|| format!("{worker_id}: no log"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn respawn_backoff_is_deterministic_and_capped() {
+        let mut cfg = ServiceConfig::new(PathBuf::from("/x"), PathBuf::from("qmad"));
+        cfg.respawn_base = Duration::from_millis(100);
+        cfg.respawn_cap = Duration::from_secs(2);
+        let delays: Vec<u64> = (0..6)
+            .map(|d| respawn_backoff(&cfg, d).as_millis() as u64)
+            .collect();
+        assert_eq!(delays, vec![100, 200, 400, 800, 1600, 2000]);
+        assert_eq!(respawn_backoff(&cfg, u32::MAX), Duration::from_secs(2));
+    }
+
+    #[test]
+    fn exit_codes_map_onto_the_protocol() {
+        let dir = std::env::temp_dir();
+        assert_eq!(classify(Some(0), &dir, "w0"), WorkerExit::MergedClean);
+        assert_eq!(classify(Some(1), &dir, "w0"), WorkerExit::MergedQuarantined);
+        assert_eq!(classify(Some(3), &dir, "w0"), WorkerExit::Drained);
+        assert!(matches!(
+            classify(Some(2), &dir, "w0"),
+            WorkerExit::Failed(_)
+        ));
+        assert!(matches!(classify(Some(9), &dir, "w0"), WorkerExit::Died(_)));
+        assert!(matches!(classify(None, &dir, "w0"), WorkerExit::Died(_)));
+        assert!(classify(Some(0), &dir, "w0").merged());
+        assert!(classify(Some(1), &dir, "w0").merged());
+        assert!(!classify(Some(3), &dir, "w0").merged());
+    }
+}

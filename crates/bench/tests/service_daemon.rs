@@ -1,0 +1,377 @@
+//! Process-level service tests: a real `qmad` daemon (spawning real
+//! worker processes) driven through the crash, drain and degradation
+//! drills the service exists for — SIGKILL of workers and of the
+//! daemon itself with byte-identical recovery, SIGTERM lame-duck
+//! exit 0, circuit-breaker quarantine of a worker-killing campaign,
+//! and machine-readable admission refusals from `campaignctl`.
+
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use qma_bench::campaign::run_campaign;
+use qma_bench::campaign::spec::CampaignSpec;
+use qma_bench::runner::Parallelism;
+use qma_bench::service::ServicePaths;
+
+/// Heavy enough (in a debug build) that each config runs for a long
+/// stretch, so SIGKILL/SIGTERM land mid-campaign.
+const LONG_SPEC: &str = r#"
+[campaign]
+name = "svclong"
+scenario = "hidden_node"
+seed = 5
+replications = 2
+
+[fixed]
+delta = 50.0
+packets = 150
+
+[grid]
+mac = ["qma", "unslotted_csma"]
+"#;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("qma-svc-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn spawn_daemon(root: &Path, extra: &[&str]) -> Child {
+    let log = std::fs::File::create(root.join("daemon.log")).unwrap();
+    let elog = std::fs::File::create(root.join("daemon.err")).unwrap();
+    Command::new(env!("CARGO_BIN_EXE_qmad"))
+        .arg("--root")
+        .arg(root)
+        .args(["--heartbeat-ms", "25", "--lease-stale-ms", "500"])
+        .args(extra)
+        .stdout(Stdio::from(log))
+        .stderr(Stdio::from(elog))
+        .spawn()
+        .expect("spawn qmad")
+}
+
+fn ctl(root: &Path, args: &[&str]) -> (i32, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_campaignctl"))
+        .arg("--root")
+        .arg(root)
+        .args(args)
+        .output()
+        .expect("run campaignctl");
+    (
+        out.status.code().unwrap_or(-1),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+    )
+}
+
+fn submit(root: &Path, spec: &Path) -> String {
+    let (code, stdout) = ctl(root, &["submit", spec.to_str().unwrap()]);
+    assert_eq!(code, 0, "submit refused: {stdout}");
+    json_str_field(&stdout, "id").expect("submit must echo the campaign id")
+}
+
+/// Minimal `"key": "value"` extraction from campaignctl/status JSON.
+fn json_str_field(text: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\": \"");
+    let at = text.find(&needle)? + needle.len();
+    text[at..].split('"').next().map(str::to_string)
+}
+
+/// Worker pids from a rendered `status.json` (daemon_pid excluded —
+/// the needle requires the quote right before `pid`).
+fn worker_pids(status: &str) -> Vec<u32> {
+    status
+        .match_indices("\"pid\": ")
+        .filter_map(|(at, needle)| {
+            status[at + needle.len()..]
+                .split(|c: char| !c.is_ascii_digit())
+                .next()?
+                .parse()
+                .ok()
+        })
+        .collect()
+}
+
+/// Read-only journal-state probe (`Journal::open` would repair a
+/// torn tail in place, which must never be done to a live daemon's
+/// journal from outside).
+fn journal_reached(paths: &ServicePaths, id: &str, state: &str) -> bool {
+    std::fs::read_to_string(paths.journal_file(id))
+        .map(|text| text.contains(&format!("state={state}")))
+        .unwrap_or(false)
+}
+
+fn wait_for<F: FnMut() -> bool>(what: &str, deadline: Duration, mut ready: F) {
+    let limit = Instant::now() + deadline;
+    while !ready() {
+        assert!(Instant::now() < limit, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// Waits until the campaign's fabric holds at least one lease — a
+/// worker is mid-config right now.
+fn wait_for_lease(paths: &ServicePaths, id: &str, spec_name: &str) {
+    let leases = paths.out_dir(id).join(format!("{spec_name}.fabric/leases"));
+    wait_for("a worker lease", Duration::from_secs(120), || {
+        std::fs::read_dir(&leases)
+            .map(|entries| entries.flatten().count() > 0)
+            .unwrap_or(false)
+    });
+}
+
+fn sigterm(pid: u32) {
+    assert!(Command::new("kill")
+        .args(["-TERM", &pid.to_string()])
+        .status()
+        .unwrap()
+        .success());
+}
+
+fn sigkill(pid: u32) {
+    let _ = Command::new("kill")
+        .args(["-9", &pid.to_string()])
+        .status()
+        .unwrap();
+}
+
+fn wait_exit(child: &mut Child, deadline: Duration) -> std::process::ExitStatus {
+    let limit = Instant::now() + deadline;
+    loop {
+        if let Some(status) = child.try_wait().unwrap() {
+            return status;
+        }
+        assert!(Instant::now() < limit, "daemon did not exit in time");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[test]
+fn killed_worker_and_daemon_recover_byte_identical() {
+    let work = tmp_dir("crash");
+    let root = work.join("root");
+    std::fs::create_dir_all(&root).unwrap();
+    let spec_path = work.join("svclong.toml");
+    std::fs::write(&spec_path, LONG_SPEC).unwrap();
+    let paths = ServicePaths::new(&root);
+
+    let mut daemon = spawn_daemon(&root, &["--workers", "2"]);
+    let id = submit(&root, &spec_path);
+    wait_for_lease(&paths, &id, "svclong");
+
+    // Drill 1: SIGKILL a worker mid-config. The supervisor must
+    // notice the death and the campaign must still converge.
+    let status = std::fs::read_to_string(&paths.status).unwrap();
+    let pids = worker_pids(&status);
+    assert!(
+        !pids.is_empty(),
+        "status.json must expose worker pids:\n{status}"
+    );
+    sigkill(pids[0]);
+    std::thread::sleep(Duration::from_millis(300));
+
+    // Drill 2: SIGKILL the daemon itself — no destructors, no drain.
+    daemon.kill().unwrap();
+    daemon.wait().unwrap();
+
+    // Restart: the journal replays, the fabric resumes, the campaign
+    // archives. (Orphaned workers from the first incarnation may
+    // still be finishing configs — determinism makes that benign.)
+    let mut daemon = spawn_daemon(&root, &["--workers", "2"]);
+    let archived_csv = paths.archive.join(&id).join("svclong.csv");
+    wait_for(
+        "the restarted daemon to archive",
+        Duration::from_secs(300),
+        || archived_csv.exists(),
+    );
+    wait_for(
+        "the archived journal state",
+        Duration::from_secs(60),
+        || journal_reached(&paths, &id, "archived"),
+    );
+
+    // Byte-identity: the crash-riddled service run equals a plain
+    // serial in-process campaign.
+    let spec = CampaignSpec::parse(LONG_SPEC).unwrap();
+    let plain = run_campaign(&spec, &work.join("plain"), Parallelism::Serial, |_| {}).unwrap();
+    assert_eq!(
+        std::fs::read(&archived_csv).unwrap(),
+        std::fs::read(&plain.csv_path).unwrap(),
+        "service-recovered CSV must be byte-identical to --serial"
+    );
+
+    // The working directory is retired once archived.
+    wait_for("working state cleanup", Duration::from_secs(60), || {
+        !paths.out_dir(&id).exists() && !paths.active_spec(&id).exists()
+    });
+
+    sigterm(daemon.id());
+    assert!(wait_exit(&mut daemon, Duration::from_secs(60)).success());
+    let _ = std::fs::remove_dir_all(&work);
+}
+
+#[test]
+fn sigterm_drains_to_exit_zero_and_restart_completes() {
+    let work = tmp_dir("drain");
+    let root = work.join("root");
+    std::fs::create_dir_all(&root).unwrap();
+    let spec_path = work.join("svclong.toml");
+    std::fs::write(&spec_path, LONG_SPEC).unwrap();
+    let paths = ServicePaths::new(&root);
+
+    let mut daemon = spawn_daemon(&root, &["--workers", "2", "--drain-deadline-s", "240"]);
+    let id = submit(&root, &spec_path);
+    wait_for_lease(&paths, &id, "svclong");
+
+    // Lame duck: leased configs finish, nothing new starts, exit 0.
+    sigterm(daemon.id());
+    let status = wait_exit(&mut daemon, Duration::from_secs(240));
+    assert!(status.success(), "drain must exit 0, got {status}");
+    assert_eq!(status.code(), Some(0));
+
+    // No worker survives the drain, so no lease survives it either.
+    let leases = paths.out_dir(&id).join("svclong.fabric/leases");
+    let held = std::fs::read_dir(&leases)
+        .map(|entries| entries.flatten().count())
+        .unwrap_or(0);
+    assert_eq!(held, 0, "drained workers must have released their leases");
+
+    // While stopped, submissions are refused with the drain reason.
+    let (code, stdout) = ctl(&root, &["submit", spec_path.to_str().unwrap()]);
+    assert_eq!(code, 1, "a draining/stopped root must refuse: {stdout}");
+    assert!(stdout.contains("draining"), "{stdout}");
+
+    // Restart: the drained campaign resumes and archives; its bytes
+    // match a plain serial run.
+    let mut daemon = spawn_daemon(&root, &["--workers", "2"]);
+    let archived_csv = paths.archive.join(&id).join("svclong.csv");
+    wait_for(
+        "the restarted daemon to archive",
+        Duration::from_secs(300),
+        || archived_csv.exists(),
+    );
+    let spec = CampaignSpec::parse(LONG_SPEC).unwrap();
+    let plain = run_campaign(&spec, &work.join("plain"), Parallelism::Serial, |_| {}).unwrap();
+    assert_eq!(
+        std::fs::read(&archived_csv).unwrap(),
+        std::fs::read(&plain.csv_path).unwrap()
+    );
+
+    // An idle daemon drains instantly.
+    sigterm(daemon.id());
+    assert!(wait_exit(&mut daemon, Duration::from_secs(60)).success());
+    let _ = std::fs::remove_dir_all(&work);
+}
+
+#[test]
+fn circuit_breaker_quarantines_a_worker_killing_campaign() {
+    let work = tmp_dir("breaker");
+    let root = work.join("root");
+    std::fs::create_dir_all(&root).unwrap();
+    let spec_path = work.join("svclong.toml");
+    std::fs::write(&spec_path, LONG_SPEC).unwrap();
+    let paths = ServicePaths::new(&root);
+
+    // kill-limit 1: the first worker death trips the breaker. (The
+    // spec is healthy — the deaths are injected — but the daemon
+    // cannot tell a crashy config from a crashy host, which is
+    // exactly why the quarantine carries reproduction state.)
+    let mut daemon = spawn_daemon(&root, &["--workers", "1", "--worker-kill-limit", "1"]);
+    let id = submit(&root, &spec_path);
+    wait_for_lease(&paths, &id, "svclong");
+    let status = std::fs::read_to_string(&paths.status).unwrap();
+    let pids = worker_pids(&status);
+    assert!(!pids.is_empty(), "no worker pid in status.json:\n{status}");
+    sigkill(pids[0]);
+
+    let reason_file = paths.quarantine.join(&id).join("reason.json");
+    wait_for(
+        "the circuit breaker to trip",
+        Duration::from_secs(120),
+        || reason_file.exists(),
+    );
+    let reason = std::fs::read_to_string(&reason_file).unwrap();
+    assert!(
+        reason.contains("worker"),
+        "unhelpful breaker reason: {reason}"
+    );
+    assert!(
+        paths.quarantine.join(&id).join("spec.toml").exists(),
+        "quarantine must carry the spec for reproduction"
+    );
+    wait_for("the failed journal state", Duration::from_secs(60), || {
+        journal_reached(&paths, &id, "failed")
+    });
+
+    sigterm(daemon.id());
+    assert!(wait_exit(&mut daemon, Duration::from_secs(60)).success());
+    let _ = std::fs::remove_dir_all(&work);
+}
+
+#[test]
+fn admission_refusals_are_machine_readable() {
+    let work = tmp_dir("admission");
+    let root = work.join("root");
+    std::fs::create_dir_all(&root).unwrap();
+    let spec_a = work.join("a.toml");
+    let spec_b = work.join("b.toml");
+    std::fs::write(&spec_a, LONG_SPEC).unwrap();
+    std::fs::write(&spec_b, LONG_SPEC.replace("seed = 5", "seed = 6")).unwrap();
+
+    // No daemon: submission is pure directory protocol, refusals
+    // come from the same admission code the daemon runs.
+    let (code, stdout) = ctl(
+        &root,
+        &["--max-queue-depth", "1", "submit", spec_a.to_str().unwrap()],
+    );
+    assert_eq!(code, 0, "{stdout}");
+    assert!(stdout.contains("\"accepted\": true"), "{stdout}");
+
+    // Identical bytes: idempotent duplicate, not a second campaign.
+    let (code, stdout) = ctl(
+        &root,
+        &["--max-queue-depth", "1", "submit", spec_a.to_str().unwrap()],
+    );
+    assert_eq!(code, 0, "{stdout}");
+    assert!(stdout.contains("\"duplicate\": true"), "{stdout}");
+
+    // Queue full: refused with a machine-readable reason, recorded
+    // under rejected/.
+    let (code, stdout) = ctl(
+        &root,
+        &["--max-queue-depth", "1", "submit", spec_b.to_str().unwrap()],
+    );
+    assert_eq!(code, 1, "{stdout}");
+    assert_eq!(
+        json_str_field(&stdout, "reason_code").as_deref(),
+        Some("queue_depth"),
+        "{stdout}"
+    );
+    let rejected_id = json_str_field(&stdout, "id").unwrap();
+    let record = std::fs::read_to_string(
+        ServicePaths::new(&root)
+            .rejected
+            .join(format!("{rejected_id}.json")),
+    )
+    .unwrap();
+    assert!(record.contains("queue_depth"), "{record}");
+
+    // Disk pressure: a 1-byte budget is always exceeded.
+    let (code, stdout) = ctl(
+        &root,
+        &[
+            "--disk-budget-bytes",
+            "1",
+            "submit",
+            spec_b.to_str().unwrap(),
+        ],
+    );
+    assert_eq!(code, 1, "{stdout}");
+    assert_eq!(
+        json_str_field(&stdout, "reason_code").as_deref(),
+        Some("disk_pressure"),
+        "{stdout}"
+    );
+    let _ = std::fs::remove_dir_all(&work);
+}
