@@ -303,6 +303,9 @@ impl Lease {
     ) -> Result<Option<Lease>, String> {
         let path = dirs.lease(stem);
         let body = lease_body(&cfg.worker_id, attempt, key);
+        // qma-lint: allow(raw-durability) — O_EXCL create_new IS the
+        // atomic claim primitive; the body is fsynced below and the
+        // directory entry is fsynced before the config runs.
         let mut file = match std::fs::OpenOptions::new()
             .write(true)
             .create_new(true)
@@ -346,6 +349,10 @@ impl Lease {
                         match std::fs::read_to_string(&hb_path) {
                             Ok(cur) if lease_owner(&cur) == Some(hb_id.as_str()) => {
                                 let tmp = hb_path.with_extension(format!("renew-{hb_id}"));
+                                // qma-lint: allow(raw-durability) — heartbeat renewal
+                                // only bumps the lease mtime; a lost tmp write costs
+                                // one renewal tick, and the publish itself still goes
+                                // through rename_durable below.
                                 let renewed = std::fs::write(&tmp, &cur)
                                     .map_err(|e| e.to_string())
                                     .and_then(|()| rename_durable(&tmp, &hb_path));
@@ -472,6 +479,8 @@ fn stale_lease_body(dirs: &FabricDirs, stem: &str, stale: Duration) -> Option<St
     let path = dirs.lease(stem);
     let meta = std::fs::metadata(&path).ok()?;
     let modified = meta.modified().ok()?;
+    // qma-lint: allow(wall-clock) — lease staleness is real elapsed
+    // time by design (detecting killed workers); never simulation state.
     let age = std::time::SystemTime::now().duration_since(modified).ok()?;
     if age <= stale {
         return None;
@@ -493,6 +502,8 @@ fn remove_stale_lease(dirs: &FabricDirs, stem: &str, stale: Duration) -> bool {
     let stale_now = meta
         .modified()
         .ok()
+        // qma-lint: allow(wall-clock) — last-instant staleness recheck
+        // before removing a dead peer's lease; real time by design.
         .and_then(|m| std::time::SystemTime::now().duration_since(m).ok())
         .is_some_and(|age| age > stale);
     stale_now && std::fs::remove_file(&path).is_ok()
@@ -1238,7 +1249,7 @@ skew_us = [0, -100000]
 
         use super::*;
         use proptest::prelude::*;
-        use std::collections::HashMap;
+        use std::collections::BTreeMap;
         use std::sync::Mutex;
 
         /// A four-config grid; simulation is replaced by a scripted
@@ -1292,7 +1303,7 @@ delta = [30.0, 50.0]
         fn run_scripted(
             dir: &Path,
             spec: &CampaignSpec,
-            fails: &HashMap<String, u32>,
+            fails: &BTreeMap<String, u32>,
             planted: &[usize],
             workers: usize,
         ) -> FabricOutcome {
@@ -1314,7 +1325,7 @@ delta = [30.0, 50.0]
                     .set_times(std::fs::FileTimes::new().set_modified(long_dead))
                     .unwrap();
             }
-            let invocations: Mutex<HashMap<String, u32>> = Mutex::new(HashMap::new());
+            let invocations: Mutex<BTreeMap<String, u32>> = Mutex::new(BTreeMap::new());
             let exec = move |spec: &CampaignSpec,
                              point: &ConfigPoint,
                              _params: &ScenarioParams,
@@ -1374,7 +1385,7 @@ delta = [30.0, 50.0]
                 let spec = grid_spec();
                 let points = spec.expand().unwrap();
                 prop_assert_eq!(points.len(), 4);
-                let fails: HashMap<String, u32> = points
+                let fails: BTreeMap<String, u32> = points
                     .iter()
                     .zip(&fail_counts)
                     .map(|(p, &f)| (p.key(), f))

@@ -98,6 +98,8 @@ impl Daemon {
             return Ok(());
         }
         self.draining = true;
+        // qma-lint: allow(wall-clock) — the SIGTERM drain deadline is
+        // operator-facing real time, not simulation state.
         self.drain_started = Some(Instant::now());
         write_atomic(&self.paths.drain_flag, "draining\n")?;
         (self.log)("drain requested: finishing held leases, accepting nothing new");

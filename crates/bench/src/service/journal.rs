@@ -210,6 +210,9 @@ impl Journal {
             // from parsing is not enough: the torn bytes must leave
             // the *file* too, or the next append would fuse onto them
             // and produce a genuinely corrupt record.
+            // qma-lint: allow(raw-durability) — torn-tail truncation is
+            // journal *repair*, not a publish: set_len + fsync on the
+            // existing inode, which append_durable cannot express.
             std::fs::OpenOptions::new()
                 .write(true)
                 .open(path)

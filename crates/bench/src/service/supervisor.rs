@@ -146,6 +146,9 @@ impl Fleet {
 
     fn spawn_slot(&self, index: usize, generation: u32) -> Result<Slot, String> {
         let id = self.worker_id(index, generation);
+        // qma-lint: allow(raw-durability) — worker stdout/stderr logs
+        // are diagnostics with no crash-consistency contract; routing
+        // them through durable would fsync on every log line.
         let log = std::fs::File::create(self.out_dir.join(format!("worker-{id}.log")))
             .map_err(|e| format!("worker log: {e}"))?;
         let mut cmd = Command::new(&self.cfg.worker_exe);
@@ -224,6 +227,8 @@ impl Fleet {
     /// returns the exit events observed this poll.
     pub fn poll(&mut self) -> Result<Vec<FleetEvent>, String> {
         let mut events = Vec::new();
+        // qma-lint: allow(wall-clock) — respawn backoff and circuit
+        // breaker pace real child processes; never simulation state.
         let now = Instant::now();
         let mut respawn_requests: Vec<usize> = Vec::new();
         for slot in &mut self.slots {

@@ -161,12 +161,19 @@ fn killed_worker_and_daemon_recover_byte_identical() {
     wait_for_lease(&paths, &id, "svclong");
 
     // Drill 1: SIGKILL a worker mid-config. The supervisor must
-    // notice the death and the campaign must still converge.
-    let status = std::fs::read_to_string(&paths.status).unwrap();
-    let pids = worker_pids(&status);
-    assert!(
-        !pids.is_empty(),
-        "status.json must expose worker pids:\n{status}"
+    // notice the death and the campaign must still converge. A lease
+    // can appear a beat before the supervisor's next status snapshot
+    // lists the worker's pid, so poll instead of reading once.
+    let mut pids = Vec::new();
+    wait_for(
+        "status.json to expose worker pids",
+        Duration::from_secs(30),
+        || {
+            pids = std::fs::read_to_string(&paths.status)
+                .map(|s| worker_pids(&s))
+                .unwrap_or_default();
+            !pids.is_empty()
+        },
     );
     sigkill(pids[0]);
     std::thread::sleep(Duration::from_millis(300));

@@ -95,6 +95,9 @@ impl ShardPool {
         let workers = (0..threads)
             .map(|i| {
                 let inner = Arc::clone(&inner);
+                // qma-lint: allow(bare-thread) — ShardPool is the
+                // sanctioned spawn site the rule points everyone at;
+                // workers park on a condvar and die with the pool.
                 std::thread::Builder::new()
                     .name(format!("qma-shard-{i}"))
                     .spawn(move || worker_loop(&inner))

@@ -1,0 +1,95 @@
+//! The `qma-lint` binary: scans the workspace and exits non-zero on
+//! any unsuppressed finding.
+//!
+//! ```text
+//! qma-lint [--deny] [--format human|json] [--root DIR]
+//! ```
+//!
+//! `--deny` is the (only) mode — findings always fail the run — and
+//! is accepted so the CI invocation documents its intent. `--root`
+//! defaults to the nearest ancestor directory containing a
+//! `Cargo.toml` with a `[workspace]` table, so `cargo run -p
+//! qma-lint` works from anywhere inside the repo.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use qma_lint::{report, scan_workspace};
+
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(dir);
+                }
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut format_json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny" => {} // findings are always denying; flag records intent
+            "--format" => match args.next().as_deref() {
+                Some("json") => format_json = true,
+                Some("human") => format_json = false,
+                other => {
+                    eprintln!("qma-lint: --format expects human|json, got {other:?}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("qma-lint: --root expects a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            "-h" | "--help" => {
+                println!("qma-lint [--deny] [--format human|json] [--root DIR]");
+                println!("Scans the workspace for determinism & durability contract violations.");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("qma-lint: unknown argument {other:?} (see --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(root) = root.or_else(find_workspace_root) else {
+        eprintln!("qma-lint: no workspace root found (pass --root DIR)");
+        return ExitCode::from(2);
+    };
+    match scan_workspace(&root) {
+        Ok(rep) => {
+            if format_json {
+                print!("{}", report::json(&rep));
+                // Keep the human summary visible in CI logs.
+                eprint!("{}", report::human(&rep));
+            } else {
+                print!("{}", report::human(&rep));
+            }
+            if rep.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("qma-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

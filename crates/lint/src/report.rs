@@ -1,0 +1,96 @@
+//! Human and JSON rendering of a lint [`Report`].
+
+use crate::walk::Report;
+
+/// Renders the human-readable report: one `file:line: [rule] message`
+/// per finding, plus a one-line summary.
+pub fn human(report: &Report) -> String {
+    let mut out = String::new();
+    for f in &report.findings {
+        out.push_str(&format!(
+            "{}:{}: [{}] {}\n",
+            f.file, f.line, f.rule, f.message
+        ));
+    }
+    if report.findings.is_empty() {
+        out.push_str(&format!(
+            "qma-lint: clean — {} files scanned, 0 findings\n",
+            report.files_scanned
+        ));
+    } else {
+        out.push_str(&format!(
+            "qma-lint: {} finding(s) across {} files scanned\n",
+            report.findings.len(),
+            report.files_scanned
+        ));
+    }
+    out
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the machine-readable report uploaded as a CI artifact.
+/// Stable shape: `{"findings": [...], "files_scanned": N, "clean": bool}`.
+pub fn json(report: &Report) -> String {
+    let mut out = String::from("{\n  \"findings\": [");
+    for (i, f) in report.findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}",
+            escape(&f.file),
+            f.line,
+            f.rule,
+            escape(&f.message)
+        ));
+    }
+    if !report.findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str(&format!(
+        "],\n  \"files_scanned\": {},\n  \"clean\": {}\n}}\n",
+        report.files_scanned,
+        report.findings.is_empty()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Finding;
+
+    #[test]
+    fn json_escapes_and_reports_clean_flag() {
+        let mut r = Report {
+            findings: vec![],
+            files_scanned: 3,
+        };
+        assert!(json(&r).contains("\"clean\": true"));
+        r.findings.push(Finding {
+            file: "a/b.rs".into(),
+            line: 7,
+            rule: "entropy",
+            message: "uses \"thread_rng\"".into(),
+        });
+        let j = json(&r);
+        assert!(j.contains("\"clean\": false"));
+        assert!(j.contains("\\\"thread_rng\\\""));
+        assert!(human(&r).contains("a/b.rs:7: [entropy]"));
+    }
+}

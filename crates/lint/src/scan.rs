@@ -1,0 +1,378 @@
+//! A comment- and string-literal-aware Rust token scanner.
+//!
+//! The scanner turns a source file into two streams the rule engine
+//! consumes:
+//!
+//! * **tokens** — identifiers/keywords and punctuation, each tagged
+//!   with its 1-based line. Consecutive `::` colons are merged into a
+//!   single `"::"` token so rules can match qualified paths
+//!   (`["Instant", "::", "now"]`) without counting colons. String,
+//!   byte-string, raw-string and char literals are consumed but emit
+//!   *no* tokens — a rule never fires on `"HashMap"` inside a format
+//!   string — and numeric literals are likewise swallowed.
+//! * **comments** — the raw text of every `//` line comment and
+//!   `/* */` block comment (nesting handled), tagged with its start
+//!   line. This is where `qma-lint: allow(rule) — reason`
+//!   annotations live.
+//!
+//! Like the campaign TOML parser, this is deliberately *not* a full
+//! Rust lexer: it only needs to be exact about what is code and what
+//! is not, so that token-level rules neither fire inside literals nor
+//! miss a call split across rustfmt'ed lines.
+
+/// One code token: an identifier/keyword or a punctuation string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// 1-based source line the token starts on.
+    pub line: u32,
+    /// Token text: an identifier, or punctuation (`"::"` merged).
+    pub text: String,
+}
+
+/// One comment (line or block), with its raw text including markers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-based source line the comment starts on.
+    pub line: u32,
+    /// The comment text, including the `//` or `/* */` markers.
+    pub text: String,
+}
+
+/// Scanner output: the code tokens and the comments of one file.
+#[derive(Debug, Clone, Default)]
+pub struct Scanned {
+    /// Code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+impl Scanned {
+    /// The first token line strictly greater than `line` (i.e. the
+    /// next line carrying any code), if any. Used to attach a
+    /// standalone allow-comment to the statement below it.
+    pub fn next_code_line_after(&self, line: u32) -> Option<u32> {
+        self.tokens.iter().map(|t| t.line).find(|&l| l > line)
+    }
+
+    /// Does any code token sit on `line`?
+    pub fn has_code_on(&self, line: u32) -> bool {
+        self.tokens.iter().any(|t| t.line == line)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Scans `src` into tokens and comments. Never fails: unterminated
+/// literals or comments simply consume to end of file, which is the
+/// forgiving behaviour a linter wants on a file that may not even
+/// compile yet.
+pub fn scan(src: &str) -> Scanned {
+    let b: Vec<char> = src.chars().collect();
+    let n = b.len();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut out = Scanned::default();
+
+    while i < n {
+        let c = b[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+        } else if c.is_whitespace() {
+            i += 1;
+        } else if c == '/' && i + 1 < n && b[i + 1] == '/' {
+            let start = i;
+            while i < n && b[i] != '\n' {
+                i += 1;
+            }
+            out.comments.push(Comment {
+                line,
+                text: b[start..i].iter().collect(),
+            });
+        } else if c == '/' && i + 1 < n && b[i + 1] == '*' {
+            let start = i;
+            let start_line = line;
+            i += 2;
+            let mut depth = 1u32;
+            while i < n && depth > 0 {
+                if b[i] == '\n' {
+                    line += 1;
+                    i += 1;
+                } else if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            out.comments.push(Comment {
+                line: start_line,
+                text: b[start..i].iter().collect(),
+            });
+        } else if c == '"' {
+            i = skip_string(&b, i, &mut line);
+        } else if c == '\'' {
+            i = skip_char_or_lifetime(&b, i, &mut line);
+        } else if c.is_ascii_digit() {
+            i = skip_number(&b, i);
+        } else if is_ident_start(c) {
+            let start = i;
+            while i < n && is_ident_continue(b[i]) {
+                i += 1;
+            }
+            let ident: String = b[start..i].iter().collect();
+            // String-literal prefixes: r"", r#""#, b"", br#""#, b''.
+            // `r#ident` raw identifiers fall through to the raw-string
+            // skipper only when a quote actually follows the hashes.
+            let next = b.get(i).copied();
+            match (ident.as_str(), next) {
+                ("r" | "br" | "b", Some('"')) => {
+                    i = skip_string(&b, i, &mut line);
+                }
+                ("r" | "br", Some('#')) if raw_string_follows(&b, i) => {
+                    i = skip_raw_string(&b, i, &mut line);
+                }
+                ("b", Some('\'')) => {
+                    i = skip_char_or_lifetime(&b, i, &mut line);
+                }
+                ("r", Some('#')) => {
+                    // Raw identifier r#type: emit the identifier.
+                    i += 1;
+                    let s = i;
+                    while i < n && is_ident_continue(b[i]) {
+                        i += 1;
+                    }
+                    out.tokens.push(Token {
+                        line,
+                        text: b[s..i].iter().collect(),
+                    });
+                }
+                _ => out.tokens.push(Token { line, text: ident }),
+            }
+        } else if (c == ':' && i + 1 < n && b[i + 1] == ':')
+            || (c == '=' && i + 1 < n && b[i + 1] == '>')
+            || (c == '-' && i + 1 < n && b[i + 1] == '>')
+        {
+            // Merge the two-char puncts rules care about: `::` for
+            // path matching, `=>`/`->` so a `>` token always means a
+            // generic close (the `impl … for` loop guard relies on it).
+            out.tokens.push(Token {
+                line,
+                text: [c, b[i + 1]].iter().collect(),
+            });
+            i += 2;
+        } else {
+            out.tokens.push(Token {
+                line,
+                text: c.to_string(),
+            });
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Does `b[i..]` start a raw string body (`#`s then `"`)?
+fn raw_string_follows(b: &[char], mut i: usize) -> bool {
+    while i < b.len() && b[i] == '#' {
+        i += 1;
+    }
+    i < b.len() && b[i] == '"'
+}
+
+/// Skips `"..."` with escapes; `i` points at the opening quote.
+fn skip_string(b: &[char], i: usize, line: &mut u32) -> usize {
+    let n = b.len();
+    let mut j = i + 1;
+    while j < n {
+        match b[j] {
+            '\\' => j += 2,
+            '"' => return j + 1,
+            '\n' => {
+                *line += 1;
+                j += 1;
+            }
+            _ => j += 1,
+        }
+    }
+    n
+}
+
+/// Skips `r#"..."#` (any number of hashes); `i` points at the first
+/// `#` after the `r`/`br` prefix.
+fn skip_raw_string(b: &[char], i: usize, line: &mut u32) -> usize {
+    let n = b.len();
+    let mut j = i;
+    let mut hashes = 0usize;
+    while j < n && b[j] == '#' {
+        hashes += 1;
+        j += 1;
+    }
+    debug_assert!(j < n && b[j] == '"');
+    j += 1; // past the opening quote
+    while j < n {
+        if b[j] == '\n' {
+            *line += 1;
+            j += 1;
+        } else if b[j] == '"'
+            && b[j + 1..]
+                .iter()
+                .take(hashes)
+                .filter(|&&c| c == '#')
+                .count()
+                == hashes
+        {
+            return j + 1 + hashes;
+        } else {
+            j += 1;
+        }
+    }
+    n
+}
+
+/// Skips a char literal or a lifetime; `i` points at the `'`.
+fn skip_char_or_lifetime(b: &[char], i: usize, line: &mut u32) -> usize {
+    let n = b.len();
+    if i + 1 >= n {
+        return n;
+    }
+    let c1 = b[i + 1];
+    if c1 == '\\' {
+        // Escaped char literal: scan to the closing quote.
+        let mut j = i + 2;
+        while j < n {
+            match b[j] {
+                '\\' => j += 2,
+                '\'' => return j + 1,
+                '\n' => {
+                    *line += 1;
+                    j += 1;
+                }
+                _ => j += 1,
+            }
+        }
+        return n;
+    }
+    if is_ident_start(c1) && b.get(i + 2).copied() != Some('\'') {
+        // Lifetime: consume the label, emit nothing.
+        let mut j = i + 1;
+        while j < n && is_ident_continue(b[j]) {
+            j += 1;
+        }
+        return j;
+    }
+    // Plain char literal 'x' (or a stray quote: step over it).
+    if b.get(i + 2).copied() == Some('\'') {
+        i + 3
+    } else {
+        i + 1
+    }
+}
+
+/// Skips a numeric literal (ints, floats, hex, suffixes).
+fn skip_number(b: &[char], i: usize) -> usize {
+    let n = b.len();
+    let mut j = i;
+    while j < n && (is_ident_continue(b[j])) {
+        j += 1;
+    }
+    // One fractional part, but never a `..` range operator.
+    if j < n && b[j] == '.' && j + 1 < n && b[j + 1].is_ascii_digit() {
+        j += 1;
+        while j < n && is_ident_continue(b[j]) {
+            j += 1;
+        }
+    }
+    j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(s: &Scanned) -> Vec<&str> {
+        s.tokens.iter().map(|t| t.text.as_str()).collect()
+    }
+
+    #[test]
+    fn idents_and_paths_tokenize_with_merged_colons() {
+        let s = scan("let t = Instant::now();");
+        assert_eq!(
+            texts(&s),
+            vec!["let", "t", "=", "Instant", "::", "now", "(", ")", ";"]
+        );
+    }
+
+    #[test]
+    fn string_contents_emit_no_tokens() {
+        let s = scan(r#"let m = format!("HashMap iter {} Instant::now", x);"#);
+        assert!(!texts(&s).contains(&"HashMap"));
+        assert!(!texts(&s).contains(&"Instant"));
+        assert!(texts(&s).contains(&"x"));
+    }
+
+    #[test]
+    fn raw_strings_and_byte_strings_are_opaque() {
+        let s = scan("let a = r#\"thread_rng \"quoted\" inside\"#; let b = b\"from_entropy\";");
+        assert!(!texts(&s).contains(&"thread_rng"));
+        assert!(!texts(&s).contains(&"from_entropy"));
+        assert!(texts(&s).contains(&"a"));
+        assert!(texts(&s).contains(&"b"));
+    }
+
+    #[test]
+    fn comments_are_captured_not_tokenized() {
+        let s = scan("x(); // HashMap here\n/* SystemTime::now\n spans lines */ y();");
+        assert!(!texts(&s).contains(&"HashMap"));
+        assert!(!texts(&s).contains(&"SystemTime"));
+        assert_eq!(s.comments.len(), 2);
+        assert_eq!(s.comments[0].line, 1);
+        assert_eq!(s.comments[1].line, 2);
+        // The block comment swallowed a newline, so y() is on line 3.
+        assert_eq!(s.tokens.last().unwrap().line, 3);
+    }
+
+    #[test]
+    fn lifetimes_do_not_eat_code_but_char_literals_do() {
+        let s = scan("fn f<'a>(x: &'a str) { let c = 'q'; let esc = '\\n'; }");
+        let t = texts(&s);
+        assert!(t.contains(&"str"));
+        assert!(t.contains(&"esc"));
+        assert!(!t.contains(&"q"));
+        assert!(!t.contains(&"a")); // lifetime label never emitted
+        assert!(!t.contains(&"n")); // escaped-char body never emitted
+    }
+
+    #[test]
+    fn multiline_chain_keeps_per_token_lines() {
+        let s = scan("self.neighbors\n    .iter()\n    .count()");
+        let iter_tok = s.tokens.iter().find(|t| t.text == "iter").unwrap();
+        assert_eq!(iter_tok.line, 2);
+        let count_tok = s.tokens.iter().find(|t| t.text == "count").unwrap();
+        assert_eq!(count_tok.line, 3);
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let s = scan("/* outer /* inner */ still comment */ code();");
+        assert_eq!(texts(&s), vec!["code", "(", ")", ";"]);
+    }
+
+    #[test]
+    fn next_code_line_lookup() {
+        let s = scan("a();\n// standalone\n\nb();");
+        assert_eq!(s.next_code_line_after(2), Some(4));
+        assert!(s.has_code_on(1));
+        assert!(!s.has_code_on(2));
+    }
+}

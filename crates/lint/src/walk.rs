@@ -1,0 +1,82 @@
+//! Deterministic workspace traversal.
+//!
+//! Files are visited in sorted path order so the report — and the
+//! JSON artifact CI uploads — is byte-stable across runs and hosts.
+//! The walker looks at `src/`, `tests/`, `examples/` and `crates/`
+//! under the root; `vendor/` (shims with their own rules), `target/`
+//! and the lint's own fixture corpus are skipped by [`FileScope`],
+//! and anything outside those top-level entries (artifacts, specs,
+//! docs) is never read at all.
+
+use std::path::{Path, PathBuf};
+
+use crate::rules::{check_file, FileScope, Finding};
+
+/// The outcome of scanning a tree.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Every unsuppressed finding, sorted by (file, line, rule).
+    pub findings: Vec<Finding>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// True when the tree is lint-clean.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// Recursively collects `.rs` files under `dir` into `out`.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut children: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+    children.sort();
+    for child in children {
+        if child.is_dir() {
+            let name = child.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if name == "target" || name == ".git" {
+                continue;
+            }
+            collect_rs(&child, out);
+        } else if child.extension().and_then(|e| e.to_str()) == Some("rs") {
+            out.push(child);
+        }
+    }
+}
+
+/// Scans the workspace rooted at `root` and returns the report.
+/// Fails only on I/O errors for files that exist but cannot be read.
+pub fn scan_workspace(root: &Path) -> Result<Report, String> {
+    let mut files = Vec::new();
+    for top in ["src", "tests", "examples", "crates"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            collect_rs(&dir, &mut files);
+        }
+    }
+    files.sort();
+
+    let mut report = Report::default();
+    for path in &files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        if FileScope::for_path(&rel).skip {
+            continue;
+        }
+        let source =
+            std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        report.files_scanned += 1;
+        report.findings.extend(check_file(&rel, &source));
+    }
+    report
+        .findings
+        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(report)
+}

@@ -1,0 +1,72 @@
+//! End-to-end CLI tests: the binary exits non-zero on the known-bad
+//! fixture tree, zero on the real workspace, and emits the JSON shape
+//! CI archives as an artifact.
+
+use std::path::Path;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_qma-lint"))
+}
+
+fn fixture_tree() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/tree")
+}
+
+#[test]
+fn deny_exits_nonzero_on_the_fixture_tree() {
+    let out = bin()
+        .arg("--deny")
+        .arg("--root")
+        .arg(fixture_tree())
+        .output()
+        .expect("run qma-lint");
+    assert_eq!(out.status.code(), Some(1), "findings must fail the run");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("crates/netsim/src/bad_hash_iter.rs:15: [hash-iter]"),
+        "human output must be file:line addressed:\n{text}"
+    );
+    assert!(text.contains("[wall-clock]"), "{text}");
+    assert!(text.contains("[bad-allow]"), "{text}");
+}
+
+#[test]
+fn json_format_is_machine_readable_and_summarised_on_stderr() {
+    let out = bin()
+        .args(["--deny", "--format", "json", "--root"])
+        .arg(fixture_tree())
+        .output()
+        .expect("run qma-lint");
+    assert_eq!(out.status.code(), Some(1));
+    let json = String::from_utf8_lossy(&out.stdout);
+    assert!(json.trim_start().starts_with('{'), "{json}");
+    assert!(json.contains("\"clean\": false"), "{json}");
+    assert!(json.contains("\"rule\": \"hash-iter\""), "{json}");
+    assert!(json.contains("\"files_scanned\":"), "{json}");
+    let summary = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        summary.contains("finding(s)"),
+        "human summary must still reach CI logs via stderr: {summary}"
+    );
+}
+
+#[test]
+fn deny_exits_zero_on_the_real_workspace() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let out = bin()
+        .arg("--deny")
+        .arg("--root")
+        .arg(root)
+        .output()
+        .expect("run qma-lint");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "tree not lint-clean:\n{text}");
+    assert!(text.contains("clean"), "{text}");
+}
+
+#[test]
+fn unknown_flag_is_a_usage_error() {
+    let out = bin().arg("--frobnicate").output().expect("run qma-lint");
+    assert_eq!(out.status.code(), Some(2));
+}

@@ -1,0 +1,12 @@
+//! Fixture: rule 4 (raw-durability) — publishing without the
+//! tmp → fsync → rename → dir-fsync discipline.
+
+use std::path::Path;
+
+pub fn publish(dir: &Path) -> std::io::Result<()> {
+    std::fs::write(dir.join("rows.csv"), "a,b\n")?; //~ raw-durability
+    let f = std::fs::File::create(dir.join("status.json"))?; //~ raw-durability
+    drop(f);
+    std::fs::rename(dir.join("tmp"), dir.join("final"))?; //~ raw-durability
+    Ok(())
+}

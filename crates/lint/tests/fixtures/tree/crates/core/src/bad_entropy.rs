@@ -1,0 +1,11 @@
+//! Fixture: rule 3 (entropy) — OS-entropy seeding.
+
+pub fn roll() -> u64 {
+    let mut rng = rand::thread_rng(); //~ entropy
+    let _ = &mut rng;
+    7
+}
+
+pub fn reseed() {
+    let _rng = rand::rngs::SmallRng::from_entropy(); //~ entropy
+}

@@ -1,0 +1,15 @@
+//! Fixture: rule 2 (wall-clock) — real-time reads in the kernel.
+
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> u64 {
+    let t = Instant::now(); //~ wall-clock
+    let s = SystemTime::now(); //~ wall-clock
+    let _ = (t, s);
+    0
+}
+
+pub fn talking_about_it_is_fine() -> &'static str {
+    // A comment mentioning Instant::now() must not fire.
+    "calling Instant::now() would break determinism"
+}

@@ -1,0 +1,5 @@
+//! Fixture: rule 6 (unsafe-code) — unsafe outside the inventory.
+
+pub fn sneaky(v: &[u32]) -> u32 {
+    unsafe { *v.get_unchecked(0) } //~ unsafe-code
+}

@@ -1,0 +1,27 @@
+//! Fixture: a reasoned `allow` suppresses — this file must produce
+//! zero findings.
+
+use std::collections::HashMap;
+
+pub struct Cache {
+    hot: HashMap<u32, u64>,
+}
+
+impl Cache {
+    pub fn sum(&self) -> u64 {
+        let mut total = 0;
+        // qma-lint: allow(hash-iter) — summation is commutative over
+        // f-free integers; visit order cannot reach the artifact.
+        for v in self.hot.values() {
+            total += *v;
+        }
+        total
+    }
+
+    pub fn drain_sorted(&mut self) -> Vec<(u32, u64)> {
+        let mut all: Vec<(u32, u64)> =
+            self.hot.drain().collect(); // qma-lint: allow(hash-iter) — collected and sorted on the next line before any fold observes order
+        all.sort_unstable();
+        all
+    }
+}

@@ -1,0 +1,34 @@
+//! Fixture: rule 1 (hash-iter) — unordered iteration in a sim crate.
+//! Marker grammar (rustc-UI style): a tilde comment naming the rule
+//! on the offending line, or with a caret for the line above.
+
+use std::collections::{HashMap, HashSet};
+
+pub struct Table {
+    starts: HashMap<u32, u64>,
+    seen: HashSet<u32>,
+}
+
+impl Table {
+    pub fn total(&self) -> u64 {
+        let mut sum = 0;
+        for (_k, v) in &self.starts { //~ hash-iter
+            sum += *v;
+        }
+        sum
+    }
+
+    pub fn ids(&self) -> Vec<u32> {
+        self.starts.keys().copied().collect() //~ hash-iter
+    }
+
+    pub fn split_chain(&self) -> usize {
+        self.seen
+            .iter() //~^ hash-iter
+            .count()
+    }
+
+    pub fn lookups_are_fine(&self) -> bool {
+        self.seen.contains(&1) && self.starts.get(&1).is_some()
+    }
+}

@@ -1,0 +1,12 @@
+//! Fixture: rule 5 (bare-thread) — unscoped threads in the kernel.
+
+pub fn fan_out() {
+    let h = std::thread::spawn(|| 42); //~ bare-thread
+    let _ = h.join();
+}
+
+pub fn scoped_is_fine() {
+    std::thread::scope(|s| {
+        s.spawn(|| ());
+    });
+}

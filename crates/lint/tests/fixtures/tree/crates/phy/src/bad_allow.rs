@@ -1,0 +1,28 @@
+//! Fixture: rule 7 (bad-allow) — annotations that do not suppress:
+//! reason-less, unknown-rule, and malformed allows are findings, and
+//! the underlying violation still fires.
+
+use std::collections::HashMap;
+
+pub struct S {
+    m: HashMap<u32, u32>,
+}
+
+impl S {
+    pub fn reasonless(&self) -> usize {
+        // qma-lint: allow(hash-iter)
+        //~^ bad-allow
+        self.m.keys().count() //~ hash-iter
+    }
+
+    pub fn unknown_rule(&self) -> usize {
+        // qma-lint: allow(no-such-rule) — confidently justified
+        //~^ bad-allow
+        self.m.values().count() //~ hash-iter
+    }
+
+    pub fn malformed() {
+        // qma-lint: please ignore this one
+        //~^ bad-allow
+    }
+}

@@ -1,0 +1,18 @@
+//! Fixture: the tests/ scope — rules 3 (entropy) and 4 (rename only)
+//! still apply to test code; raw fixture writes and wall clocks do not.
+
+use std::path::Path;
+
+pub fn seed_from_entropy() -> u64 {
+    let _rng = rand::thread_rng(); //~ entropy
+    42
+}
+
+pub fn publish_bypassing_durable(dir: &Path) {
+    std::fs::rename(dir.join("a"), dir.join("b")).unwrap(); //~ raw-durability
+}
+
+pub fn planting_fixtures_is_fine(dir: &Path) {
+    std::fs::write(dir.join("seed.toml"), "x = 1\n").unwrap();
+    let _deadline = std::time::Instant::now();
+}

@@ -1,0 +1,148 @@
+//! Fixture-corpus tests: every rule ships a known-bad snippet whose
+//! expected findings are marked inline, rustc-UI style — `//~ rule`
+//! expects a finding on that line, `//~^ rule` on the line above.
+//! The harness compares the exact (line, rule) set the engine emits
+//! against the markers, so a rule that drifts (wrong anchor line,
+//! over- or under-firing) fails loudly.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+use qma_lint::{check_file, scan_workspace, RULE_NAMES};
+
+fn tree_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/tree")
+}
+
+/// Parses the `//~` / `//~^` markers out of a fixture source.
+fn expected(src: &str) -> BTreeSet<(u32, String)> {
+    let mut out = BTreeSet::new();
+    for (i, line) in src.lines().enumerate() {
+        let n = (i + 1) as u32;
+        let Some(at) = line.find("//~") else {
+            continue;
+        };
+        let rest = &line[at + 3..];
+        let (target, rule) = match rest.strip_prefix('^') {
+            Some(r) => (n - 1, r.trim()),
+            None => (n, rest.trim()),
+        };
+        assert!(
+            RULE_NAMES.contains(&rule),
+            "fixture marker on line {n} names unknown rule {rule:?}"
+        );
+        out.insert((target, rule.to_string()));
+    }
+    out
+}
+
+/// Lints one fixture (path relative to the fixture tree, which is
+/// also the workspace-relative path the scoping rules see) and
+/// asserts findings == markers.
+fn check_fixture(rel: &str) {
+    let path = tree_root().join(rel);
+    let src =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    let want = expected(&src);
+    let got: BTreeSet<(u32, String)> = check_file(rel, &src)
+        .into_iter()
+        .map(|f| (f.line, f.rule.to_string()))
+        .collect();
+    assert_eq!(got, want, "fixture {rel}: findings != inline markers");
+}
+
+#[test]
+fn hash_iter_fixture() {
+    check_fixture("crates/netsim/src/bad_hash_iter.rs");
+}
+
+#[test]
+fn wall_clock_fixture() {
+    check_fixture("crates/des/src/bad_wall_clock.rs");
+}
+
+#[test]
+fn entropy_fixture() {
+    check_fixture("crates/core/src/bad_entropy.rs");
+}
+
+#[test]
+fn raw_durability_fixture() {
+    check_fixture("crates/bench/src/campaign/bad_publish.rs");
+}
+
+#[test]
+fn bare_thread_fixture() {
+    check_fixture("crates/netsim/src/bad_spawn.rs");
+}
+
+#[test]
+fn unsafe_code_fixture() {
+    check_fixture("crates/mac/src/bad_unsafe.rs");
+}
+
+#[test]
+fn bad_allow_fixture_rejects_reasonless_and_unknown_allows() {
+    check_fixture("crates/phy/src/bad_allow.rs");
+}
+
+#[test]
+fn reasoned_allow_suppresses_to_zero_findings() {
+    // No markers in this fixture: the expected finding set is empty,
+    // so any leak through the allows fails the exact-set comparison.
+    check_fixture("crates/net/src/allowed_ok.rs");
+}
+
+#[test]
+fn tests_scope_gets_entropy_and_rename_rules_only() {
+    check_fixture("tests/bad_test_hygiene.rs");
+}
+
+#[test]
+fn every_rule_is_covered_by_a_fixture() {
+    let mut covered: BTreeSet<String> = BTreeSet::new();
+    let mut stack = vec![tree_root()];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir).unwrap().flatten() {
+            let p = entry.path();
+            if p.is_dir() {
+                stack.push(p);
+            } else if p.extension().and_then(|e| e.to_str()) == Some("rs") {
+                let src = std::fs::read_to_string(&p).unwrap();
+                covered.extend(expected(&src).into_iter().map(|(_, r)| r));
+            }
+        }
+    }
+    for rule in RULE_NAMES {
+        assert!(covered.contains(rule), "no fixture exercises rule {rule:?}");
+    }
+}
+
+#[test]
+fn fixture_tree_is_skipped_when_scanning_the_real_workspace() {
+    // Under its real workspace path the corpus sits below
+    // tests/fixtures/ and must contribute nothing.
+    let rel = "crates/lint/tests/fixtures/tree/crates/netsim/src/bad_hash_iter.rs";
+    let src = std::fs::read_to_string(
+        Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("tests/fixtures/tree/crates/netsim/src/bad_hash_iter.rs"),
+    )
+    .unwrap();
+    assert!(check_file(rel, &src).is_empty());
+}
+
+#[test]
+fn real_workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = scan_workspace(&root).expect("workspace scan");
+    assert!(
+        report.is_clean(),
+        "the tree must stay lint-clean; findings: {:#?}",
+        report.findings
+    );
+    assert!(
+        report.files_scanned > 100,
+        "suspiciously few files scanned ({}) — walker broken?",
+        report.files_scanned
+    );
+}

@@ -2,7 +2,7 @@
 //! generation after the rx→tx turnaround, duplicate suppression, and
 //! upward delivery.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use qma_des::SimDuration;
 use qma_netsim::{Frame, FrameKind, MacCtx, MacTimerKind};
@@ -23,7 +23,7 @@ pub enum RxEvent {
 #[derive(Debug, Clone, Default)]
 pub struct ReceiverCommon {
     pending_ack: Option<Frame>,
-    last_delivered: HashMap<u32, u32>,
+    last_delivered: BTreeMap<u32, u32>,
 }
 
 impl ReceiverCommon {

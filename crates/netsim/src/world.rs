@@ -8,7 +8,7 @@
 //! calls (MAC → upper delivery, upper → MAC enqueue) are queued as
 //! notices and drained after the handler returns.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use rand::rngs::StdRng;
 
@@ -1151,7 +1151,7 @@ pub struct SimBuilder<M = Box<dyn MacProtocol>, U = Box<dyn UpperLayer>> {
     seed: u64,
     mac_factory: Option<MacFactory<M>>,
     upper_factory: UpperFactory<U>,
-    node_starts: HashMap<u32, SimTime>,
+    node_starts: BTreeMap<u32, SimTime>,
     record_learner: bool,
     scheduler_wheel: bool,
     shards: usize,
@@ -1249,7 +1249,7 @@ impl SimBuilder {
             seed,
             mac_factory: None,
             upper_factory: Box::new(|_, _| Box::new(NullUpper) as Box<dyn UpperLayer>),
-            node_starts: HashMap::new(),
+            node_starts: BTreeMap::new(),
             record_learner: true,
             scheduler_wheel: default_scheduler_wheel(),
             shards: default_shards(),
@@ -1475,6 +1475,9 @@ impl<M: MacProtocol, U: UpperLayer> SimBuilder<M, U> {
             sched.enable_wheel(2 * (subslots as usize + 2));
         }
         sched.schedule_at(SimTime::ZERO, Event::Start);
+        // BTreeMap order: EnableNode events for nodes sharing a start
+        // instant are inserted in node-id order, so heap FIFO
+        // tie-breaking is identical in every process.
         for (i, &t) in &self.node_starts {
             if t > SimTime::ZERO {
                 sched.schedule_at(t, Event::EnableNode { node: NodeId(*i) });
@@ -1567,7 +1570,7 @@ pub struct Sim<M = Box<dyn MacProtocol>, U = Box<dyn UpperLayer>> {
     macs: Vec<M>,
     uppers: Vec<U>,
     sched: Scheduler<Event>,
-    node_starts: HashMap<u32, SimTime>,
+    node_starts: BTreeMap<u32, SimTime>,
     record_learner: bool,
     /// Reusable buffer for the enabled clean receivers of a
     /// transmission (the per-`TxEnd` delivered set).
@@ -1696,7 +1699,7 @@ impl<M: MacProtocol, U: UpperLayer> Sim<M, U> {
             world: &'s mut World,
             macs: &'s mut [M],
             uppers: &'s mut [U],
-            node_starts: &'s HashMap<u32, SimTime>,
+            node_starts: &'s BTreeMap<u32, SimTime>,
             record_learner: bool,
             /// The armed fault schedule's events (empty when none).
             faults: &'s [crate::faults::FaultEvent],
